@@ -1,0 +1,106 @@
+#ifndef WHYQ_BENCH_BENCH_COMMON_H_
+#define WHYQ_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the figure-reproduction drivers (bench/fig*.cpp):
+// flag parsing, per-dataset workload construction, and row printing.
+//
+// Every driver accepts:
+//   --part=<letter|all>   which sub-figure to regenerate (default all)
+//   --items=<n>           questions per batch (default driver-specific)
+//   --scale=<f>           multiply default graph sizes by f (default bench
+//                         sizes are ~1/4 of the profile defaults so a full
+//                         driver run stays in CI-friendly time)
+//   --seed=<n>            workload seed
+//
+// Absolute numbers differ from the paper (synthetic data, different
+// hardware); the *shapes* are what EXPERIMENTS.md records.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "whyq.h"
+
+namespace whyq::bench {
+
+struct Flags {
+  std::string part = "all";
+  size_t items = 0;  // 0: driver default
+  double scale = 1.0;
+  uint64_t seed = 42;
+};
+
+inline Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--part=", 7) == 0) {
+      f.part = a + 7;
+    } else if (std::strncmp(a, "--items=", 8) == 0) {
+      f.items = static_cast<size_t>(std::strtoul(a + 8, nullptr, 10));
+    } else if (std::strncmp(a, "--scale=", 8) == 0) {
+      f.scale = std::strtod(a + 8, nullptr);
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      f.seed = std::strtoull(a + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--part=a|b|...|all] [--items=N] "
+                   "[--scale=F] [--seed=N]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return f;
+}
+
+inline bool RunPart(const Flags& f, const char* part) {
+  return f.part == "all" || f.part == part;
+}
+
+/// Bench-sized graph for a dataset profile (quarter of the paper-profile
+/// default, scaled by --scale).
+inline Graph BenchGraph(DatasetProfile p, const Flags& f) {
+  size_t nodes = static_cast<size_t>(
+      static_cast<double>(DefaultProfileNodes(p)) / 4.0 * f.scale);
+  return GenerateProfile(p, nodes, 7);
+}
+
+/// The paper's default workload parameters (Section VI): |E_Q| = 4, two
+/// literals per node, |V_N| = |V_C| = 3, tree topology.
+inline WorkloadConfig DefaultWorkload(const Flags& f, size_t default_items) {
+  WorkloadConfig w;
+  w.items = f.items == 0 ? default_items : f.items;
+  w.query.edges = 4;
+  w.query.literals_per_node = 2;
+  w.query.slack = 0.6;  // loose bounds -> sizable answer sets
+  w.query.min_answers = 8;   // sizable answers make the guard bind
+  w.query.max_answers = 100;  // evaluator sweeps are O(|answers|); the
+                              // paper notes answers are small in practice
+  w.why_size = 3;
+  w.whynot_size = 3;
+  w.seed = f.seed;
+  return w;
+}
+
+/// The paper's default answering configuration: B = 4, m = 2. The exact
+/// algorithms additionally cap the picky set / enumeration so a full sweep
+/// stays tractable on one core (`exhaustive` is false when a cap bites).
+inline AnswerConfig DefaultAnswerConfig() {
+  AnswerConfig cfg;
+  cfg.budget = 4.0;
+  cfg.guard_m = 2;  // paper default m
+  return cfg;
+}
+
+inline AnswerConfig ExactAnswerConfig() {
+  AnswerConfig cfg = DefaultAnswerConfig();
+  cfg.max_mbs = 100000;
+  cfg.exact_time_limit_ms = 3000;  // per-question cap; exhaustive_fraction
+                                   // reports how often it bites
+  return cfg;
+}
+
+}  // namespace whyq::bench
+
+#endif  // WHYQ_BENCH_BENCH_COMMON_H_

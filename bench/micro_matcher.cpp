@@ -1,0 +1,165 @@
+// Microbenchmarks for the matching substrate: candidate filtering, full
+// answer computation, incremental single-node verification, capped guard
+// counting, and neighborhood expansion. These are the primitives whose
+// costs the paper's complexity analysis is stated in (|N_d(...)|, |Q|,
+// number of iso tests).
+
+#include <benchmark/benchmark.h>
+
+#include "whyq.h"
+
+namespace whyq {
+namespace {
+
+struct Fixture {
+  Graph g;
+  GeneratedQuery gq;
+  bool ok = false;
+};
+
+const Fixture& SharedFixture(DatasetProfile p, size_t edges) {
+  static std::map<std::pair<int, size_t>, Fixture>* cache =
+      new std::map<std::pair<int, size_t>, Fixture>();
+  auto key = std::make_pair(static_cast<int>(p), edges);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+  Fixture f;
+  f.g = GenerateProfile(p, DefaultProfileNodes(p) / 4, 7);
+  Rng rng(11);
+  QueryGenConfig cfg;
+  cfg.edges = edges;
+  cfg.literals_per_node = 2;
+  cfg.slack = 0.6;
+  cfg.min_answers = 4;
+  for (int attempt = 0; attempt < 12 && !f.ok; ++attempt) {
+    std::optional<GeneratedQuery> gq = GenerateQuery(f.g, cfg, rng);
+    if (gq.has_value()) {
+      f.gq = std::move(*gq);
+      f.ok = true;
+    }
+  }
+  return cache->emplace(key, std::move(f)).first->second;
+}
+
+void BM_CandidateFilter(benchmark::State& state) {
+  const Fixture& f =
+      SharedFixture(DatasetProfile::kDBpedia, static_cast<size_t>(4));
+  if (!f.ok) {
+    state.SkipWithError("no query generated");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Candidates(f.g, f.gq.query, f.gq.query.output()));
+  }
+}
+BENCHMARK(BM_CandidateFilter);
+
+void BM_MatchOutput(benchmark::State& state) {
+  const Fixture& f = SharedFixture(DatasetProfile::kDBpedia,
+                                   static_cast<size_t>(state.range(0)));
+  if (!f.ok) {
+    state.SkipWithError("no query generated");
+    return;
+  }
+  Matcher m(f.g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.MatchOutput(f.gq.query));
+  }
+  state.counters["answers"] = static_cast<double>(f.gq.answers.size());
+}
+BENCHMARK(BM_MatchOutput)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_IsAnswerIncremental(benchmark::State& state) {
+  const Fixture& f =
+      SharedFixture(DatasetProfile::kDBpedia, static_cast<size_t>(4));
+  if (!f.ok) {
+    state.SkipWithError("no query generated");
+    return;
+  }
+  Matcher m(f.g);
+  size_t i = 0;
+  for (auto _ : state) {
+    NodeId v = f.gq.answers[i++ % f.gq.answers.size()];
+    benchmark::DoNotOptimize(m.IsAnswer(f.gq.query, v));
+  }
+}
+BENCHMARK(BM_IsAnswerIncremental);
+
+void BM_CountAnswersCapped(benchmark::State& state) {
+  const Fixture& f =
+      SharedFixture(DatasetProfile::kDBpedia, static_cast<size_t>(4));
+  if (!f.ok) {
+    state.SkipWithError("no query generated");
+    return;
+  }
+  Matcher m(f.g);
+  NodeSet exclude(f.gq.answers, f.g.node_count());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.CountAnswersNotIn(
+        f.gq.query, exclude, static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_CountAnswersCapped)->Arg(0)->Arg(2)->Arg(16);
+
+void BM_NeighborhoodExpansion(benchmark::State& state) {
+  const Fixture& f =
+      SharedFixture(DatasetProfile::kDBpedia, static_cast<size_t>(4));
+  if (!f.ok) {
+    state.SkipWithError("no query generated");
+    return;
+  }
+  size_t depth = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WithinDistance(f.g, f.gq.answers, depth));
+  }
+}
+BENCHMARK(BM_NeighborhoodExpansion)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_PathIndexBuild(benchmark::State& state) {
+  const Fixture& f =
+      SharedFixture(DatasetProfile::kDBpedia, static_cast<size_t>(4));
+  if (!f.ok) {
+    state.SkipWithError("no query generated");
+    return;
+  }
+  for (auto _ : state) {
+    PathIndex idx(f.gq.query, static_cast<size_t>(state.range(0)));
+    benchmark::DoNotOptimize(idx.path_count());
+  }
+}
+BENCHMARK(BM_PathIndexBuild)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SimulationAnswers(benchmark::State& state) {
+  const Fixture& f = SharedFixture(DatasetProfile::kDBpedia,
+                                   static_cast<size_t>(state.range(0)));
+  if (!f.ok) {
+    state.SkipWithError("no query generated");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimulationAnswers(f.g, f.gq.query));
+  }
+}
+BENCHMARK(BM_SimulationAnswers)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_PathIndexTest(benchmark::State& state) {
+  const Fixture& f =
+      SharedFixture(DatasetProfile::kDBpedia, static_cast<size_t>(4));
+  if (!f.ok) {
+    state.SkipWithError("no query generated");
+    return;
+  }
+  PathIndex idx(f.gq.query, 8);
+  size_t i = 0;
+  for (auto _ : state) {
+    NodeId v = f.gq.answers[i++ % f.gq.answers.size()];
+    benchmark::DoNotOptimize(idx.Passes(f.g, f.gq.query, v));
+  }
+}
+BENCHMARK(BM_PathIndexTest);
+
+}  // namespace
+}  // namespace whyq
+
+BENCHMARK_MAIN();

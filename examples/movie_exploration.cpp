@@ -1,0 +1,144 @@
+// Reproduces the paper's Exp-5 "Why-so-many?" case study (Fig. 9(b)): a
+// query Q4 over an IMDb-style graph for actors who co-played with a star
+// in at least two recent, reasonably-rated movies. The answer is
+// surprisingly large because talk-show co-attendees are (inaccurately)
+// labeled as movie co-stars when no genre is recorded. A Why-so-many
+// question asks to shrink the answer; the refinement narrows ratings /
+// dates and introduces a genre constraint, exposing the mislabeled
+// talk-shows.
+
+#include <cstdio>
+
+#include "whyq.h"
+
+namespace {
+
+using namespace whyq;
+
+struct MovieDb {
+  Graph graph;
+  NodeId star = kInvalidNode;
+};
+
+MovieDb Build(uint64_t seed) {
+  MovieDb db;
+  Rng rng(seed);
+  GraphBuilder b;
+
+  db.star = b.AddNode("Actor");
+  b.SetAttr(db.star, "name", Value("W.Shatner"));
+
+  // Genre entities.
+  const char* kGenres[] = {"Comedy", "Drama", "SciFi"};
+  std::vector<NodeId> genres;
+  for (const char* gname : kGenres) {
+    NodeId v = b.AddNode("Genre");
+    b.SetAttr(v, "name", Value(gname));
+    genres.push_back(v);
+  }
+
+  // A modest troupe of movie co-stars and a crowd of talk-show guests.
+  std::vector<NodeId> co_stars;
+  for (int i = 0; i < 12; ++i) {
+    NodeId v = b.AddNode("Actor");
+    b.SetAttr(v, "name", Value("CoStar" + std::to_string(i)));
+    co_stars.push_back(v);
+  }
+  std::vector<NodeId> guests;
+  for (int i = 0; i < 120; ++i) {
+    NodeId v = b.AddNode("Actor");
+    b.SetAttr(v, "name", Value("Guest" + std::to_string(i)));
+    guests.push_back(v);
+  }
+
+  // Proper movies: genre recorded, decent ratings; each casts the star and
+  // a few co-stars (each co-star appears in >= 2 movies with the star).
+  std::vector<NodeId> movies;
+  for (int i = 0; i < 10; ++i) {
+    NodeId m = b.AddNode("Movie");
+    b.SetAttr(m, "rating", Value(6.0 + rng.Double() * 3.0));
+    b.SetAttr(m, "year", Value(rng.Uniform(2001, 2015)));
+    b.AddEdge(db.star, m, "actsIn");
+    b.AddEdge(m, genres[rng.Index(genres.size())], "genre");
+    movies.push_back(m);
+  }
+  for (NodeId a : co_stars) {
+    // Each co-star shares >= 2 movies with the star.
+    for (size_t k : rng.SampleDistinct(movies.size(), 2 + rng.Index(3))) {
+      b.AddEdge(a, movies[k], "actsIn");
+    }
+  }
+
+  // Talk-shows: labeled "Movie" but with NO genre edge; mid ratings. The
+  // star attended many, alongside crowds of guests — each guest attends
+  // two shows, inflating the co-player answer.
+  std::vector<NodeId> shows;
+  for (int i = 0; i < 16; ++i) {
+    NodeId m = b.AddNode("Movie");
+    b.SetAttr(m, "rating", Value(5.5 + rng.Double() * 3.5));
+    b.SetAttr(m, "year", Value(rng.Uniform(2002, 2018)));
+    b.AddEdge(db.star, m, "actsIn");
+    shows.push_back(m);
+  }
+  for (NodeId a : guests) {
+    for (size_t k : rng.SampleDistinct(shows.size(), 2)) {
+      b.AddEdge(a, shows[k], "actsIn");
+    }
+  }
+
+  db.graph = b.Build();
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  using namespace whyq;
+  MovieDb db = Build(17);
+  const Graph& g = db.graph;
+
+  // Q4: actors co-playing with the star in two movies rated >= 5.5 and no
+  // earlier than 2001.
+  std::string text =
+      "node a Actor\n"
+      "node m1 Movie rating >= d:5.5 year >= i:2001\n"
+      "node m2 Movie rating >= d:5.5 year >= i:2001\n"
+      "node star Actor name = s:W.Shatner\n"
+      "edge a m1 actsIn\n"
+      "edge a m2 actsIn\n"
+      "edge star m1 actsIn\n"
+      "edge star m2 actsIn\n"
+      "output a\n";
+  std::string err;
+  std::optional<Query> q4 = ParseQuery(text, g, &err);
+  if (!q4.has_value()) {
+    std::fprintf(stderr, "query parse error: %s\n", err.c_str());
+    return 1;
+  }
+
+  Matcher matcher(g);
+  std::vector<NodeId> answers = matcher.MatchOutput(*q4);
+  std::printf("Q4 returns %zu co-players — surprisingly many!\n",
+              answers.size());
+
+  // "Why so many? I expected at most ~15."
+  AnswerConfig cfg;
+  cfg.budget = 6.0;
+  WhySoManyResult r = AnswerWhySoMany(g, *q4, answers, 15, cfg);
+  std::printf("Why-so-many (target <= 15): %zu -> %zu via { %s }\n",
+              r.before, r.after, DescribeOperators(r.ops, g).c_str());
+  std::printf("Refined query:\n%s\n", r.rewritten.ToString(g).c_str());
+  bool structural = false;
+  for (const EditOp& op : r.ops) structural |= op.kind == OpKind::kAddE;
+  std::printf(
+      "finding: many \"co-players\" only co-attended talk shows, which are\n"
+      "labeled as movies but carry no genre%s — as in the paper's IMDb"
+      " case.\n",
+      structural ? " — the added genre edge filters them out"
+                 : "; the refinement narrows ratings/dates to exclude them");
+
+  std::printf("\ncase study %s\n",
+              r.found && r.after <= 15 && r.after > 0 ? "REPRODUCED"
+                                                      : "FAILED");
+  return r.found ? 0 : 1;
+}

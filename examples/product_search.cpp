@@ -1,0 +1,116 @@
+// End-to-end product-search walkthrough on a generated BSBM e-commerce
+// graph: build the graph, save/reload it through the text format, pose a
+// query via the DSL, and exercise the full Why-question toolbox — Why,
+// Why-not (with a selection condition C), Why-empty, and the exact /
+// approximate algorithm pair side by side.
+
+#include <cstdio>
+#include <algorithm>
+#include <sstream>
+
+#include "whyq.h"
+
+int main() {
+  using namespace whyq;
+
+  // 1. A mid-sized product graph (deterministic).
+  BsbmConfig bc;
+  bc.products = 4000;
+  Graph generated = GenerateBsbm(bc);
+  GraphStats stats = ComputeStats(generated);
+  std::printf("generated BSBM graph: %s\n", stats.ToString().c_str());
+
+  // 2. Round-trip through the text serialization (the on-disk format).
+  std::stringstream buffer;
+  WriteGraph(generated, buffer);
+  std::string err;
+  std::optional<Graph> loaded = ReadGraph(buffer, &err);
+  if (!loaded.has_value()) {
+    std::fprintf(stderr, "reload failed: %s\n", err.c_str());
+    return 1;
+  }
+  const Graph& g = *loaded;
+  std::printf("round-tripped through the text format: |V|=%zu |E|=%zu\n\n",
+              g.node_count(), g.edge_count());
+
+  // 3. Query: cheap, quickly-delivered offers of well-reviewed products.
+  std::string text =
+      "node o Offer price <= i:3000 deliveryDays <= i:7\n"
+      "node p Product price <= i:2500\n"
+      "node r Review rating >= i:7\n"
+      "node v Vendor country = s:US\n"
+      "edge o p offerOf\n"
+      "edge o v vendor\n"
+      "edge r p reviewOf\n"
+      "output o\n";
+  std::optional<Query> q = ParseQuery(text, g, &err);
+  if (!q.has_value()) {
+    std::fprintf(stderr, "parse error: %s\n", err.c_str());
+    return 1;
+  }
+  Matcher matcher(g);
+  std::vector<NodeId> answers = matcher.MatchOutput(*q);
+  std::printf("query answers: %zu offers\n\n", answers.size());
+  if (answers.size() < 4) {
+    std::printf("graph too sparse for the demo; try a bigger scale\n");
+    return 0;
+  }
+
+  AnswerConfig cfg;
+  cfg.budget = 6.0;
+  cfg.guard_m = 3;
+
+  // 4. Why: the user is surprised the two *most expensive* offers qualify.
+  SymbolId offer_price = *g.attr_names().Find("price");
+  std::vector<NodeId> by_price = answers;
+  std::sort(by_price.begin(), by_price.end(), [&](NodeId a, NodeId b) {
+    return g.GetAttr(a, offer_price)->as_int() >
+           g.GetAttr(b, offer_price)->as_int();
+  });
+  WhyQuestion why{{by_price[0], by_price[1]}};
+  RewriteAnswer exact = ExactWhy(g, *q, answers, why, cfg);
+  RewriteAnswer approx = ApproxWhy(g, *q, answers, why, cfg);
+  std::printf("Why {offer#%u, offer#%u}?\n", by_price[0], by_price[1]);
+  std::printf("  ExactWhy : %s\n", exact.Explain(g).c_str());
+  std::printf("  ApproxWhy: %s\n\n", approx.Explain(g).c_str());
+
+  // 5. Why-not: the question generator picks near-miss offers (one
+  // relaxation away from matching), the way a user notices close calls.
+  GeneratedQuery gq;
+  gq.query = *q;
+  gq.answers = answers;
+  Rng rng(3);
+  std::optional<WhyNotQuestion> whynot =
+      GenerateWhyNotQuestion(g, gq, 2, 0, rng);
+  if (whynot.has_value()) {
+    // Relaxations on a dense offer graph necessarily admit other offers;
+    // the user tolerates a broader result here (guard m = 25).
+    AnswerConfig relax_cfg = cfg;
+    relax_cfg.guard_m = 25;
+    relax_cfg.exact_time_limit_ms = 5000;
+    RewriteAnswer wn_exact = ExactWhyNot(g, *q, answers, *whynot, relax_cfg);
+    RewriteAnswer wn_fast = FastWhyNot(g, *q, answers, *whynot, relax_cfg);
+    std::printf("Why-not offers {");
+    for (NodeId v : whynot->missing) std::printf(" #%u", v);
+    std::printf(" }?\n  ExactWhyNot: %s\n  FastWhyNot : %s\n\n",
+                wn_exact.Explain(g).c_str(), wn_fast.Explain(g).c_str());
+  }
+
+  // 6. Why-empty: an over-constrained variant returns nothing; the library
+  // proposes the minimal relaxation that revives it.
+  Query impossible = *q;
+  impossible.AddLiteral(
+      impossible.output(),
+      Literal{*g.attr_names().Find("price"), CompareOp::kLt,
+              Value(int64_t{0})});
+  WhyEmptyResult empty = AnswerWhyEmpty(g, impossible, cfg);
+  std::printf("Why-empty (price < 0 added)? %s",
+              empty.found ? "fixed via { " : "not fixable within budget");
+  if (empty.found) {
+    std::printf("%s }, %zu sample answers\n",
+                DescribeOperators(empty.ops, g).c_str(),
+                empty.sample_answers.size());
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+#ifndef WHYQ_COMMON_CHECK_H_
+#define WHYQ_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checks. These guard programmer errors (out-of-range ids,
+// malformed operator sets), not user input; user-facing APIs report errors via
+// return values instead. A failed check aborts with a source location.
+#define WHYQ_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "WHYQ_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define WHYQ_CHECK_MSG(cond, msg)                                             \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "WHYQ_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                     \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#endif  // WHYQ_COMMON_CHECK_H_

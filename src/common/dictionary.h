@@ -1,0 +1,48 @@
+#ifndef WHYQ_COMMON_DICTIONARY_H_
+#define WHYQ_COMMON_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace whyq {
+
+/// Interned symbol id. Labels, relation names, and attribute names are stored
+/// once and referenced by id everywhere else (graph, queries, operators).
+using SymbolId = uint32_t;
+
+inline constexpr SymbolId kInvalidSymbol = UINT32_MAX;
+
+/// A string interning table mapping names (node labels, edge labels,
+/// attribute names) to dense SymbolIds. Append-only; ids are stable.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  Dictionary(const Dictionary&) = default;
+  Dictionary& operator=(const Dictionary&) = default;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Returns the id of `name`, interning it on first use.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id of `name` if already interned.
+  std::optional<SymbolId> Find(std::string_view name) const;
+
+  /// Returns the name of `id`; `id` must be a valid interned id.
+  const std::string& NameOf(SymbolId id) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace whyq
+
+#endif  // WHYQ_COMMON_DICTIONARY_H_

@@ -1,0 +1,75 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace whyq {
+
+namespace {
+// Beyond this table size, building the CDF is not worth it; fall back to a
+// simple rejection scheme over continuous Zipf.
+constexpr size_t kMaxZipfTable = 1 << 20;
+}  // namespace
+
+size_t Rng::Zipf(size_t n, double s) {
+  WHYQ_CHECK(n > 0);
+  if (n == 1) return 0;
+  if (n <= kMaxZipfTable) {
+    if (zipf_n_ != n || zipf_s_ != s) {
+      zipf_cdf_.resize(n);
+      double sum = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        zipf_cdf_[i] = sum;
+      }
+      for (size_t i = 0; i < n; ++i) zipf_cdf_[i] /= sum;
+      zipf_n_ = n;
+      zipf_s_ = s;
+    }
+    double u = Double();
+    auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    return static_cast<size_t>(it - zipf_cdf_.begin());
+  }
+  // Rejection sampling (Devroye) for very large n.
+  double b = std::pow(2.0, s - 1.0);
+  while (true) {
+    double u = Double();
+    double v = Double();
+    double x = std::floor(std::pow(u, -1.0 / (s - 1.0)));
+    double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b &&
+        x <= static_cast<double>(n)) {
+      return static_cast<size_t>(x) - 1;
+    }
+  }
+}
+
+std::vector<size_t> Rng::SampleDistinct(size_t n, size_t k) {
+  std::vector<size_t> out;
+  if (k >= n) {
+    out.resize(n);
+    for (size_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates.
+    std::vector<size_t> pool(n);
+    for (size_t i = 0; i < n; ++i) pool[i] = i;
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + Index(n - i);
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+  }
+  std::unordered_set<size_t> seen;
+  out.reserve(k);
+  while (out.size() < k) {
+    size_t x = Index(n);
+    if (seen.insert(x).second) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace whyq

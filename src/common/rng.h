@@ -1,0 +1,59 @@
+#ifndef WHYQ_COMMON_RNG_H_
+#define WHYQ_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace whyq {
+
+/// Deterministic random source used by all generators and samplers so that
+/// experiments are reproducible given a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    WHYQ_CHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t Index(size_t n) {
+    WHYQ_CHECK(n > 0);
+    return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double Double() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Chance(double p) { return Double() < p; }
+
+  /// Zipfian-ish rank in [0, n): probability proportional to 1/(rank+1)^s.
+  /// Uses inverse-CDF over a cached harmonic table for small n, rejection
+  /// sampling otherwise. Used for skewed label/degree assignment.
+  size_t Zipf(size_t n, double s);
+
+  /// Samples k distinct indices from [0, n) (k may exceed n, then all).
+  std::vector<size_t> SampleDistinct(size_t n, size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  // Cache for Zipf inverse-CDF: (n, s) of the cached table plus cumulative
+  // weights. Regenerated when parameters change.
+  size_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace whyq
+
+#endif  // WHYQ_COMMON_RNG_H_

@@ -1,0 +1,34 @@
+#ifndef WHYQ_COMMON_TABLE_H_
+#define WHYQ_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace whyq {
+
+/// Plain-text table builder used by the reproduction benches to print
+/// figure-shaped result rows (dataset / parameter, algorithm, metric).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends one row; its arity must match the header's.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string Num(double v, int precision = 3);
+
+  /// Renders the table with a title, aligned columns and a separator line.
+  std::string ToString(const std::string& title) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace whyq
+
+#endif  // WHYQ_COMMON_TABLE_H_

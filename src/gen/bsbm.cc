@@ -1,0 +1,107 @@
+#include "gen/bsbm.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace whyq {
+
+namespace {
+
+const char* const kCountries[] = {"US", "DE", "JP", "GB", "FR",
+                                  "CN", "KR", "RU", "AT", "ES"};
+const char* const kBrands[] = {"Acme",    "Globex", "Initech", "Umbrella",
+                               "Hooli",   "Vandelay", "Wonka",  "Stark",
+                               "Wayne",   "Tyrell"};
+
+}  // namespace
+
+Graph GenerateBsbm(const BsbmConfig& config) {
+  Rng rng(config.seed);
+  GraphBuilder b;
+
+  size_t n_products = std::max<size_t>(1, config.products);
+  size_t n_producers =
+      std::max<size_t>(1, n_products / config.products_per_producer);
+  size_t n_types = std::max<size_t>(1, n_products / config.products_per_type);
+  size_t n_features =
+      std::max<size_t>(1, n_products / config.products_per_feature);
+  size_t n_vendors =
+      std::max<size_t>(1, n_products / config.products_per_vendor);
+  size_t n_offers =
+      static_cast<size_t>(config.offers_per_product * n_products);
+  size_t n_reviews =
+      static_cast<size_t>(config.reviews_per_product * n_products);
+  size_t n_persons =
+      std::max<size_t>(1, n_reviews / config.reviews_per_person);
+
+  auto country = [&]() {
+    return Value(kCountries[rng.Index(std::size(kCountries))]);
+  };
+
+  std::vector<NodeId> producers(n_producers);
+  for (auto& v : producers) {
+    v = b.AddNode("Producer");
+    b.SetAttr(v, "country", country());
+  }
+  std::vector<NodeId> types(n_types);
+  for (auto& v : types) {
+    v = b.AddNode("ProductType");
+    b.SetAttr(v, "popularity", Value(rng.Uniform(0, 100)));
+  }
+  std::vector<NodeId> features(n_features);
+  for (auto& v : features) {
+    v = b.AddNode("ProductFeature");
+    b.SetAttr(v, "popularity", Value(rng.Uniform(0, 100)));
+  }
+  std::vector<NodeId> vendors(n_vendors);
+  for (auto& v : vendors) {
+    v = b.AddNode("Vendor");
+    b.SetAttr(v, "country", country());
+  }
+  std::vector<NodeId> persons(n_persons);
+  for (auto& v : persons) {
+    v = b.AddNode("Person");
+    b.SetAttr(v, "country", country());
+  }
+
+  std::vector<NodeId> products(n_products);
+  for (auto& v : products) {
+    v = b.AddNode("Product");
+    b.SetAttr(v, "price", Value(rng.Uniform(10, 5000)));
+    b.SetAttr(v, "propertyNum1", Value(rng.Uniform(0, 500)));
+    b.SetAttr(v, "propertyNum2", Value(rng.Uniform(0, 500)));
+    b.SetAttr(v, "propertyNum3", Value(rng.Uniform(0, 2000)));
+    b.SetAttr(v, "brand", Value(kBrands[rng.Zipf(std::size(kBrands), 1.1)]));
+    b.AddEdge(v, producers[rng.Zipf(n_producers, 1.05)], "producer");
+    b.AddEdge(v, types[rng.Zipf(n_types, 1.05)], "type");
+    size_t nf = 1 + rng.Index(config.features_per_product);
+    for (size_t f = 0; f < nf; ++f) {
+      b.AddEdge(v, features[rng.Zipf(n_features, 1.05)], "feature");
+    }
+  }
+
+  for (size_t i = 0; i < n_offers; ++i) {
+    NodeId v = b.AddNode("Offer");
+    NodeId p = products[rng.Index(n_products)];
+    b.SetAttr(v, "price", Value(rng.Uniform(10, 6000)));
+    b.SetAttr(v, "deliveryDays", Value(rng.Uniform(1, 21)));
+    b.SetAttr(v, "validTo", Value(rng.Uniform(2015, 2026)));
+    b.AddEdge(v, p, "offerOf");
+    b.AddEdge(v, vendors[rng.Zipf(n_vendors, 1.05)], "vendor");
+  }
+
+  for (size_t i = 0; i < n_reviews; ++i) {
+    NodeId v = b.AddNode("Review");
+    b.SetAttr(v, "rating", Value(rng.Uniform(1, 10)));
+    b.SetAttr(v, "date", Value(rng.Uniform(2000, 2026)));
+    b.AddEdge(v, products[rng.Index(n_products)], "reviewOf");
+    b.AddEdge(v, persons[rng.Zipf(n_persons, 1.05)], "reviewer");
+  }
+
+  return b.Build();
+}
+
+}  // namespace whyq

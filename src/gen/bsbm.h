@@ -1,0 +1,45 @@
+#ifndef WHYQ_GEN_BSBM_H_
+#define WHYQ_GEN_BSBM_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace whyq {
+
+/// BSBM-style synthetic e-commerce knowledge-graph generator (the paper
+/// uses the Berlin SPARQL Benchmark to drive its scalability experiments).
+///
+/// Schema (node labels / edge labels / attributes):
+///   Product       —producer→ Producer, —type→ ProductType,
+///                 —feature→ ProductFeature
+///   Offer         —offerOf→ Product, —vendor→ Vendor
+///   Review        —reviewOf→ Product, —reviewer→ Person
+///   Product:  price (int), propertyNum1..3 (int), brand (string)
+///   Offer:    price (int), deliveryDays (int), validTo (int)
+///   Review:   rating (int, 1..10), date (int)
+///   Producer / Vendor / Person: country (string)
+///   ProductType / ProductFeature: popularity (int)
+///
+/// Deterministic for a given (scale, seed). The node/edge counts grow
+/// linearly in `scale` (the number of products); scale 10'000 yields about
+/// 57k nodes and 140k edges — the same role BSBM's scale factor plays.
+struct BsbmConfig {
+  size_t products = 10000;
+  uint64_t seed = 7;
+  // Derived population ratios (per product).
+  double offers_per_product = 2.0;
+  double reviews_per_product = 2.5;
+  size_t products_per_producer = 30;
+  size_t products_per_type = 25;
+  size_t products_per_feature = 20;
+  size_t reviews_per_person = 20;
+  size_t products_per_vendor = 50;
+  size_t features_per_product = 3;
+};
+
+Graph GenerateBsbm(const BsbmConfig& config);
+
+}  // namespace whyq
+
+#endif  // WHYQ_GEN_BSBM_H_

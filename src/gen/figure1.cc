@@ -1,0 +1,91 @@
+#include "gen/figure1.h"
+
+namespace whyq {
+
+Figure1 MakeFigure1() {
+  Figure1 f;
+  GraphBuilder b;
+
+  // Shared entities.
+  NodeId brand_samsung = b.AddNode("Brand");
+  b.SetAttr(brand_samsung, "name", Value("Samsung"));
+  NodeId series_s = b.AddNode("Series");
+  b.SetAttr(series_s, "val", Value("S"));
+  NodeId series_a = b.AddNode("Series");
+  b.SetAttr(series_a, "val", Value("A"));
+  NodeId color_pink = b.AddNode("Color");
+  b.SetAttr(color_pink, "val", Value("pink"));
+  NodeId color_black = b.AddNode("Color");
+  b.SetAttr(color_black, "val", Value("black"));
+  NodeId deal_att = b.AddNode("Deal");
+  b.SetAttr(deal_att, "carrier", Value("AT&T"));
+  b.SetAttr(deal_att, "months", Value(int64_t{24}));
+  NodeId deal_tmobile = b.AddNode("Deal");
+  b.SetAttr(deal_tmobile, "carrier", Value("T-Mobile"));
+  b.SetAttr(deal_tmobile, "months", Value(int64_t{12}));
+
+  auto phone = [&](const char* model, int64_t price, double os) {
+    NodeId v = b.AddNode("Cellphone");
+    b.SetAttr(v, "model", Value(model));
+    b.SetAttr(v, "Price", Value(price));
+    b.SetAttr(v, "OS", Value(os));
+    b.AddEdge(v, brand_samsung, "brand");
+    return v;
+  };
+
+  // The five phones of Fig. 1. Prices follow Examples 5 and 8:
+  // dom(Price, picky side) = {250, 120}; dom(Price, V_C) = {654, 799}.
+  f.a5 = phone("A5", 250, 4.4);
+  f.s5 = phone("S5", 120, 4.4);
+  f.s6 = phone("S6", 600, 5.0);
+  f.s8 = phone("S8", 654, 7.0);
+  f.s9 = phone("S9", 799, 8.0);
+
+  b.AddEdge(f.a5, series_a, "series");
+  b.AddEdge(f.s5, series_s, "series");
+  b.AddEdge(f.s6, series_s, "series");
+  b.AddEdge(f.s8, series_s, "series");
+  b.AddEdge(f.s9, series_s, "series");
+
+  // Colors: every phone but the S9 ships in pink ("there is no pink S9").
+  b.AddEdge(f.a5, color_pink, "color");
+  b.AddEdge(f.s5, color_pink, "color");
+  b.AddEdge(f.s6, color_pink, "color");
+  b.AddEdge(f.s8, color_pink, "color");
+  b.AddEdge(f.s9, color_black, "color");
+
+  // Deals: the older phones are on AT&T; S8/S9 are not ("no evidence shows
+  // that they are supported by AT&T").
+  b.AddEdge(f.a5, deal_att, "deal");
+  b.AddEdge(f.s5, deal_att, "deal");
+  b.AddEdge(f.s6, deal_att, "deal");
+  b.AddEdge(f.s8, deal_tmobile, "deal");
+  b.AddEdge(f.s9, deal_tmobile, "deal");
+
+  f.graph = b.Build();
+
+  // Q: Cellphone* [Price <= 650] —color→ Color[val=pink],
+  //                              —deal→  Deal[carrier=AT&T],
+  //                              —brand→ Brand[name=Samsung].
+  Query& q = f.query;
+  QNodeId u_phone = q.AddNode(*f.graph.node_labels().Find("Cellphone"));
+  QNodeId u_color = q.AddNode(*f.graph.node_labels().Find("Color"));
+  QNodeId u_deal = q.AddNode(*f.graph.node_labels().Find("Deal"));
+  QNodeId u_brand = q.AddNode(*f.graph.node_labels().Find("Brand"));
+  SymbolId price = *f.graph.attr_names().Find("Price");
+  SymbolId val = *f.graph.attr_names().Find("val");
+  SymbolId carrier = *f.graph.attr_names().Find("carrier");
+  SymbolId name = *f.graph.attr_names().Find("name");
+  q.AddLiteral(u_phone, Literal{price, CompareOp::kLe, Value(int64_t{650})});
+  q.AddLiteral(u_color, Literal{val, CompareOp::kEq, Value("pink")});
+  q.AddLiteral(u_deal, Literal{carrier, CompareOp::kEq, Value("AT&T")});
+  q.AddLiteral(u_brand, Literal{name, CompareOp::kEq, Value("Samsung")});
+  q.AddEdge(u_phone, u_color, *f.graph.edge_labels().Find("color"));
+  q.AddEdge(u_phone, u_deal, *f.graph.edge_labels().Find("deal"));
+  q.AddEdge(u_phone, u_brand, *f.graph.edge_labels().Find("brand"));
+  q.SetOutput(u_phone);
+
+  return f;
+}
+
+}  // namespace whyq

@@ -1,0 +1,32 @@
+#ifndef WHYQ_GEN_FIGURE1_H_
+#define WHYQ_GEN_FIGURE1_H_
+
+#include "graph/graph.h"
+#include "query/query.h"
+
+namespace whyq {
+
+/// The paper's running example (Fig. 1): a fragment of a product knowledge
+/// graph about Samsung cellphones, plus the query Q searching for pink
+/// AT&T cellphones under $650.
+///
+/// Node ids of the interesting entities are exposed so tests and examples
+/// can pose the exact Why/Why-not questions from Examples 1–8:
+///   answers of Q:        {A5, S5, S6}
+///   Why question:        V_N = {A5, S5}
+///   Why-not question:    V_C = {S8, S9} (with OS >= 5 as condition C)
+struct Figure1 {
+  Graph graph;
+  Query query;  // Q of Fig. 1, output node "Cellphone"
+  NodeId a5 = kInvalidNode;
+  NodeId s5 = kInvalidNode;
+  NodeId s6 = kInvalidNode;
+  NodeId s8 = kInvalidNode;
+  NodeId s9 = kInvalidNode;
+};
+
+Figure1 MakeFigure1();
+
+}  // namespace whyq
+
+#endif  // WHYQ_GEN_FIGURE1_H_

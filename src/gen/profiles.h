@@ -1,0 +1,42 @@
+#ifndef WHYQ_GEN_PROFILES_H_
+#define WHYQ_GEN_PROFILES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace whyq {
+
+/// Synthetic stand-ins for the paper's five real-world datasets (Section
+/// VI). The originals (DBpedia, Yago, Freebase, Pokec, IMDb) are multi-GB
+/// downloads; the algorithms' costs depend on the *local* shape of the
+/// graph — label selectivity, attribute richness, density — which these
+/// profiles reproduce at laptop scale (see DESIGN.md §4 for the
+/// substitution rationale). Node counts default to scaled-down sizes but
+/// can be overridden to stress scalability.
+enum class DatasetProfile {
+  kDBpedia,   // mid-density, 676-label alphabet, ~9 attrs/node
+  kYago,      // sparse, huge label alphabet, ~5 attrs/node
+  kFreebase,  // mid-density, large alphabet, ~8 attrs/node
+  kPokec,     // dense social graph, 1 node label, many attrs
+  kIMDb,      // movie/person schema, ~6 attrs/node
+};
+
+const char* DatasetProfileName(DatasetProfile p);
+
+/// Default scaled node count for each profile.
+size_t DefaultProfileNodes(DatasetProfile p);
+
+/// Generates the profile graph. `nodes` == 0 uses the profile default.
+Graph GenerateProfile(DatasetProfile p, size_t nodes = 0, uint64_t seed = 7);
+
+/// All five profiles, in the paper's presentation order.
+inline constexpr DatasetProfile kAllProfiles[] = {
+    DatasetProfile::kDBpedia, DatasetProfile::kYago,
+    DatasetProfile::kFreebase, DatasetProfile::kPokec,
+    DatasetProfile::kIMDb};
+
+}  // namespace whyq
+
+#endif  // WHYQ_GEN_PROFILES_H_

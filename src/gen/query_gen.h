@@ -1,0 +1,49 @@
+#ifndef WHYQ_GEN_QUERY_GEN_H_
+#define WHYQ_GEN_QUERY_GEN_H_
+
+#include <optional>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "query/query.h"
+
+namespace whyq {
+
+/// Query topology classes evaluated in the paper (Fig. 6(d)).
+enum class QueryTopology {
+  kTree,     // spanning tree only
+  kAcyclic,  // one extra edge, no directed cycle (undirected cycle allowed)
+  kCyclic,   // one extra edge closing a directed cycle when available
+};
+
+const char* QueryTopologyName(QueryTopology t);
+
+/// Paper-faithful query generator (Section VI): extracts a connected
+/// template from an actual subgraph of G via random expansion, designates
+/// an output node, and assigns per-node literals *satisfied by the witness
+/// embedding* — guaranteeing Q(u_o, G) is non-empty by construction.
+struct QueryGenConfig {
+  size_t edges = 4;              // |E_Q|
+  size_t literals_per_node = 2;  // L
+  QueryTopology topology = QueryTopology::kTree;
+  size_t max_attempts = 200;
+  double slack = 0.35;        // looseness of numeric bound literals
+  size_t min_answers = 2;     // resample until |Q(u_o,G)| >= this
+  size_t max_answers = 5000;  // ... and <= this (avoid catch-alls)
+};
+
+struct GeneratedQuery {
+  Query query;
+  std::vector<NodeId> witness;  // data node backing each query node
+  std::vector<NodeId> answers;  // Q(u_o, G), precomputed
+};
+
+/// Returns std::nullopt when no query meeting the config could be carved
+/// out of g within max_attempts.
+std::optional<GeneratedQuery> GenerateQuery(const Graph& g,
+                                            const QueryGenConfig& cfg,
+                                            Rng& rng);
+
+}  // namespace whyq
+
+#endif  // WHYQ_GEN_QUERY_GEN_H_

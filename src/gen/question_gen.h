@@ -1,0 +1,36 @@
+#ifndef WHYQ_GEN_QUESTION_GEN_H_
+#define WHYQ_GEN_QUESTION_GEN_H_
+
+#include <optional>
+
+#include "common/rng.h"
+#include "gen/query_gen.h"
+#include "graph/graph.h"
+#include "why/question.h"
+
+namespace whyq {
+
+/// Why-question generation (Section VI): V_N is a random subset of the
+/// answer set. When the answer has more than one entity, at least one is
+/// left desired so the guard condition stays meaningful.
+WhyQuestion GenerateWhyQuestion(const GeneratedQuery& gq, size_t k, Rng& rng);
+
+/// Grows an existing Why question by adding one more unexpected answer (the
+/// paper's "interactive session" protocol in Fig. 5(d)); returns false when
+/// no further answer can be added.
+bool GrowWhyQuestion(const GeneratedQuery& gq, WhyQuestion* w, Rng& rng);
+
+/// Why-not question generation: V_C is sampled from *near-miss* entities —
+/// nodes carrying the output label, outside the answer, that still pass the
+/// structural (literal-free) path tests of Q — mirroring the paper's
+/// same-type selection while keeping questions answerable. Falls back to
+/// arbitrary same-label nodes, and returns nullopt when none exist.
+/// `constraint_literals` (0..2 in the paper) adds a condition C satisfied
+/// by at least one chosen entity.
+std::optional<WhyNotQuestion> GenerateWhyNotQuestion(
+    const Graph& g, const GeneratedQuery& gq, size_t k,
+    size_t constraint_literals, Rng& rng);
+
+}  // namespace whyq
+
+#endif  // WHYQ_GEN_QUESTION_GEN_H_

@@ -1,0 +1,147 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace whyq {
+
+namespace {
+
+bool HalfEdgeLess(const HalfEdge& a, const HalfEdge& b) {
+  return a.other != b.other ? a.other < b.other : a.label < b.label;
+}
+
+const std::vector<NodeId> kEmptyNodeList;
+
+}  // namespace
+
+const Value* Graph::GetAttr(NodeId v, SymbolId attr) const {
+  const std::vector<AttrEntry>& tuple = attrs_[v];
+  auto it = std::lower_bound(
+      tuple.begin(), tuple.end(), attr,
+      [](const AttrEntry& e, SymbolId a) { return e.attr < a; });
+  if (it == tuple.end() || it->attr != attr) return nullptr;
+  return &it->value;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v, SymbolId label) const {
+  const std::vector<HalfEdge>& adj = out_[u];
+  HalfEdge probe{v, label};
+  return std::binary_search(adj.begin(), adj.end(), probe, HalfEdgeLess);
+}
+
+const std::vector<NodeId>& Graph::NodesWithLabel(SymbolId label) const {
+  auto it = nodes_by_label_.find(label);
+  if (it == nodes_by_label_.end()) return kEmptyNodeList;
+  return it->second;
+}
+
+const AttrRange* Graph::RangeOf(SymbolId attr) const {
+  auto it = attr_ranges_.find(attr);
+  if (it == attr_ranges_.end()) return nullptr;
+  return &it->second;
+}
+
+std::string Graph::NodeLabelName(SymbolId id) const {
+  if (id < node_labels_.size()) return node_labels_.NameOf(id);
+  return "#" + std::to_string(id);
+}
+
+std::string Graph::EdgeLabelName(SymbolId id) const {
+  if (id < edge_labels_.size()) return edge_labels_.NameOf(id);
+  return "#" + std::to_string(id);
+}
+
+std::string Graph::AttrName(SymbolId id) const {
+  if (id < attr_names_.size()) return attr_names_.NameOf(id);
+  return "#" + std::to_string(id);
+}
+
+NodeId GraphBuilder::AddNode(std::string_view label) {
+  return AddNodeById(g_.node_labels_.Intern(label));
+}
+
+NodeId GraphBuilder::AddNodeById(SymbolId label) {
+  NodeId id = static_cast<NodeId>(g_.node_label_.size());
+  g_.node_label_.push_back(label);
+  g_.attrs_.emplace_back();
+  g_.out_.emplace_back();
+  g_.in_.emplace_back();
+  return id;
+}
+
+void GraphBuilder::SetAttr(NodeId v, std::string_view name, Value value) {
+  SetAttrById(v, g_.attr_names_.Intern(name), std::move(value));
+}
+
+void GraphBuilder::SetAttrById(NodeId v, SymbolId attr, Value value) {
+  WHYQ_CHECK(v < g_.attrs_.size());
+  for (AttrEntry& e : g_.attrs_[v]) {
+    if (e.attr == attr) {
+      e.value = std::move(value);
+      return;
+    }
+  }
+  g_.attrs_[v].push_back(AttrEntry{attr, std::move(value)});
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v, std::string_view label) {
+  AddEdgeById(u, v, g_.edge_labels_.Intern(label));
+}
+
+void GraphBuilder::AddEdgeById(NodeId u, NodeId v, SymbolId label) {
+  WHYQ_CHECK(u < g_.out_.size() && v < g_.out_.size());
+  g_.out_[u].push_back(HalfEdge{v, label});
+  g_.in_[v].push_back(HalfEdge{u, label});
+}
+
+Graph GraphBuilder::Build() {
+  size_t n = g_.node_label_.size();
+  size_t edges = 0;
+  for (size_t v = 0; v < n; ++v) {
+    auto dedupe = [](std::vector<HalfEdge>& adj) {
+      std::sort(adj.begin(), adj.end(), HalfEdgeLess);
+      adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+      adj.shrink_to_fit();
+    };
+    dedupe(g_.out_[v]);
+    dedupe(g_.in_[v]);
+    edges += g_.out_[v].size();
+
+    std::vector<AttrEntry>& tuple = g_.attrs_[v];
+    std::sort(tuple.begin(), tuple.end(),
+              [](const AttrEntry& a, const AttrEntry& b) {
+                return a.attr < b.attr;
+              });
+    tuple.shrink_to_fit();
+
+    g_.nodes_by_label_[g_.node_label_[v]].push_back(static_cast<NodeId>(v));
+
+    for (const AttrEntry& e : tuple) {
+      AttrRange& r = g_.attr_ranges_[e.attr];
+      if (e.value.is_numeric()) {
+        double x = e.value.numeric();
+        if (r.count == 0 || !r.numeric) {
+          if (r.count == 0) {
+            r.min = r.max = x;
+            r.numeric = true;
+          }
+          // A previously-string attribute stays non-numeric.
+        } else {
+          r.min = std::min(r.min, x);
+          r.max = std::max(r.max, x);
+        }
+      } else {
+        r.numeric = false;
+      }
+      ++r.count;
+    }
+  }
+  g_.edge_count_ = edges;
+  Graph out = std::move(g_);
+  g_ = Graph();
+  return out;
+}
+
+}  // namespace whyq

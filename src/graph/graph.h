@@ -1,0 +1,149 @@
+#ifndef WHYQ_GRAPH_GRAPH_H_
+#define WHYQ_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dictionary.h"
+#include "common/value.h"
+
+namespace whyq {
+
+/// Dense node identifier within one Graph.
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// One (attribute, value) entry of a node's attribute tuple F_A(v).
+struct AttrEntry {
+  SymbolId attr = kInvalidSymbol;
+  Value value;
+};
+
+/// One directed adjacency entry: the far endpoint plus the edge label.
+struct HalfEdge {
+  NodeId other = kInvalidNode;
+  SymbolId label = kInvalidSymbol;
+
+  bool operator==(const HalfEdge& rhs) const {
+    return other == rhs.other && label == rhs.label;
+  }
+};
+
+/// Numeric span of an attribute's active domain D(A) over the whole graph;
+/// range(D(A)) = max - min feeds the weighted edit-cost model.
+struct AttrRange {
+  double min = 0.0;
+  double max = 0.0;
+  bool numeric = false;  // false when A carries string values (range unused)
+  size_t count = 0;      // number of nodes carrying A
+};
+
+/// A directed multi-attributed graph G = (V, E, L, F_A): labeled nodes and
+/// edges, each node carrying a tuple of typed attribute values (Section II).
+///
+/// Construction goes through GraphBuilder; a built Graph is immutable, with
+/// sorted adjacency (O(log d) labeled-edge probes), a label->nodes index and
+/// per-attribute numeric ranges.
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  size_t node_count() const { return node_label_.size(); }
+  size_t edge_count() const { return edge_count_; }
+
+  SymbolId label(NodeId v) const { return node_label_[v]; }
+
+  /// The attribute tuple F_A(v), sorted by attribute id.
+  const std::vector<AttrEntry>& attrs(NodeId v) const { return attrs_[v]; }
+
+  /// Value of v.A, or nullptr when v does not carry attribute A.
+  const Value* GetAttr(NodeId v, SymbolId attr) const;
+
+  const std::vector<HalfEdge>& out_edges(NodeId v) const { return out_[v]; }
+  const std::vector<HalfEdge>& in_edges(NodeId v) const { return in_[v]; }
+
+  /// True iff edge (u -> v) with label `label` exists.
+  bool HasEdge(NodeId u, NodeId v, SymbolId label) const;
+
+  /// All nodes with label `label` (empty vector for unused labels).
+  const std::vector<NodeId>& NodesWithLabel(SymbolId label) const;
+
+  /// Graph-wide numeric range of attribute A; nullptr if A never appears.
+  const AttrRange* RangeOf(SymbolId attr) const;
+
+  /// Symbol tables. Node labels, edge labels and attribute names live in
+  /// separate id spaces.
+  const Dictionary& node_labels() const { return node_labels_; }
+  const Dictionary& edge_labels() const { return edge_labels_; }
+  const Dictionary& attr_names() const { return attr_names_; }
+
+  /// Display helpers (fall back to the raw id when a symbol is stale).
+  std::string NodeLabelName(SymbolId id) const;
+  std::string EdgeLabelName(SymbolId id) const;
+  std::string AttrName(SymbolId id) const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<SymbolId> node_label_;
+  std::vector<std::vector<AttrEntry>> attrs_;
+  std::vector<std::vector<HalfEdge>> out_;
+  std::vector<std::vector<HalfEdge>> in_;
+  size_t edge_count_ = 0;
+
+  std::unordered_map<SymbolId, std::vector<NodeId>> nodes_by_label_;
+  std::unordered_map<SymbolId, AttrRange> attr_ranges_;
+
+  Dictionary node_labels_;
+  Dictionary edge_labels_;
+  Dictionary attr_names_;
+};
+
+/// Incrementally assembles a Graph. Duplicate edges (same endpoints + label)
+/// are collapsed; attribute tuples are sorted and de-duplicated by attribute
+/// (last write wins).
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Adds a node with the given label name; returns its id.
+  NodeId AddNode(std::string_view label);
+
+  /// Sets (or overwrites) attribute `name` of node v.
+  void SetAttr(NodeId v, std::string_view name, Value value);
+
+  /// Adds directed edge u -> v with the given label name.
+  void AddEdge(NodeId u, NodeId v, std::string_view label);
+
+  /// Id-based variants for callers that pre-intern symbols.
+  NodeId AddNodeById(SymbolId label);
+  void SetAttrById(NodeId v, SymbolId attr, Value value);
+  void AddEdgeById(NodeId u, NodeId v, SymbolId label);
+
+  Dictionary& node_labels() { return g_.node_labels_; }
+  Dictionary& edge_labels() { return g_.edge_labels_; }
+  Dictionary& attr_names() { return g_.attr_names_; }
+
+  size_t node_count() const { return g_.node_label_.size(); }
+
+  /// Finalizes: sorts adjacency, drops duplicate edges, builds the label
+  /// index and attribute ranges. The builder is left empty.
+  Graph Build();
+
+ private:
+  Graph g_;
+};
+
+}  // namespace whyq
+
+#endif  // WHYQ_GRAPH_GRAPH_H_

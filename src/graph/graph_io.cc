@@ -1,0 +1,160 @@
+#include "graph/graph_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace whyq {
+
+namespace {
+
+std::string LineError(size_t line_no, const std::string& what) {
+  return "line " + std::to_string(line_no) + ": " + what;
+}
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+std::optional<Value> ParseTypedValue(const std::string& token) {
+  if (token.size() < 2 || token[1] != ':') return std::nullopt;
+  std::string body = token.substr(2);
+  switch (token[0]) {
+    case 'i': {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(body.data(), body.data() + body.size(), v);
+      if (ec != std::errc() || ptr != body.data() + body.size()) {
+        return std::nullopt;
+      }
+      return Value(v);
+    }
+    case 'd': {
+      char* end = nullptr;
+      double v = std::strtod(body.c_str(), &end);
+      if (end != body.c_str() + body.size() || body.empty()) {
+        return std::nullopt;
+      }
+      return Value(v);
+    }
+    case 's':
+      return Value(std::move(body));
+    default:
+      return std::nullopt;
+  }
+}
+
+std::string FormatTypedValue(const Value& v) {
+  if (v.is_int()) return "i:" + v.ToString();
+  if (v.is_double()) return "d:" + v.ToString();
+  return "s:" + v.as_string();
+}
+
+void WriteGraph(const Graph& g, std::ostream& os) {
+  os << "# whyq graph v1\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    os << "N " << g.NodeLabelName(g.label(v));
+    for (const AttrEntry& e : g.attrs(v)) {
+      os << ' ' << g.AttrName(e.attr) << '=' << FormatTypedValue(e.value);
+    }
+    os << '\n';
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (const HalfEdge& e : g.out_edges(v)) {
+      os << "E " << v << ' ' << e.other << ' ' << g.EdgeLabelName(e.label)
+         << '\n';
+    }
+  }
+}
+
+bool WriteGraphToFile(const Graph& g, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  WriteGraph(g, os);
+  return static_cast<bool>(os);
+}
+
+std::optional<Graph> ReadGraph(std::istream& is, std::string* error) {
+  GraphBuilder builder;
+  std::string line;
+  size_t line_no = 0;
+  // Edge lines may appear before all nodes exist only if they reference
+  // already-declared ids; we buffer edges and apply them after all nodes.
+  struct PendingEdge {
+    NodeId src;
+    NodeId dst;
+    std::string label;
+    size_t line_no;
+  };
+  std::vector<PendingEdge> edges;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> toks = Tokenize(line);
+    if (toks.empty()) continue;
+    if (toks[0] == "N") {
+      if (toks.size() < 2) {
+        if (error) *error = LineError(line_no, "node line needs a label");
+        return std::nullopt;
+      }
+      NodeId v = builder.AddNode(toks[1]);
+      for (size_t i = 2; i < toks.size(); ++i) {
+        size_t eq = toks[i].find('=');
+        if (eq == std::string::npos || eq == 0) {
+          if (error) *error = LineError(line_no, "bad attr " + toks[i]);
+          return std::nullopt;
+        }
+        std::optional<Value> val = ParseTypedValue(toks[i].substr(eq + 1));
+        if (!val.has_value()) {
+          if (error) *error = LineError(line_no, "bad value " + toks[i]);
+          return std::nullopt;
+        }
+        builder.SetAttr(v, toks[i].substr(0, eq), std::move(*val));
+      }
+    } else if (toks[0] == "E") {
+      if (toks.size() != 4) {
+        if (error) {
+          *error = LineError(line_no, "edge line needs src dst label");
+        }
+        return std::nullopt;
+      }
+      PendingEdge e;
+      e.src = static_cast<NodeId>(std::strtoul(toks[1].c_str(), nullptr, 10));
+      e.dst = static_cast<NodeId>(std::strtoul(toks[2].c_str(), nullptr, 10));
+      e.label = toks[3];
+      e.line_no = line_no;
+      edges.push_back(std::move(e));
+    } else {
+      if (error) *error = LineError(line_no, "unknown record " + toks[0]);
+      return std::nullopt;
+    }
+  }
+  for (const auto& e : edges) {
+    if (e.src >= builder.node_count() || e.dst >= builder.node_count()) {
+      if (error) *error = LineError(e.line_no, "edge endpoint out of range");
+      return std::nullopt;
+    }
+    builder.AddEdge(e.src, e.dst, e.label);
+  }
+  return builder.Build();
+}
+
+std::optional<Graph> ReadGraphFromFile(const std::string& path,
+                                       std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return ReadGraph(is, error);
+}
+
+}  // namespace whyq

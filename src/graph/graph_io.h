@@ -1,0 +1,38 @@
+#ifndef WHYQ_GRAPH_GRAPH_IO_H_
+#define WHYQ_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace whyq {
+
+/// Text serialization of attributed graphs.
+///
+/// Line-oriented, whitespace-separated format:
+///   # comment
+///   N <label> [<attr>=<typed-value> ...]     node; ids are implicit 0..n-1
+///   E <src-id> <dst-id> <edge-label>
+/// Typed values: `i:42` (int), `d:3.5` (double), `s:text` (string; no
+/// whitespace — intended for generated/identifier-like values).
+///
+/// Write and read round-trip exactly (modulo comment lines).
+void WriteGraph(const Graph& g, std::ostream& os);
+bool WriteGraphToFile(const Graph& g, const std::string& path);
+
+/// Parses a graph; on malformed input returns std::nullopt and, when
+/// `error` is non-null, a line-numbered message.
+std::optional<Graph> ReadGraph(std::istream& is, std::string* error);
+std::optional<Graph> ReadGraphFromFile(const std::string& path,
+                                       std::string* error);
+
+/// Parses a single typed value token (`i:`, `d:`, `s:` forms).
+std::optional<Value> ParseTypedValue(const std::string& token);
+/// Formats a value as a typed token.
+std::string FormatTypedValue(const Value& v);
+
+}  // namespace whyq
+
+#endif  // WHYQ_GRAPH_GRAPH_IO_H_

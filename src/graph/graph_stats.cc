@@ -1,0 +1,57 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace whyq {
+
+std::string GraphStats::ToString() const {
+  std::ostringstream os;
+  os << "|V|=" << nodes << " |E|=" << edges << " labels=" << node_labels
+     << "/" << edge_labels << " attrs=" << attributes
+     << " avg_attrs/node=" << avg_attrs_per_node
+     << " avg_deg=" << avg_out_degree << " max_deg=" << max_out_degree;
+  return os.str();
+}
+
+GraphStats ComputeStats(const Graph& g) {
+  GraphStats s;
+  s.nodes = g.node_count();
+  s.edges = g.edge_count();
+  std::unordered_set<SymbolId> nlabels;
+  std::unordered_set<SymbolId> elabels;
+  std::unordered_set<SymbolId> anames;
+  size_t attr_entries = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    nlabels.insert(g.label(v));
+    attr_entries += g.attrs(v).size();
+    for (const AttrEntry& e : g.attrs(v)) anames.insert(e.attr);
+    for (const HalfEdge& e : g.out_edges(v)) elabels.insert(e.label);
+    s.max_out_degree = std::max(s.max_out_degree, g.out_edges(v).size());
+  }
+  s.node_labels = nlabels.size();
+  s.edge_labels = elabels.size();
+  s.attributes = anames.size();
+  if (s.nodes > 0) {
+    s.avg_attrs_per_node =
+        static_cast<double>(attr_entries) / static_cast<double>(s.nodes);
+    s.avg_out_degree =
+        static_cast<double>(s.edges) / static_cast<double>(s.nodes);
+  }
+  return s;
+}
+
+std::vector<Value> ActiveDomain(const Graph& g, SymbolId attr,
+                                const std::vector<NodeId>& nodes) {
+  std::vector<Value> out;
+  for (NodeId v : nodes) {
+    const Value* val = g.GetAttr(v, attr);
+    if (val != nullptr) out.push_back(*val);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace whyq

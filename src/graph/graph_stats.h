@@ -1,0 +1,37 @@
+#ifndef WHYQ_GRAPH_GRAPH_STATS_H_
+#define WHYQ_GRAPH_GRAPH_STATS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace whyq {
+
+/// Summary statistics of a graph, mirroring how the paper characterizes its
+/// datasets (nodes, edges, label alphabet, average attributes per node).
+struct GraphStats {
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t node_labels = 0;
+  size_t edge_labels = 0;
+  size_t attributes = 0;
+  double avg_attrs_per_node = 0.0;
+  double avg_out_degree = 0.0;
+  size_t max_out_degree = 0;
+
+  std::string ToString() const;
+};
+
+GraphStats ComputeStats(const Graph& g);
+
+/// The active domain dom(A, V): distinct values of v.A over v in `nodes`
+/// (nodes lacking A contribute nothing). Sorted by Value's container order.
+std::vector<Value> ActiveDomain(const Graph& g, SymbolId attr,
+                                const std::vector<NodeId>& nodes);
+
+}  // namespace whyq
+
+#endif  // WHYQ_GRAPH_GRAPH_STATS_H_

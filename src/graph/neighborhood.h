@@ -1,0 +1,49 @@
+#ifndef WHYQ_GRAPH_NEIGHBORHOOD_H_
+#define WHYQ_GRAPH_NEIGHBORHOOD_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace whyq {
+
+/// A set of graph nodes with O(1) membership, as produced by neighborhood
+/// expansion. Iteration order is BFS discovery order.
+class NodeSet {
+ public:
+  NodeSet() = default;
+
+  /// Builds from an explicit list (duplicates ignored).
+  NodeSet(const std::vector<NodeId>& nodes, size_t universe);
+
+  bool Contains(NodeId v) const {
+    return v < member_.size() && member_[v] != 0;
+  }
+
+  void Insert(NodeId v);
+
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+ private:
+  std::vector<uint8_t> member_;
+  std::vector<NodeId> nodes_;
+};
+
+/// Computes N_d(seeds): all nodes within undirected distance `d` of any seed
+/// (the seeds themselves are included at distance 0). This is the paper's
+/// d-hop neighborhood used to localize picky-operator generation.
+NodeSet WithinDistance(const Graph& g, const std::vector<NodeId>& seeds,
+                       size_t d);
+
+/// As WithinDistance, but also reports each reached node's BFS distance
+/// (distance from its nearest seed) in `dist_out`, aligned with the returned
+/// set's iteration order.
+NodeSet WithinDistanceWithDepth(const Graph& g,
+                                const std::vector<NodeId>& seeds, size_t d,
+                                std::vector<size_t>* dist_out);
+
+}  // namespace whyq
+
+#endif  // WHYQ_GRAPH_NEIGHBORHOOD_H_

@@ -1,0 +1,105 @@
+#include "matcher/match_engine.h"
+
+#include <algorithm>
+
+#include "matcher/matcher.h"
+#include "matcher/simulation.h"
+#include "query/query_parser.h"
+
+namespace whyq {
+
+namespace {
+
+class IsoMatchEngine : public MatchEngine {
+ public:
+  explicit IsoMatchEngine(const Graph& g) : matcher_(g) {}
+
+  std::vector<NodeId> MatchOutput(const Query& q) const override {
+    return matcher_.MatchOutput(q);
+  }
+  bool IsAnswer(const Query& q, NodeId v) const override {
+    return matcher_.IsAnswer(q, v);
+  }
+  bool HasAnyMatch(const Query& q) const override {
+    return matcher_.HasAnyMatch(q);
+  }
+  size_t CountAnswersNotIn(const Query& q, const NodeSet& exclude,
+                           size_t limit) const override {
+    return matcher_.CountAnswersNotIn(q, exclude, limit);
+  }
+  std::vector<uint8_t> TestAnswers(
+      const Query& q, const std::vector<NodeId>& nodes) const override {
+    return matcher_.TestAnswers(q, nodes);
+  }
+
+ private:
+  Matcher matcher_;
+};
+
+// Dual-simulation semantics. The maximum simulation is a whole-query
+// fixpoint, so single-node probes recompute it; a one-entry cache keyed by
+// the query's serialized form absorbs the evaluators' per-rewrite probing
+// patterns (many IsAnswer calls against the same rewrite).
+class SimMatchEngine : public MatchEngine {
+ public:
+  explicit SimMatchEngine(const Graph& g) : g_(g) {}
+
+  std::vector<NodeId> MatchOutput(const Query& q) const override {
+    return AnswersFor(q);
+  }
+  bool IsAnswer(const Query& q, NodeId v) const override {
+    const std::vector<NodeId>& answers = AnswersFor(q);
+    return std::binary_search(answers.begin(), answers.end(), v);
+  }
+  bool HasAnyMatch(const Query& q) const override {
+    return !AnswersFor(q).empty();
+  }
+  size_t CountAnswersNotIn(const Query& q, const NodeSet& exclude,
+                           size_t limit) const override {
+    size_t count = 0;
+    for (NodeId v : AnswersFor(q)) {
+      if (exclude.Contains(v)) continue;
+      if (++count > limit) return count;
+    }
+    return count;
+  }
+
+ private:
+  const std::vector<NodeId>& AnswersFor(const Query& q) const {
+    std::string key = WriteQuery(q, g_);
+    if (key != cached_key_) {
+      cached_answers_ = SimulationAnswers(g_, q);  // sorted by construction
+      cached_key_ = std::move(key);
+    }
+    return cached_answers_;
+  }
+
+  const Graph& g_;
+  mutable std::string cached_key_;
+  mutable std::vector<NodeId> cached_answers_;
+};
+
+}  // namespace
+
+const char* MatchSemanticsName(MatchSemantics s) {
+  switch (s) {
+    case MatchSemantics::kIsomorphism:
+      return "isomorphism";
+    case MatchSemantics::kSimulation:
+      return "simulation";
+  }
+  return "?";
+}
+
+std::unique_ptr<MatchEngine> MakeMatchEngine(const Graph& g,
+                                             MatchSemantics semantics) {
+  switch (semantics) {
+    case MatchSemantics::kIsomorphism:
+      return std::make_unique<IsoMatchEngine>(g);
+    case MatchSemantics::kSimulation:
+      return std::make_unique<SimMatchEngine>(g);
+  }
+  return nullptr;
+}
+
+}  // namespace whyq

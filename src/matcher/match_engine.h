@@ -1,0 +1,62 @@
+#ifndef WHYQ_MATCHER_MATCH_ENGINE_H_
+#define WHYQ_MATCHER_MATCH_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/neighborhood.h"
+#include "query/query.h"
+
+namespace whyq {
+
+/// Query-answer semantics the Why-machinery can run on (Section V
+/// "Extensions": the algorithms "readily extend to ... subgraph queries
+/// defined by approximate pattern matching").
+enum class MatchSemantics {
+  kIsomorphism,  // Section II default: injective subgraph isomorphism
+  kSimulation,   // dual graph simulation (polynomial-time, approximate)
+};
+
+const char* MatchSemanticsName(MatchSemantics s);
+
+/// The evaluation primitives the rewriting algorithms need, abstracted
+/// over the matching semantics. Lemma 1 (relaxation grows / refinement
+/// shrinks answers) holds for both implementations, which is the property
+/// the guard-aware enumeration and Aff()-based estimation rely on.
+class MatchEngine {
+ public:
+  virtual ~MatchEngine() = default;
+
+  /// The answer Q(u_o, G) under this engine's semantics.
+  virtual std::vector<NodeId> MatchOutput(const Query& q) const = 0;
+
+  /// Is v in the answer? (Incremental where the semantics allow.)
+  virtual bool IsAnswer(const Query& q, NodeId v) const = 0;
+
+  virtual bool HasAnyMatch(const Query& q) const = 0;
+
+  /// Counts answers outside `exclude`, stopping past `limit` (returns
+  /// limit + 1 then) — the early-terminating guard primitive.
+  virtual size_t CountAnswersNotIn(const Query& q, const NodeSet& exclude,
+                                   size_t limit) const = 0;
+
+  /// Batch IsAnswer (one flag per node); engines override this with a
+  /// plan-reusing implementation where it pays off.
+  virtual std::vector<uint8_t> TestAnswers(
+      const Query& q, const std::vector<NodeId>& nodes) const {
+    std::vector<uint8_t> out(nodes.size(), 0);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      out[i] = IsAnswer(q, nodes[i]) ? 1 : 0;
+    }
+    return out;
+  }
+};
+
+/// Factory. The returned engine borrows `g` (must outlive the engine).
+std::unique_ptr<MatchEngine> MakeMatchEngine(const Graph& g,
+                                             MatchSemantics semantics);
+
+}  // namespace whyq
+
+#endif  // WHYQ_MATCHER_MATCH_ENGINE_H_

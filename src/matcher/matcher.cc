@@ -1,0 +1,207 @@
+#include "matcher/matcher.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "matcher/candidates.h"
+
+namespace whyq {
+
+std::vector<Matcher::PlanStep> Matcher::BuildPlan(const Query& q,
+                                                  QNodeId root) const {
+  // BFS over the undirected structure from the root. Each non-root step is
+  // anchored at the tree edge used to discover it; all other edges between
+  // the step's node and earlier nodes become backward checks.
+  std::vector<PlanStep> plan;
+  std::vector<size_t> pos_of(q.node_count(), SIZE_MAX);
+
+  PlanStep root_step;
+  root_step.u = root;
+  plan.push_back(root_step);
+  pos_of[root] = 0;
+
+  for (size_t head = 0; head < plan.size(); ++head) {
+    QNodeId u = plan[head].u;
+    for (const QueryEdge& e : q.edges()) {
+      QNodeId other = kInvalidQNode;
+      bool forward = true;  // anchor(u) -> other
+      if (e.src == u && pos_of[e.dst] == SIZE_MAX) {
+        other = e.dst;
+        forward = true;
+      } else if (e.dst == u && pos_of[e.src] == SIZE_MAX) {
+        other = e.src;
+        forward = false;
+      } else {
+        continue;
+      }
+      PlanStep step;
+      step.u = other;
+      step.anchor_pos = head;
+      step.anchor_label = e.label;
+      step.anchor_forward = forward;
+      pos_of[other] = plan.size();
+      plan.push_back(std::move(step));
+    }
+  }
+
+  // Self loops on the root are verified as root checks (the attach loop
+  // below only visits steps 1..n-1).
+  for (const QueryEdge& e : q.edges()) {
+    if (e.src == root && e.dst == root) {
+      plan[0].checks.push_back(PlanStep::Check{0, e.label, true});
+    }
+  }
+
+  // Attach backward checks: every query edge other than the anchor edges,
+  // both endpoints already placed. The anchor edge of step i is recorded by
+  // (anchor_pos, label, direction); avoid re-checking exactly one instance
+  // of it.
+  for (size_t i = 1; i < plan.size(); ++i) {
+    PlanStep& step = plan[i];
+    bool anchor_consumed = false;
+    for (const QueryEdge& e : q.edges()) {
+      size_t ps = pos_of[e.src];
+      size_t pd = pos_of[e.dst];
+      if (ps == SIZE_MAX || pd == SIZE_MAX) continue;  // outside component
+      if (ps != i && pd != i) continue;                // not incident to u_i
+      if (ps == i && pd == i) {
+        // Self loop on u_i: check u_i -> u_i.
+        step.checks.push_back(PlanStep::Check{i, e.label, true});
+        continue;
+      }
+      size_t other = (ps == i) ? pd : ps;
+      if (other > i) continue;  // handled when the later node is placed
+      bool forward = (ps == i);  // u_i -> other?
+      // Skip one instance of the anchor edge.
+      if (!anchor_consumed && other == step.anchor_pos &&
+          e.label == step.anchor_label) {
+        bool is_anchor_shape =
+            step.anchor_forward ? (pd == i && ps == step.anchor_pos)
+                                : (ps == i && pd == step.anchor_pos);
+        if (is_anchor_shape) {
+          anchor_consumed = true;
+          continue;
+        }
+      }
+      step.checks.push_back(PlanStep::Check{other, e.label, forward});
+    }
+  }
+  return plan;
+}
+
+bool Matcher::Extend(const Query& q, const std::vector<PlanStep>& plan,
+                     size_t pos, std::vector<NodeId>& assignment) const {
+  if (pos == plan.size()) return true;
+  const PlanStep& step = plan[pos];
+  const QueryNode& qn = q.node(step.u);
+
+  auto try_node = [&](NodeId v) -> bool {
+    ++stats_.embeddings_tried;
+    if (!IsCandidate(g_, v, qn)) return false;
+    // Injectivity.
+    for (size_t i = 0; i < pos; ++i) {
+      if (assignment[i] == v) return false;
+    }
+    // Backward edges.
+    for (const PlanStep::Check& c : step.checks) {
+      NodeId w = (c.other_pos == pos) ? v : assignment[c.other_pos];
+      bool ok = c.forward ? g_.HasEdge(v, w, c.label)
+                          : g_.HasEdge(w, v, c.label);
+      if (!ok) return false;
+    }
+    assignment[pos] = v;
+    if (Extend(q, plan, pos + 1, assignment)) return true;
+    assignment[pos] = kInvalidNode;
+    return false;
+  };
+
+  WHYQ_CHECK(step.anchor_pos != SIZE_MAX);  // root is handled by SearchFrom
+  NodeId anchor = assignment[step.anchor_pos];
+  const std::vector<HalfEdge>& adj =
+      step.anchor_forward ? g_.out_edges(anchor) : g_.in_edges(anchor);
+  for (const HalfEdge& e : adj) {
+    if (e.label != step.anchor_label) continue;
+    if (try_node(e.other)) return true;
+  }
+  return false;
+}
+
+bool Matcher::SearchFrom(const Query& q, const std::vector<PlanStep>& plan,
+                         NodeId v) const {
+  ++stats_.iso_tests;
+  const PlanStep& root = plan[0];
+  if (!IsCandidate(g_, v, q.node(root.u))) return false;
+  for (const PlanStep::Check& c : root.checks) {
+    // Only self-loop checks can appear on the root.
+    NodeId w = v;
+    bool ok = c.forward ? g_.HasEdge(v, w, c.label)
+                        : g_.HasEdge(w, v, c.label);
+    if (!ok) return false;
+  }
+  std::vector<NodeId> assignment(plan.size(), kInvalidNode);
+  assignment[0] = v;
+  return Extend(q, plan, 1, assignment);
+}
+
+std::vector<NodeId> Matcher::MatchOutput(const Query& q) const {
+  std::vector<NodeId> answers;
+  std::vector<PlanStep> plan = BuildPlan(q, q.output());
+  for (NodeId v : g_.NodesWithLabel(q.node(q.output()).label)) {
+    if (SearchFrom(q, plan, v)) answers.push_back(v);
+  }
+  return answers;
+}
+
+bool Matcher::IsAnswer(const Query& q, NodeId v) const {
+  std::vector<PlanStep> plan = BuildPlan(q, q.output());
+  return SearchFrom(q, plan, v);
+}
+
+std::vector<uint8_t> Matcher::TestAnswers(
+    const Query& q, const std::vector<NodeId>& nodes) const {
+  std::vector<PlanStep> plan = BuildPlan(q, q.output());
+  std::vector<uint8_t> out(nodes.size(), 0);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    out[i] = SearchFrom(q, plan, nodes[i]) ? 1 : 0;
+  }
+  return out;
+}
+
+bool Matcher::HasAnyMatch(const Query& q) const {
+  std::vector<PlanStep> plan = BuildPlan(q, q.output());
+  for (NodeId v : g_.NodesWithLabel(q.node(q.output()).label)) {
+    if (SearchFrom(q, plan, v)) return true;
+  }
+  return false;
+}
+
+size_t Matcher::CountAnswersNotIn(const Query& q, const NodeSet& exclude,
+                                  size_t limit) const {
+  std::vector<PlanStep> plan = BuildPlan(q, q.output());
+  size_t count = 0;
+  for (NodeId v : g_.NodesWithLabel(q.node(q.output()).label)) {
+    if (exclude.Contains(v)) continue;
+    if (SearchFrom(q, plan, v)) {
+      ++count;
+      if (count > limit) return count;
+    }
+  }
+  return count;
+}
+
+std::vector<std::vector<NodeId>> Matcher::MatchAllOutputs(
+    const Query& q) const {
+  std::vector<std::vector<NodeId>> out;
+  out.reserve(q.outputs().size());
+  for (QNodeId u : q.outputs()) {
+    std::vector<PlanStep> plan = BuildPlan(q, u);
+    std::vector<NodeId> answers;
+    for (NodeId v : g_.NodesWithLabel(q.node(u).label)) {
+      if (SearchFrom(q, plan, v)) answers.push_back(v);
+    }
+    out.push_back(std::move(answers));
+  }
+  return out;
+}
+
+}  // namespace whyq

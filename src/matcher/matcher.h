@@ -1,0 +1,104 @@
+#ifndef WHYQ_MATCHER_MATCHER_H_
+#define WHYQ_MATCHER_MATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/neighborhood.h"
+#include "query/query.h"
+
+namespace whyq {
+
+/// Cumulative matcher counters, exposed for the efficiency experiments.
+struct MatcherStats {
+  uint64_t embeddings_tried = 0;  // backtracking extensions attempted
+  uint64_t iso_tests = 0;         // IsAnswer-style verifications performed
+};
+
+/// Subgraph-isomorphism engine over one data graph.
+///
+/// Semantics (Section II): a match is an injective, label-preserving mapping
+/// h of the query's nodes to data nodes such that every query node maps to a
+/// candidate (label + literals) and every labeled query edge maps to a data
+/// edge. The *answer* Q(u_o, G) is the set of images of the output node over
+/// all matches.
+///
+/// Disconnected queries (possible after RmE rewrites) are evaluated on the
+/// connected component of the output node only — the paper's Match does the
+/// same and proves Q'_{u_o}(u_o,G) = Q'(u_o,G).
+///
+/// The engine is stateless with respect to queries; one Matcher may be
+/// reused across many (rewritten) queries against the same graph.
+class Matcher {
+ public:
+  explicit Matcher(const Graph& g) : g_(g) {}
+
+  /// Computes the full answer Q(u_o, G).
+  std::vector<NodeId> MatchOutput(const Query& q) const;
+
+  /// Incremental verification: is data node v an answer (i.e., is there an
+  /// embedding mapping the output node to v)? Early-terminates on the first
+  /// embedding found.
+  bool IsAnswer(const Query& q, NodeId v) const;
+
+  /// Batch verification: one flag per node of `nodes`. Equivalent to
+  /// calling IsAnswer per node but builds the matching plan once — the
+  /// evaluators' answer sweeps are hot paths.
+  std::vector<uint8_t> TestAnswers(const Query& q,
+                                   const std::vector<NodeId>& nodes) const;
+
+  /// Does the query have at least one match at all?
+  bool HasAnyMatch(const Query& q) const;
+
+  /// Counts answers of q that are NOT in `exclude`, stopping as soon as the
+  /// count exceeds `limit` (returns limit+1 in that case). This implements
+  /// the early-terminating guard check for Why-not rewrites.
+  size_t CountAnswersNotIn(const Query& q, const NodeSet& exclude,
+                           size_t limit) const;
+
+  /// Multi-output extension: the answer set of each node in q.outputs().
+  std::vector<std::vector<NodeId>> MatchAllOutputs(const Query& q) const;
+
+  const MatcherStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = MatcherStats(); }
+
+ private:
+  // One step of the matching plan: query node `u` is matched at position
+  // `pos`; `anchor_*` describe the tree edge used to generate candidates
+  // (from the already-matched anchor node), and `checks` are the remaining
+  // backward edges to verify.
+  struct PlanStep {
+    QNodeId u = kInvalidQNode;
+    // Candidate generation: follow this edge from the matched anchor.
+    // anchor_pos == SIZE_MAX for the root (candidates from label index).
+    size_t anchor_pos = SIZE_MAX;
+    SymbolId anchor_label = kInvalidSymbol;
+    bool anchor_forward = true;  // true: anchor -> u edge; false: u -> anchor
+    // Backward constraint edges (src/dst already matched at these steps).
+    struct Check {
+      size_t other_pos;
+      SymbolId label;
+      bool forward;  // true: u -> other; false: other -> u
+    };
+    std::vector<Check> checks;
+  };
+
+  // Builds a matching order (BFS from `root`) over the root's component.
+  std::vector<PlanStep> BuildPlan(const Query& q, QNodeId root) const;
+
+  // Backtracking search with h(root) = v fixed. Returns true if an
+  // embedding exists.
+  bool SearchFrom(const Query& q, const std::vector<PlanStep>& plan,
+                  NodeId v) const;
+
+  bool Extend(const Query& q, const std::vector<PlanStep>& plan, size_t pos,
+              std::vector<NodeId>& assignment) const;
+
+  const Graph& g_;
+  mutable MatcherStats stats_;
+};
+
+}  // namespace whyq
+
+#endif  // WHYQ_MATCHER_MATCHER_H_

@@ -1,0 +1,143 @@
+#include "matcher/path_index.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "matcher/candidates.h"
+
+namespace whyq {
+
+namespace {
+
+// True iff `rewritten` still contains the directed, labeled edge the step
+// was built from.
+bool StepEdgePresent(const Query& q, const PathIndex::Step& s) {
+  QueryEdge probe;
+  probe.label = s.edge_label;
+  if (s.forward) {
+    probe.src = s.from;
+    probe.dst = s.to;
+  } else {
+    probe.src = s.to;
+    probe.dst = s.from;
+  }
+  const auto& edges = q.edges();
+  return std::find(edges.begin(), edges.end(), probe) != edges.end();
+}
+
+}  // namespace
+
+PathIndex::PathIndex(const Query& q, size_t max_paths) {
+  if (q.output() == kInvalidQNode || q.node_count() == 0) return;
+  // DFS from the output node over undirected edges, collecting maximal
+  // simple paths (a path is emitted when it cannot be extended to an
+  // unvisited node). Deterministic: edges are scanned in declaration order.
+  std::vector<Step> current;
+  std::vector<uint8_t> visited(q.node_count(), 0);
+
+  // Iterative DFS with explicit recursion to honor the max_paths cap.
+  struct Frame {
+    QNodeId at;
+    size_t next_edge;
+    bool extended;
+  };
+  std::vector<Frame> stack;
+  visited[q.output()] = 1;
+  stack.push_back(Frame{q.output(), 0, false});
+
+  while (!stack.empty() && paths_.size() < max_paths) {
+    Frame& f = stack.back();
+    bool pushed = false;
+    while (f.next_edge < q.edges().size()) {
+      const QueryEdge& e = q.edges()[f.next_edge];
+      ++f.next_edge;
+      QNodeId other = kInvalidQNode;
+      bool forward = true;
+      if (e.src == f.at && !visited[e.dst]) {
+        other = e.dst;
+        forward = true;
+      } else if (e.dst == f.at && !visited[e.src]) {
+        other = e.src;
+        forward = false;
+      } else {
+        continue;
+      }
+      Step s;
+      s.from = f.at;
+      s.to = other;
+      s.edge_label = e.label;
+      s.forward = forward;
+      current.push_back(s);
+      visited[other] = 1;
+      f.extended = true;
+      stack.push_back(Frame{other, 0, false});
+      pushed = true;
+      break;
+    }
+    if (pushed) continue;
+    // No extension from this frame: emit if it terminates a maximal path.
+    if (!f.extended && !current.empty()) {
+      paths_.push_back(current);
+    }
+    visited[f.at] = 0;
+    stack.pop_back();
+    if (!current.empty()) current.pop_back();
+  }
+  // Single-node queries or caps may leave no paths; Passes() then reduces
+  // to the candidate test on the output node.
+}
+
+bool PathIndex::WalkMatches(const Graph& g, const Query& rewritten,
+                            const std::vector<Step>& path, size_t pos,
+                            NodeId at) const {
+  if (pos == path.size()) return true;
+  const Step& s = path[pos];
+  if (s.to >= rewritten.node_count() || !StepEdgePresent(rewritten, s)) {
+    // The rewrite no longer constrains this tail through this path.
+    return true;
+  }
+  const QueryNode& target = rewritten.node(s.to);
+  const std::vector<HalfEdge>& adj =
+      s.forward ? g.out_edges(at) : g.in_edges(at);
+  for (const HalfEdge& e : adj) {
+    if (e.label != s.edge_label) continue;
+    if (!IsCandidate(g, e.other, target)) continue;
+    if (WalkMatches(g, rewritten, path, pos + 1, e.other)) return true;
+  }
+  return false;
+}
+
+bool PathIndex::Passes(const Graph& g, const Query& rewritten,
+                       NodeId v) const {
+  if (!IsCandidate(g, v, rewritten.node(rewritten.output()))) return false;
+  for (const std::vector<Step>& path : paths_) {
+    if (!WalkMatches(g, rewritten, path, 0, v)) return false;
+  }
+  return true;
+}
+
+double PathIndex::PassFraction(const Graph& g, const Query& rewritten,
+                               NodeId v) const {
+  size_t total = 1 + paths_.size();
+  size_t passed = 0;
+  if (IsCandidate(g, v, rewritten.node(rewritten.output()))) ++passed;
+  for (const std::vector<Step>& path : paths_) {
+    if (WalkMatches(g, rewritten, path, 0, v)) ++passed;
+  }
+  return static_cast<double>(passed) / static_cast<double>(total);
+}
+
+std::string PathIndex::ToString(const Graph& g) const {
+  std::ostringstream os;
+  for (const auto& path : paths_) {
+    os << "u" << (path.empty() ? 0 : path[0].from);
+    for (const Step& s : path) {
+      os << (s.forward ? " -" : " <-") << g.EdgeLabelName(s.edge_label)
+         << (s.forward ? "-> " : "- ") << 'u' << s.to;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace whyq

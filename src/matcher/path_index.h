@@ -1,0 +1,70 @@
+#ifndef WHYQ_MATCHER_PATH_INDEX_H_
+#define WHYQ_MATCHER_PATH_INDEX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/query.h"
+
+namespace whyq {
+
+/// A sampled path index over a query Q (the estimation backbone of the
+/// paper's EstMatch): a bounded number of simple paths of Q starting at the
+/// output node. A data node v "passes the path tests" for a rewrite Q' of Q
+/// when v is a candidate of the output node under Q' and, for every indexed
+/// path, some walk from v realizes the path's edge labels/directions with
+/// every visited node a candidate of the corresponding Q' node.
+///
+/// Passing is necessary-but-not-sufficient for being an answer (paths drop
+/// injectivity and branching constraints), which is exactly the estimation
+/// error epsilon the approximation guarantee is stated against.
+///
+/// The index is built once from Q and then evaluated against rewrites Q⊕O,
+/// relying on rewrites preserving query-node ids (rewrite application only
+/// appends nodes). Steps whose query edge was removed by the rewrite (RmE)
+/// terminate their path early — the tail is no longer connected through
+/// this path, so it constrains nothing.
+class PathIndex {
+ public:
+  struct Step {
+    QNodeId from = kInvalidQNode;
+    QNodeId to = kInvalidQNode;
+    SymbolId edge_label = kInvalidSymbol;
+    bool forward = true;  // true: (from -> to) in Q; false: (to -> from)
+  };
+
+  /// Builds the index with at most `max_paths` maximal simple paths,
+  /// enumerated deterministically (DFS over undirected query edges).
+  PathIndex(const Query& q, size_t max_paths);
+
+  /// Path test of v against rewrite `rewritten` (see class comment).
+  bool Passes(const Graph& g, const Query& rewritten, NodeId v) const;
+
+  /// Partial credit: the fraction of checks v passes under `rewritten` —
+  /// the output-node candidate test plus each indexed path, all weighted
+  /// equally. 1.0 iff Passes(). Greedy selection uses this to rank
+  /// operators that make progress toward a match (or a non-match) even when
+  /// no single operator flips the full test (zero-marginal-gain
+  /// bootstrapping; see DESIGN.md).
+  double PassFraction(const Graph& g, const Query& rewritten,
+                      NodeId v) const;
+
+  size_t path_count() const { return paths_.size(); }
+  const std::vector<std::vector<Step>>& paths() const { return paths_; }
+
+  /// Debug rendering of the indexed paths.
+  std::string ToString(const Graph& g) const;
+
+ private:
+  bool WalkMatches(const Graph& g, const Query& rewritten,
+                   const std::vector<Step>& path, size_t pos,
+                   NodeId at) const;
+
+  std::vector<std::vector<Step>> paths_;
+};
+
+}  // namespace whyq
+
+#endif  // WHYQ_MATCHER_PATH_INDEX_H_

@@ -1,0 +1,85 @@
+#include "matcher/simulation.h"
+
+#include <algorithm>
+
+#include "graph/neighborhood.h"
+#include "matcher/candidates.h"
+
+namespace whyq {
+
+namespace {
+
+// Membership bitmaps per query node, over g's node space.
+struct SimSets {
+  std::vector<std::vector<uint8_t>> in;  // [qnode][data node]
+  std::vector<std::vector<NodeId>> members;
+};
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> DualSimulation(const Graph& g,
+                                                const Query& q) {
+  std::vector<std::vector<NodeId>> out(q.node_count());
+  std::vector<QNodeId> component = q.OutputComponent();
+  if (component.empty()) return out;
+  std::vector<uint8_t> in_component(q.node_count(), 0);
+  for (QNodeId u : component) in_component[u] = 1;
+
+  // Initialize with the candidate sets (bitmap + compact member lists).
+  std::vector<std::vector<uint8_t>> member(
+      q.node_count(), std::vector<uint8_t>(g.node_count(), 0));
+  std::vector<std::vector<NodeId>> lists(q.node_count());
+  for (QNodeId u : component) {
+    lists[u] = Candidates(g, q, u);
+    for (NodeId v : lists[u]) member[u][v] = 1;
+  }
+
+  // Fixpoint pruning: drop v from S(u) when some incident query edge has
+  // no witness neighbor. Each sweep walks the compact member lists only;
+  // queries are tiny, so sweeping to stability is cheap in practice.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const QueryEdge& e : q.edges()) {
+      if (!in_component[e.src] || !in_component[e.dst]) continue;
+      // Forward: every v in S(src) needs an out-neighbor in S(dst).
+      auto prune = [&](QNodeId u, bool forward, QNodeId other_u) {
+        std::vector<NodeId>& list = lists[u];
+        size_t keep = 0;
+        for (NodeId v : list) {
+          if (!member[u][v]) continue;  // already pruned via another edge
+          bool witness = false;
+          const std::vector<HalfEdge>& adj =
+              forward ? g.out_edges(v) : g.in_edges(v);
+          for (const HalfEdge& he : adj) {
+            if (he.label == e.label && member[other_u][he.other]) {
+              witness = true;
+              break;
+            }
+          }
+          if (witness) {
+            list[keep++] = v;
+          } else {
+            member[u][v] = 0;
+            changed = true;
+          }
+        }
+        list.resize(keep);
+      };
+      prune(e.src, /*forward=*/true, e.dst);
+      prune(e.dst, /*forward=*/false, e.src);
+    }
+  }
+
+  for (QNodeId u : component) {
+    out[u] = lists[u];
+    std::sort(out[u].begin(), out[u].end());
+  }
+  return out;
+}
+
+std::vector<NodeId> SimulationAnswers(const Graph& g, const Query& q) {
+  return DualSimulation(g, q)[q.output()];
+}
+
+}  // namespace whyq

@@ -1,0 +1,39 @@
+#ifndef WHYQ_MATCHER_SIMULATION_H_
+#define WHYQ_MATCHER_SIMULATION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/query.h"
+
+namespace whyq {
+
+/// Dual graph simulation — the polynomial-time approximate pattern-matching
+/// semantics ([4] Fan et al., PVLDB 2010) the paper names as an extension
+/// target ("Subgraph queries defined by approximate pattern matching").
+///
+/// A dual-simulation relation S assigns each query node u a set S(u) of
+/// data nodes such that every v in S(u) is a candidate of u (label +
+/// literals) and, for every query edge (u, u'), v has an out-neighbor via
+/// that edge label in S(u') — and symmetrically for incoming edges. The
+/// *maximum* such relation is unique and computable by fixpoint pruning.
+///
+/// Relative to subgraph isomorphism: injectivity is dropped and cyclic
+/// patterns may match their unrollings, so Sim(u_o) ⊇ Iso answers; all of
+/// the library's Why-machinery (Lemma 1 monotonicity, the guard, the path
+/// index as a necessary condition) carries over.
+///
+/// Only the output node's connected component constrains the result,
+/// mirroring the isomorphism matcher's handling of disconnected rewrites.
+
+/// The maximum dual-simulation relation: one (sorted) node set per query
+/// node; nodes outside the output component get empty sets.
+std::vector<std::vector<NodeId>> DualSimulation(const Graph& g,
+                                                const Query& q);
+
+/// Sim(u_o): the output node's set under the maximum dual simulation.
+std::vector<NodeId> SimulationAnswers(const Graph& g, const Query& q);
+
+}  // namespace whyq
+
+#endif  // WHYQ_MATCHER_SIMULATION_H_

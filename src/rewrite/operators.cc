@@ -1,0 +1,160 @@
+#include "rewrite/operators.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace whyq {
+
+const char* OpKindName(OpKind k) {
+  switch (k) {
+    case OpKind::kRxL:
+      return "RxL";
+    case OpKind::kRmL:
+      return "RmL";
+    case OpKind::kRmE:
+      return "RmE";
+    case OpKind::kRfL:
+      return "RfL";
+    case OpKind::kAddL:
+      return "AddL";
+    case OpKind::kAddE:
+      return "AddE";
+  }
+  return "?";
+}
+
+bool IsRelaxation(OpKind k) {
+  return k == OpKind::kRxL || k == OpKind::kRmL || k == OpKind::kRmE;
+}
+
+bool IsRefinement(OpKind k) { return !IsRelaxation(k); }
+
+bool EditOp::operator==(const EditOp& rhs) const {
+  return kind == rhs.kind && u == rhs.u && v == rhs.v &&
+         edge_label == rhs.edge_label && edge_forward == rhs.edge_forward &&
+         before == rhs.before && after == rhs.after &&
+         new_node == rhs.new_node;
+}
+
+std::string EditOp::ToString(const Graph& g) const {
+  std::ostringstream os;
+  os << OpKindName(kind) << '(';
+  switch (kind) {
+    case OpKind::kRxL:
+    case OpKind::kRfL:
+      os << 'u' << u << '.' << before.ToString(g) << " -> "
+         << after.ToString(g);
+      break;
+    case OpKind::kRmL:
+      os << 'u' << u << '.' << before.ToString(g);
+      break;
+    case OpKind::kAddL:
+      os << 'u' << u << '.' << after.ToString(g);
+      break;
+    case OpKind::kRmE:
+      os << 'u' << u << " -" << g.EdgeLabelName(edge_label) << "-> u" << v;
+      break;
+    case OpKind::kAddE:
+      if (new_node.has_value()) {
+        std::ostringstream nn;
+        nn << "new:" << g.NodeLabelName(new_node->label);
+        for (const Literal& l : new_node->literals) {
+          nn << '[' << l.ToString(g) << ']';
+        }
+        if (edge_forward) {
+          os << 'u' << u << " -" << g.EdgeLabelName(edge_label) << "-> "
+             << nn.str();
+        } else {
+          os << nn.str() << " -" << g.EdgeLabelName(edge_label) << "-> u"
+             << u;
+        }
+      } else {
+        os << 'u' << u << " -" << g.EdgeLabelName(edge_label) << "-> u" << v;
+      }
+      break;
+  }
+  os << ')';
+  return os.str();
+}
+
+bool OpsConflict(const EditOp& a, const EditOp& b) {
+  auto edits_literal = [](OpKind k) {
+    return k == OpKind::kRxL || k == OpKind::kRfL || k == OpKind::kRmL;
+  };
+  if (edits_literal(a.kind) && edits_literal(b.kind)) {
+    return a.u == b.u && a.before == b.before;
+  }
+  if (a.kind == OpKind::kRmE && b.kind == OpKind::kRmE) {
+    return a.u == b.u && a.v == b.v && a.edge_label == b.edge_label;
+  }
+  return false;
+}
+
+std::vector<std::vector<size_t>> BuildConflicts(
+    const std::vector<EditOp>& ops) {
+  std::vector<std::vector<size_t>> out(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    for (size_t j = i + 1; j < ops.size(); ++j) {
+      if (OpsConflict(ops[i], ops[j])) {
+        out[i].push_back(j);
+        out[j].push_back(i);
+      }
+    }
+  }
+  return out;
+}
+
+Query ApplyOperators(const Query& q, const OperatorSet& ops) {
+  Query out = q;
+  for (const EditOp& op : ops) {
+    switch (op.kind) {
+      case OpKind::kRxL:
+      case OpKind::kRfL: {
+        bool ok = out.ReplaceLiteral(op.u, op.before, op.after);
+        WHYQ_CHECK_MSG(ok, "literal to rewrite is absent");
+        break;
+      }
+      case OpKind::kRmL: {
+        bool ok = out.RemoveLiteral(op.u, op.before);
+        WHYQ_CHECK_MSG(ok, "literal to remove is absent");
+        break;
+      }
+      case OpKind::kAddL:
+        out.AddLiteral(op.u, op.after);
+        break;
+      case OpKind::kRmE: {
+        bool ok = out.RemoveEdge(op.u, op.v, op.edge_label);
+        WHYQ_CHECK_MSG(ok, "edge to remove is absent");
+        break;
+      }
+      case OpKind::kAddE: {
+        if (op.new_node.has_value()) {
+          QNodeId fresh = out.AddNode(op.new_node->label);
+          for (const Literal& l : op.new_node->literals) {
+            out.AddLiteral(fresh, l);
+          }
+          if (op.edge_forward) {
+            out.AddEdge(op.u, fresh, op.edge_label);
+          } else {
+            out.AddEdge(fresh, op.u, op.edge_label);
+          }
+        } else {
+          out.AddEdge(op.u, op.v, op.edge_label);
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string DescribeOperators(const OperatorSet& ops, const Graph& g) {
+  std::ostringstream os;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << ops[i].ToString(g);
+  }
+  return os.str();
+}
+
+}  // namespace whyq

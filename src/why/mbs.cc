@@ -1,0 +1,141 @@
+#include "why/mbs.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace whyq {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+struct Enumerator {
+  const std::vector<double>& cost;  // original indexing
+  const std::vector<std::vector<size_t>>& conflicts;
+  const std::vector<size_t>& order;  // ranks -> original indices (ascending)
+  double budget;
+  size_t max_sets;
+  size_t max_visits;
+  const std::function<bool(const std::vector<size_t>&)>& visit;
+  const AdmitFn& admit;
+  const std::function<bool()>& should_stop;
+
+  size_t poll_counter = 0;
+  std::vector<size_t> current;          // original indices
+  std::vector<size_t> conflict_count;   // per original index
+  std::vector<uint8_t> in_set;          // per original index
+  double current_cost = 0.0;
+  size_t visits = 0;
+  MbsStats stats;
+  bool stop = false;
+
+  void Include(size_t idx) {
+    current.push_back(idx);
+    in_set[idx] = 1;
+    current_cost += cost[idx];
+    for (size_t j : conflicts[idx]) ++conflict_count[j];
+  }
+
+  void Exclude(size_t idx) {
+    current.pop_back();
+    in_set[idx] = 0;
+    current_cost -= cost[idx];
+    for (size_t j : conflicts[idx]) --conflict_count[j];
+  }
+
+  bool Maximal() const {
+    for (size_t j = 0; j < cost.size(); ++j) {
+      if (in_set[j] || conflict_count[j] > 0) continue;
+      if (current_cost + cost[j] > budget + kEps) continue;
+      if (admit && !admit(current, j)) continue;  // inadmissible extension
+      return false;
+    }
+    return true;
+  }
+
+  void Recurse(size_t rank) {
+    if (stop) return;
+    if (should_stop && (++poll_counter & 63u) == 0 && should_stop()) {
+      stats.truncated = true;
+      stop = true;
+      return;
+    }
+    if (rank == cost.size()) {
+      if (++visits > max_visits) {
+        stats.truncated = true;
+        stop = true;
+        return;
+      }
+      if (Maximal()) {
+        ++stats.emitted;
+        if (!visit(current)) {
+          stop = true;
+          return;
+        }
+        if (stats.emitted >= max_sets) {
+          stats.truncated = true;
+          stop = true;
+        }
+      }
+      return;
+    }
+    size_t idx = order[rank];
+    bool includable = conflict_count[idx] == 0 &&
+                      current_cost + cost[idx] <= budget + kEps &&
+                      (!admit || admit(current, idx));
+    if (includable) {
+      Include(idx);
+      Recurse(rank + 1);
+      Exclude(idx);
+      if (stop) return;
+    }
+    Recurse(rank + 1);
+  }
+};
+
+}  // namespace
+
+MbsStats EnumerateMaximalBoundedSets(
+    const std::vector<double>& costs,
+    const std::vector<std::vector<size_t>>& conflicts, double budget,
+    size_t max_sets,
+    const std::function<bool(const std::vector<size_t>&)>& visit,
+    const AdmitFn& admit, const std::function<bool()>& should_stop) {
+  WHYQ_CHECK(conflicts.size() == costs.size());
+  std::vector<size_t> order(costs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return costs[a] < costs[b]; });
+
+  Enumerator e{costs,
+               conflicts,
+               order,
+               budget,
+               std::max<size_t>(max_sets, 1),
+               std::max<size_t>(max_sets, 1) * 64,
+               visit,
+               admit,
+               should_stop,
+               0,
+               {},
+               std::vector<size_t>(costs.size(), 0),
+               std::vector<uint8_t>(costs.size(), 0),
+               0.0,
+               0,
+               MbsStats(),
+               false};
+  if (costs.empty()) {
+    // The empty set is trivially the only MBS.
+    e.stats.emitted = 1;
+    visit({});
+    return e.stats;
+  }
+  e.current.reserve(costs.size());
+  e.Recurse(0);
+  return e.stats;
+}
+
+}  // namespace whyq

@@ -1,0 +1,53 @@
+#ifndef WHYQ_WHY_MBS_H_
+#define WHYQ_WHY_MBS_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace whyq {
+
+/// Enumeration of *maximal bounded sets* (MBS) — phase two of GenMBS.
+/// Given per-operator costs, pairwise conflicts, and a budget B, an index
+/// set S is an MBS when it is conflict-free, cost(S) <= B, and no operator
+/// outside S could be added while keeping both properties.
+///
+/// Lemma 3 / Lemma 7: the optimal rewrite is induced by some MBS over the
+/// picky set, so verifying MBSs only is sufficient for exactness.
+///
+/// `visit` receives each MBS (as index sets into `costs`); returning false
+/// stops enumeration early (the paper's early termination once closeness 1
+/// is reached). Enumeration is additionally capped: after `max_sets`
+/// emissions, or ~64x that many explored leaves, it stops and reports
+/// `truncated` so callers can surface approximateness.
+struct MbsStats {
+  size_t emitted = 0;
+  bool truncated = false;  // stopped by a cap, not by visit() or exhaustion
+};
+
+/// Optional admissibility predicate: admit(current, next) says whether
+/// current ∪ {next} stays admissible. The guard condition is *monotone*
+/// under pure refinement (and pure relaxation) sets, so the family
+/// {conflict-free, cost <= B, guard <= m} is downward closed and the
+/// optimum is attained at one of its maximal elements; passing the guard
+/// as `admit` makes the enumeration exact under guard constraints (plain
+/// budget-maximal sets can all violate a strict guard while smaller valid
+/// sets exist).
+using AdmitFn =
+    std::function<bool(const std::vector<size_t>& current, size_t next)>;
+
+/// `should_stop` (optional) is polled inside the DFS (every few dozen
+/// nodes); returning true aborts enumeration with `truncated` set — the
+/// hook wall-clock limits sit behind, since admissibility checks can be
+/// expensive long before any set is emitted.
+MbsStats EnumerateMaximalBoundedSets(
+    const std::vector<double>& costs,
+    const std::vector<std::vector<size_t>>& conflicts, double budget,
+    size_t max_sets,
+    const std::function<bool(const std::vector<size_t>&)>& visit,
+    const AdmitFn& admit = nullptr,
+    const std::function<bool()>& should_stop = nullptr);
+
+}  // namespace whyq
+
+#endif  // WHYQ_WHY_MBS_H_

@@ -1,0 +1,496 @@
+#include "why/picky.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "graph/graph_stats.h"
+#include "graph/neighborhood.h"
+
+namespace whyq {
+
+namespace {
+
+// A neighborhood with per-node BFS depths, queryable by (label, max depth).
+struct Layered {
+  NodeSet set;
+  std::vector<size_t> depth;  // aligned with set.nodes()
+
+  std::vector<NodeId> Filter(const Graph& g, SymbolId label,
+                             size_t max_depth) const {
+    std::vector<NodeId> out;
+    const std::vector<NodeId>& nodes = set.nodes();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (depth[i] <= max_depth && g.label(nodes[i]) == label) {
+        out.push_back(nodes[i]);
+      }
+    }
+    return out;
+  }
+};
+
+Layered BuildLayered(const Graph& g, const std::vector<NodeId>& seeds,
+                     size_t max_depth) {
+  Layered l;
+  l.set = WithinDistanceWithDepth(g, seeds, max_depth, &l.depth);
+  return l;
+}
+
+// Subsamples a sorted domain down to `cap` spread-out values.
+std::vector<Value> CapDomain(std::vector<Value> dom, size_t cap) {
+  if (dom.size() <= cap || cap == 0) return dom;
+  if (cap == 1) return {dom.front()};
+  std::vector<Value> out;
+  out.reserve(cap);
+  for (size_t i = 0; i < cap; ++i) {
+    size_t idx = i * (dom.size() - 1) / (cap - 1);
+    out.push_back(dom[idx]);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// Distinct attribute names present on any node of `nodes`.
+std::vector<SymbolId> AttrsOn(const Graph& g,
+                              const std::vector<NodeId>& nodes) {
+  std::set<SymbolId> s;
+  for (NodeId v : nodes) {
+    for (const AttrEntry& e : g.attrs(v)) s.insert(e.attr);
+  }
+  return std::vector<SymbolId>(s.begin(), s.end());
+}
+
+bool CarriesAttr(const Graph& g, const std::vector<NodeId>& nodes,
+                 SymbolId attr) {
+  for (NodeId v : nodes) {
+    if (g.GetAttr(v, attr) != nullptr) return true;
+  }
+  return false;
+}
+
+// Does any node in `nodes` carry attr with a value != a (or lack attr)?
+bool SomeDiffersFrom(const Graph& g, const std::vector<NodeId>& nodes,
+                     SymbolId attr, const Value& a) {
+  for (NodeId v : nodes) {
+    const Value* val = g.GetAttr(v, attr);
+    if (val == nullptr || *val != a) return true;
+  }
+  return false;
+}
+
+void PushOp(std::vector<EditOp>& ops, EditOp op, size_t cap) {
+  if (ops.size() >= cap) return;
+  ops.push_back(std::move(op));
+}
+
+Literal MakeLiteral(SymbolId attr, CompareOp op, Value c) {
+  Literal l;
+  l.attr = attr;
+  l.op = op;
+  l.constant = std::move(c);
+  return l;
+}
+
+void DedupOps(std::vector<EditOp>& ops) {
+  std::vector<EditOp> out;
+  for (EditOp& op : ops) {
+    bool dup = false;
+    for (const EditOp& seen : out) {
+      if (seen == op) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.push_back(std::move(op));
+  }
+  ops = std::move(out);
+}
+
+}  // namespace
+
+std::vector<EditOp> GenPickyWhy(const Graph& g, const Query& q,
+                                const std::vector<NodeId>& answers,
+                                const std::vector<NodeId>& unexpected,
+                                const AnswerConfig& cfg,
+                                const PickyLimits& limits) {
+  std::vector<EditOp> ops;
+  const size_t cap = cfg.max_picky_ops;
+  size_t d_q = q.Diameter();
+
+  NodeSet unexpected_set(unexpected, g.node_count());
+  std::vector<NodeId> desired;
+  for (NodeId v : answers) {
+    if (!unexpected_set.Contains(v)) desired.push_back(v);
+  }
+  if (unexpected.empty()) return ops;
+
+  Layered picky_layer = BuildLayered(g, unexpected, d_q + 1);
+  Layered desired_layer =
+      desired.empty() ? Layered() : BuildLayered(g, desired, d_q + 1);
+  Layered answer_layer = BuildLayered(g, answers, d_q + 1);
+
+  // AddE operators are assembled separately and appended after the node
+  // operators: when the picky cap bites, the cheap-and-usually-pickier
+  // literal operators survive (the paper's generation order is AddE-first,
+  // but order only matters under truncation; see DESIGN.md).
+  std::vector<EditOp> edge_ops;
+
+  // ---- AddE ----
+  std::vector<QNodeId> component = q.OutputComponent();
+  // (a) Between two existing query nodes: insert (u1 -> u2, l) when a data
+  // edge with that label runs between their answer-side neighborhoods.
+  std::set<std::tuple<QNodeId, QNodeId, SymbolId>> edge_seen;
+  for (QNodeId u1 : component) {
+    size_t d1 = q.DistanceToOutput(u1);
+    std::vector<NodeId> ans1 = answer_layer.Filter(g, q.node(u1).label, d1);
+    for (QNodeId u2 : component) {
+      if (u1 == u2) continue;
+      size_t d2 = q.DistanceToOutput(u2);
+      std::vector<NodeId> ans2 =
+          answer_layer.Filter(g, q.node(u2).label, d2);
+      NodeSet ans2_set(ans2, g.node_count());
+      for (NodeId v1 : ans1) {
+        for (const HalfEdge& e : g.out_edges(v1)) {
+          if (!ans2_set.Contains(e.other)) continue;
+          if (!edge_seen.insert({u1, u2, e.label}).second) continue;
+          // Skip edges already in Q (duplicates are never picky).
+          QueryEdge probe{u1, u2, e.label};
+          if (std::find(q.edges().begin(), q.edges().end(), probe) !=
+              q.edges().end()) {
+            continue;
+          }
+          EditOp op;
+          op.kind = OpKind::kAddE;
+          op.u = u1;
+          op.v = u2;
+          op.edge_label = e.label;
+          PushOp(edge_ops, std::move(op), cap);
+        }
+      }
+    }
+  }
+
+  // (b) To a fresh node: group data edges leaving the answer-side
+  // neighborhood of u1 by (direction, edge label, neighbor label); each
+  // group yields a bare structural operator plus one-literal composites
+  // resolved against the picky/desired sides (the paper's template
+  // resolution).
+  for (QNodeId u1 : component) {
+    size_t d1 = q.DistanceToOutput(u1);
+    SymbolId l1 = q.node(u1).label;
+    std::vector<NodeId> ans1 = answer_layer.Filter(g, l1, d1);
+    std::vector<NodeId> picky1 = picky_layer.Filter(g, l1, d1);
+    NodeSet picky1_set(picky1, g.node_count());
+
+    struct Group {
+      std::vector<NodeId> desired_nbrs;  // neighbors of non-picky side
+      std::vector<NodeId> picky_nbrs;    // neighbors of picky side
+    };
+    std::map<std::tuple<bool, SymbolId, SymbolId>, Group> groups;
+    constexpr size_t kMaxNbrSamples = 256;
+    for (NodeId v1 : ans1) {
+      bool from_picky = picky1_set.Contains(v1);
+      auto scan = [&](const std::vector<HalfEdge>& adj, bool forward) {
+        for (const HalfEdge& e : adj) {
+          Group& grp = groups[{forward, e.label, g.label(e.other)}];
+          std::vector<NodeId>& bucket =
+              from_picky ? grp.picky_nbrs : grp.desired_nbrs;
+          if (bucket.size() < kMaxNbrSamples) bucket.push_back(e.other);
+        }
+      };
+      scan(g.out_edges(v1), true);
+      scan(g.in_edges(v1), false);
+    }
+    size_t labels_used = 0;
+    for (auto& [key, grp] : groups) {
+      if (labels_used >= limits.max_new_node_labels) break;
+      auto [forward, elabel, nlabel] = key;
+      // Skip when Q already constrains u1 by such an edge.
+      bool already = false;
+      for (const QueryEdge& e : q.edges()) {
+        QNodeId other = kInvalidQNode;
+        if (forward && e.src == u1) other = e.dst;
+        if (!forward && e.dst == u1) other = e.src;
+        if (other != kInvalidQNode && e.label == elabel &&
+            q.node(other).label == nlabel) {
+          already = true;
+          break;
+        }
+      }
+      if (already) continue;
+      ++labels_used;
+
+      EditOp base;
+      base.kind = OpKind::kAddE;
+      base.u = u1;
+      base.edge_label = elabel;
+      base.edge_forward = forward;
+      base.new_node = NewNodeSpec{nlabel, {}};
+      PushOp(edge_ops, base, cap);
+      size_t variants = 0;
+      constexpr size_t kMaxVariantsPerGroup = 8;
+
+      // One-literal composites over attributes of the adjacent nodes.
+      for (SymbolId attr : AttrsOn(g, grp.desired_nbrs)) {
+        std::vector<Value> dom_desired = CapDomain(
+            ActiveDomain(g, attr, grp.desired_nbrs),
+            limits.max_domain_values);
+        std::vector<Value> dom_picky = CapDomain(
+            ActiveDomain(g, attr, grp.picky_nbrs), limits.max_domain_values);
+        for (const Value& a : dom_desired) {
+          if (variants >= kMaxVariantsPerGroup) break;
+          if (!SomeDiffersFrom(g, grp.picky_nbrs, attr, a)) continue;
+          EditOp op = base;
+          op.new_node->literals.push_back(
+              MakeLiteral(attr, CompareOp::kEq, a));
+          PushOp(edge_ops, std::move(op), cap);
+          ++variants;
+        }
+        for (const Value& a : dom_picky) {
+          if (variants >= kMaxVariantsPerGroup) break;
+          if (!a.is_numeric()) continue;
+          EditOp lt = base;
+          lt.new_node->literals.push_back(
+              MakeLiteral(attr, CompareOp::kLt, a));
+          PushOp(edge_ops, std::move(lt), cap);
+          EditOp gt = base;
+          gt.new_node->literals.push_back(
+              MakeLiteral(attr, CompareOp::kGt, a));
+          PushOp(edge_ops, std::move(gt), cap);
+          variants += 2;
+        }
+      }
+    }
+  }
+
+  // ---- AddL and RfL on existing query nodes ----
+  for (QNodeId u : component) {
+    size_t d = q.DistanceToOutput(u);
+    SymbolId lbl = q.node(u).label;
+    std::vector<NodeId> picky_n = picky_layer.Filter(g, lbl, d);
+    std::vector<NodeId> desired_n = desired_layer.set.empty()
+                                        ? std::vector<NodeId>{}
+                                        : desired_layer.Filter(g, lbl, d);
+    std::vector<NodeId> ans_n = answer_layer.Filter(g, lbl, d);
+    if (picky_n.empty()) continue;
+
+    // RfL on existing literals (dom over the picky side).
+    for (const Literal& l : q.node(u).literals) {
+      std::vector<Value> dom_picky = CapDomain(
+          ActiveDomain(g, l.attr, picky_n), limits.max_domain_values);
+      if (IsUpperBound(l.op)) {
+        for (const Value& a : dom_picky) {
+          std::optional<int> cmp = l.constant.Compare(a);
+          if (!cmp.has_value() || *cmp < 0) continue;  // need c >= a
+          Literal after = MakeLiteral(l.attr, CompareOp::kLt, a);
+          if (after == l) continue;
+          EditOp op;
+          op.kind = OpKind::kRfL;
+          op.u = u;
+          op.before = l;
+          op.after = after;
+          PushOp(ops, std::move(op), cap);
+        }
+      } else if (IsLowerBound(l.op)) {
+        for (const Value& a : dom_picky) {
+          std::optional<int> cmp = l.constant.Compare(a);
+          if (!cmp.has_value() || *cmp > 0) continue;  // need c <= a
+          Literal after = MakeLiteral(l.attr, CompareOp::kGt, a);
+          if (after == l) continue;
+          EditOp op;
+          op.kind = OpKind::kRfL;
+          op.u = u;
+          op.before = l;
+          op.after = after;
+          PushOp(ops, std::move(op), cap);
+        }
+      }
+      // Deviation from the paper: its RfL rule for '=' literals re-targets
+      // the equality to another answer-side value, but that is a lateral
+      // move, not a refinement — it can ADD answers, contradicting Lemma 1
+      // (whose monotonicity this implementation's guard-aware enumeration
+      // and Aff()-based estimation rely on). Equality literals are already
+      // maximally tight, so no RfL is generated for them (see DESIGN.md).
+    }
+
+    // AddL, case 1 — pairing constraints: a bounded literal on a common
+    // attribute with no opposite bound gets its pair, resolved over the
+    // picky-side domain (Example 5: Price <= 650 pairs with Price > 120).
+    for (const Literal& l : q.node(u).literals) {
+      bool common = CarriesAttr(g, picky_n, l.attr) &&
+                    CarriesAttr(g, desired_n, l.attr);
+      if (!common) continue;
+      bool has_upper = false;
+      bool has_lower = false;
+      for (const Literal& other : q.node(u).literals) {
+        if (other.attr != l.attr) continue;
+        has_upper |= IsUpperBound(other.op);
+        has_lower |= IsLowerBound(other.op);
+      }
+      std::vector<Value> dom_picky = CapDomain(
+          ActiveDomain(g, l.attr, picky_n), limits.max_domain_values);
+      if (IsLowerBound(l.op) && !has_upper) {
+        for (const Value& a : dom_picky) {
+          EditOp op;
+          op.kind = OpKind::kAddL;
+          op.u = u;
+          op.after = MakeLiteral(l.attr, CompareOp::kLt, a);
+          PushOp(ops, std::move(op), cap);
+        }
+      }
+      if (IsUpperBound(l.op) && !has_lower) {
+        for (const Value& a : dom_picky) {
+          EditOp op;
+          op.kind = OpKind::kAddL;
+          op.u = u;
+          op.after = MakeLiteral(l.attr, CompareOp::kGt, a);
+          PushOp(ops, std::move(op), cap);
+        }
+      }
+    }
+
+    // AddL, case 2 — differential attributes: carried on the desired side
+    // but absent from the picky side; requiring them (with a desired-side
+    // tolerant bound) prunes picky candidates wholesale.
+    for (SymbolId attr : AttrsOn(g, desired_n)) {
+      if (CarriesAttr(g, picky_n, attr)) continue;  // not differential
+      std::vector<Value> dom_desired = CapDomain(
+          ActiveDomain(g, attr, desired_n), limits.max_domain_values);
+      if (dom_desired.empty()) continue;
+      if (dom_desired.front().is_numeric() &&
+          dom_desired.back().is_numeric()) {
+        EditOp ge;
+        ge.kind = OpKind::kAddL;
+        ge.u = u;
+        ge.after = MakeLiteral(attr, CompareOp::kGe, dom_desired.front());
+        PushOp(ops, std::move(ge), cap);
+        EditOp le;
+        le.kind = OpKind::kAddL;
+        le.u = u;
+        le.after = MakeLiteral(attr, CompareOp::kLe, dom_desired.back());
+        PushOp(ops, std::move(le), cap);
+      } else {
+        for (const Value& a : dom_desired) {
+          EditOp op;
+          op.kind = OpKind::kAddL;
+          op.u = u;
+          op.after = MakeLiteral(attr, CompareOp::kEq, a);
+          PushOp(ops, std::move(op), cap);
+        }
+      }
+    }
+
+    // AddL, case 3 — common attributes not yet constrained at u: equality
+    // to a desired-side value some picky node misses, plus bounds cut at
+    // picky-side values.
+    for (SymbolId attr : AttrsOn(g, desired_n)) {
+      if (!CarriesAttr(g, picky_n, attr)) continue;
+      bool constrained = false;
+      for (const Literal& other : q.node(u).literals) {
+        constrained |= other.attr == attr;
+      }
+      if (constrained) continue;
+      std::vector<Value> dom_desired = CapDomain(
+          ActiveDomain(g, attr, desired_n), limits.max_domain_values);
+      for (const Value& a : dom_desired) {
+        if (!SomeDiffersFrom(g, picky_n, attr, a)) continue;
+        EditOp op;
+        op.kind = OpKind::kAddL;
+        op.u = u;
+        op.after = MakeLiteral(attr, CompareOp::kEq, a);
+        PushOp(ops, std::move(op), cap);
+      }
+      std::vector<Value> dom_picky = CapDomain(
+          ActiveDomain(g, attr, picky_n), limits.max_domain_values);
+      for (const Value& a : dom_picky) {
+        if (!a.is_numeric()) continue;
+        EditOp lt;
+        lt.kind = OpKind::kAddL;
+        lt.u = u;
+        lt.after = MakeLiteral(attr, CompareOp::kLt, a);
+        PushOp(ops, std::move(lt), cap);
+        EditOp gt;
+        gt.kind = OpKind::kAddL;
+        gt.u = u;
+        gt.after = MakeLiteral(attr, CompareOp::kGt, a);
+        PushOp(ops, std::move(gt), cap);
+      }
+    }
+  }
+
+  for (EditOp& op : edge_ops) PushOp(ops, std::move(op), cap);
+  DedupOps(ops);
+  return ops;
+}
+
+std::vector<EditOp> GenPickyWhyNot(const Graph& g, const Query& q,
+                                   const std::vector<NodeId>& missing,
+                                   const AnswerConfig& cfg,
+                                   const PickyLimits& limits) {
+  std::vector<EditOp> ops;
+  const size_t cap = cfg.max_picky_ops;
+  if (missing.empty()) return ops;
+  size_t d_q = q.Diameter();
+  Layered missing_layer = BuildLayered(g, missing, d_q);
+
+  std::vector<QNodeId> component = q.OutputComponent();
+  for (QNodeId u : component) {
+    size_t d = q.DistanceToOutput(u);
+    std::vector<NodeId> near = missing_layer.Filter(g, q.node(u).label, d);
+
+    for (const Literal& l : q.node(u).literals) {
+      // RmL is always available.
+      EditOp rm;
+      rm.kind = OpKind::kRmL;
+      rm.u = u;
+      rm.before = l;
+      PushOp(ops, std::move(rm), cap);
+
+      // RxL over the missing-side active domain (common attributes only —
+      // relaxing toward values nobody near V_C carries cannot help).
+      std::vector<Value> dom =
+          CapDomain(ActiveDomain(g, l.attr, near), limits.max_domain_values);
+      for (const Value& a : dom) {
+        std::optional<int> cmp = l.constant.Compare(a);
+        if (!cmp.has_value()) continue;
+        if ((IsUpperBound(l.op) || l.op == CompareOp::kEq) && *cmp <= 0) {
+          Literal after = MakeLiteral(l.attr, CompareOp::kLe, a);
+          if (!(after == l)) {
+            EditOp op;
+            op.kind = OpKind::kRxL;
+            op.u = u;
+            op.before = l;
+            op.after = after;
+            PushOp(ops, std::move(op), cap);
+          }
+        }
+        if ((IsLowerBound(l.op) || l.op == CompareOp::kEq) && *cmp >= 0) {
+          Literal after = MakeLiteral(l.attr, CompareOp::kGe, a);
+          if (!(after == l)) {
+            EditOp op;
+            op.kind = OpKind::kRxL;
+            op.u = u;
+            op.before = l;
+            op.after = after;
+            PushOp(ops, std::move(op), cap);
+          }
+        }
+      }
+    }
+  }
+
+  for (const QueryEdge& e : q.edges()) {
+    EditOp op;
+    op.kind = OpKind::kRmE;
+    op.u = e.src;
+    op.v = e.dst;
+    op.edge_label = e.label;
+    PushOp(ops, std::move(op), cap);
+  }
+
+  DedupOps(ops);
+  return ops;
+}
+
+}  // namespace whyq

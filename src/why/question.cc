@@ -1,0 +1,66 @@
+#include "why/question.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace whyq {
+
+std::string ConstraintLiteral::ToString(const Graph& g) const {
+  std::ostringstream os;
+  os << "x." << g.AttrName(attr) << ' ' << CompareOpName(op) << ' ';
+  if (binary) {
+    os << "y." << g.AttrName(other_attr);
+  } else {
+    os << constant.ToString();
+  }
+  return os.str();
+}
+
+bool Constraint::Satisfies(const Graph& g, NodeId x,
+                           const std::vector<NodeId>& others) const {
+  for (const ConstraintLiteral& l : literals) {
+    const Value* xv = g.GetAttr(x, l.attr);
+    if (xv == nullptr) return false;
+    if (!l.binary) {
+      if (!xv->Satisfies(l.op, l.constant)) return false;
+      continue;
+    }
+    bool found = false;
+    for (NodeId y : others) {
+      if (y == x) continue;
+      const Value* yv = g.GetAttr(y, l.other_attr);
+      if (yv != nullptr && xv->Satisfies(l.op, *yv)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> Constraint::Filter(
+    const Graph& g, const std::vector<NodeId>& candidates,
+    const std::vector<NodeId>& answers) const {
+  if (literals.empty()) return candidates;
+  std::vector<NodeId> universe = candidates;
+  std::unordered_set<NodeId> seen(candidates.begin(), candidates.end());
+  for (NodeId v : answers) {
+    if (seen.insert(v).second) universe.push_back(v);
+  }
+  std::vector<NodeId> out;
+  for (NodeId x : candidates) {
+    if (Satisfies(g, x, universe)) out.push_back(x);
+  }
+  return out;
+}
+
+std::string Constraint::ToString(const Graph& g) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < literals.size(); ++i) {
+    os << (i == 0 ? "" : " AND ") << literals[i].ToString(g);
+  }
+  return os.str();
+}
+
+}  // namespace whyq

@@ -1,0 +1,418 @@
+#include "why/why_algorithms.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/table.h"
+#include "common/timer.h"
+#include "matcher/path_index.h"
+#include "rewrite/cost_model.h"
+#include "why/est_match.h"
+#include "why/mbs.h"
+#include "why/picky.h"
+
+namespace whyq {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+OperatorSet Select(const std::vector<EditOp>& ops,
+                   const std::vector<size_t>& idx) {
+  OperatorSet out;
+  out.reserve(idx.size());
+  for (size_t i : idx) out.push_back(ops[i]);
+  return out;
+}
+
+// Shared exact post-processing: greedily drop operators while the exact
+// closeness does not decrease and the guard stays valid ("minimal MBS").
+template <typename Evaluator>
+void MinimizeCost(const Graph&, const Query& q, const Evaluator& eval,
+                  const CostModel& cost, OperatorSet& ops,
+                  EvalResult& result, Query& rewritten) {
+  bool changed = true;
+  while (changed && ops.size() > 1) {
+    changed = false;
+    // Try dropping the most expensive operator first.
+    std::vector<size_t> order(ops.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return cost.Cost(ops[a]) > cost.Cost(ops[b]);
+    });
+    for (size_t i : order) {
+      OperatorSet trial = ops;
+      trial.erase(trial.begin() + static_cast<long>(i));
+      Query trial_q = ApplyOperators(q, trial);
+      EvalResult trial_eval = eval.Evaluate(trial_q);
+      if (trial_eval.guard_ok &&
+          trial_eval.closeness >= result.closeness - kEps) {
+        ops = std::move(trial);
+        rewritten = std::move(trial_q);
+        result = trial_eval;
+        changed = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string RewriteAnswer::Explain(const Graph& g) const {
+  std::ostringstream os;
+  if (!found) {
+    os << "no valid rewrite within budget";
+    return os.str();
+  }
+  os << "closeness " << TextTable::Num(eval.closeness, 3) << " at cost "
+     << TextTable::Num(cost, 2) << " via { " << DescribeOperators(ops, g)
+     << " }";
+  return os.str();
+}
+
+RewriteAnswer ExactWhy(const Graph& g, const Query& q,
+                       const std::vector<NodeId>& answers,
+                       const WhyQuestion& w, const AnswerConfig& cfg) {
+  RewriteAnswer out;
+  out.rewritten = q;
+  WhyEvaluator eval(g, answers, w, cfg.guard_m, cfg.semantics);
+  CostModel cost(q, g, cfg.weighted_cost);
+
+  std::vector<EditOp> picky =
+      GenPickyWhy(g, q, answers, eval.unexpected(), cfg);
+  // Operators that alone exceed the budget can never be in a bounded set.
+  std::vector<EditOp> usable;
+  std::vector<double> costs;
+  for (EditOp& op : picky) {
+    double c = cost.Cost(op);
+    if (c <= cfg.budget + kEps) {
+      usable.push_back(std::move(op));
+      costs.push_back(c);
+    }
+  }
+  out.picky_count = usable.size();
+
+  double best_cl = -1.0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  OperatorSet best_ops;
+  EvalResult best_eval;
+  size_t verified = 0;
+  Timer exact_timer;
+  bool timed_out = false;
+
+
+  // Admissibility: the guard is monotone under refinement, so enumerating
+  // the maximal elements of {cost <= B, conflict-free, guard <= m} is exact.
+  AdmitFn admit = [&](const std::vector<size_t>& cur, size_t next) {
+    OperatorSet ops = Select(usable, cur);
+    ops.push_back(usable[next]);
+    return eval.GuardOk(ApplyOperators(q, ops));
+  };
+  MbsStats stats;
+  {
+    stats = EnumerateMaximalBoundedSets(
+      costs, BuildConflicts(usable), cfg.budget, cfg.max_mbs,
+      [&](const std::vector<size_t>& idx) {
+        ++verified;
+        OperatorSet ops = Select(usable, idx);
+        Query rewritten = ApplyOperators(q, ops);
+        EvalResult r = eval.Evaluate(rewritten);
+        if (!r.guard_ok) return true;
+        double c = cost.Cost(ops);
+        if (r.closeness > best_cl + kEps ||
+            (r.closeness > best_cl - kEps && c < best_cost)) {
+          best_cl = r.closeness;
+          best_cost = c;
+          best_ops = std::move(ops);
+          best_eval = r;
+        }
+        if (cfg.exact_time_limit_ms > 0 &&
+            exact_timer.ElapsedMillis() > cfg.exact_time_limit_ms) {
+          timed_out = true;
+          return false;
+        }
+        return best_cl < 1.0 - kEps;  // early termination at closeness 1
+      },
+      admit,
+      [&]() {
+        if (cfg.exact_time_limit_ms > 0 &&
+            exact_timer.ElapsedMillis() > cfg.exact_time_limit_ms) {
+          timed_out = true;
+          return true;
+        }
+        return false;
+      });
+  }
+  out.sets_verified = verified;
+  out.exhaustive = !stats.truncated && !timed_out;
+
+  // Fallback when the capped enumeration missed a solution the greedy can
+  // still reach: the greedy set is a valid bounded set, so adopting it
+  // keeps ExactWhy's answer at least as close as ApproxWhy's.
+  if (!out.exhaustive) {
+    RewriteAnswer seed = ApproxWhy(g, q, answers, w, cfg);
+    if (seed.found && seed.eval.guard_ok &&
+        seed.cost <= cfg.budget + kEps &&
+        (seed.eval.closeness > best_cl + kEps ||
+         (seed.eval.closeness > best_cl - kEps && seed.cost < best_cost))) {
+      best_cl = seed.eval.closeness;
+      best_cost = seed.cost;
+      best_ops = std::move(seed.ops);
+      best_eval = seed.eval;
+    }
+  }
+
+  if (best_cl < 0.0 || best_ops.empty()) {
+    // No improving set: answer with the empty rewrite (Q itself).
+    out.eval = eval.Evaluate(q);
+    return out;
+  }
+  out.found = best_eval.closeness > 0.0;
+  out.ops = std::move(best_ops);
+  out.rewritten = ApplyOperators(q, out.ops);
+  out.eval = best_eval;
+  if (cfg.minimize_cost) {
+    MinimizeCost(g, q, eval, cost, out.ops, out.eval, out.rewritten);
+  }
+  out.cost = cost.Cost(out.ops);
+  out.estimated_closeness = out.eval.closeness;
+  return out;
+}
+
+namespace {
+
+// Shared greedy skeleton for ApproxWhy / IsoWhy. When `exact` is true the
+// marginal gains use the exact evaluator (IsoWhy); otherwise EstMatch.
+RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
+                        const std::vector<NodeId>& answers,
+                        const WhyQuestion& w, const AnswerConfig& cfg,
+                        bool exact) {
+  RewriteAnswer out;
+  out.exhaustive = true;  // greedy: nothing to truncate
+  out.rewritten = q;
+  WhyEvaluator eval(g, answers, w, cfg.guard_m, cfg.semantics);
+  CostModel cost(q, g, cfg.weighted_cost);
+  PathIndex pidx(q, cfg.path_index_paths);
+
+  std::vector<NodeId> desired;
+  for (NodeId v : answers) {
+    if (!eval.IsUnexpected(v)) desired.push_back(v);
+  }
+
+  std::vector<EditOp> picky =
+      GenPickyWhy(g, q, answers, eval.unexpected(), cfg);
+  struct Cand {
+    EditOp op;
+    double cost = 0.0;
+    std::vector<NodeId> affected;  // exact Aff(o), computed once
+    double single_cl = 0.0;
+    size_t single_guard = 0;
+  };
+  std::vector<Cand> cands;
+  for (EditOp& op : picky) {
+    double c = cost.Cost(op);
+    if (c > cfg.budget + kEps) continue;
+    Cand cand;
+    cand.op = std::move(op);
+    cand.cost = c;
+    Query single = ApplyOperators(q, {cand.op});
+    cand.affected = eval.AffectedAnswers(single);
+    size_t excl = 0;
+    for (NodeId v : cand.affected) {
+      if (eval.IsUnexpected(v)) {
+        ++excl;
+      } else {
+        ++cand.single_guard;
+      }
+    }
+    if (!eval.unexpected().empty()) {
+      cand.single_cl = static_cast<double>(excl) /
+                       static_cast<double>(eval.unexpected().size());
+    }
+    cands.push_back(std::move(cand));
+  }
+  out.picky_count = cands.size();
+
+  // Conflict adjacency: operators editing the same literal/edge cannot
+  // be co-selected.
+  std::vector<EditOp> cand_ops;
+  cand_ops.reserve(cands.size());
+  for (const auto& c : cands) cand_ops.push_back(c.op);
+  std::vector<std::vector<size_t>> conflicts = BuildConflicts(cand_ops);
+
+  // O_1: the best single operator (verified exactly).
+  long best_single = -1;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (cands[i].single_guard > cfg.guard_m) continue;
+    if (best_single < 0 ||
+        cands[i].single_cl >
+            cands[static_cast<size_t>(best_single)].single_cl + kEps ||
+        (cands[i].single_cl >=
+             cands[static_cast<size_t>(best_single)].single_cl - kEps &&
+         cands[i].cost < cands[static_cast<size_t>(best_single)].cost)) {
+      best_single = static_cast<long>(i);
+    }
+  }
+  double cl_o1 =
+      best_single < 0 ? 0.0 : cands[static_cast<size_t>(best_single)].single_cl;
+
+  // O_2: greedy selection by (estimated) marginal gain per unit cost.
+  std::vector<size_t> selected;
+  NodeSet aff_union(std::vector<NodeId>{}, g.node_count());
+  double spent = 0.0;
+  double current_cl = 0.0;
+  std::vector<uint8_t> in_pool(cands.size(), 1);
+  size_t pool = cands.size();
+
+  auto estimate = [&](const std::vector<size_t>& idx, const NodeSet& aff,
+                      const Query& rw) -> CloseEstimate {
+    if (exact) {
+      (void)idx;
+      (void)aff;
+      EvalResult r = eval.Evaluate(rw);
+      CloseEstimate e;
+      e.closeness = r.closeness;
+      e.guard = r.guard;
+      e.guard_ok = r.guard_ok;
+      return e;
+    }
+    return EstimateWhy(g, rw, pidx, aff, eval.unexpected(), desired,
+                       cfg.guard_m);
+  };
+
+  // Soft (partial-credit) exclusion progress: a refinement can push an
+  // unexpected entity toward failing the path tests without excluding it
+  // outright; the soft score breaks zero-gain ties so such combinations
+  // can bootstrap (see DESIGN.md).
+  auto soft_score = [&](const NodeSet& excluded_union, const Query& rw) {
+    double s = 0.0;
+    for (NodeId v : eval.unexpected()) {
+      s += excluded_union.Contains(v) ? 1.0
+                                      : 1.0 - pidx.PassFraction(g, rw, v);
+    }
+    return eval.unexpected().empty()
+               ? 0.0
+               : s / static_cast<double>(eval.unexpected().size());
+  };
+  double current_soft = soft_score(aff_union, q);
+
+  while (pool > 0 && current_cl < 1.0 - kEps) {
+    ++out.sets_verified;
+    long best = -1;
+    double best_ratio = -1.0;
+    double best_gain = 0.0;
+    double best_soft_gain = 0.0;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      if (!in_pool[i]) continue;
+      std::vector<size_t> trial = selected;
+      trial.push_back(i);
+      NodeSet aff = aff_union;
+      for (NodeId v : cands[i].affected) aff.Insert(v);
+      OperatorSet trial_ops;
+      for (size_t j : trial) trial_ops.push_back(cands[j].op);
+      Query rw = ApplyOperators(q, trial_ops);
+      CloseEstimate est = estimate(trial, aff, rw);
+      double gain = est.closeness - current_cl;
+      double soft_gain = soft_score(aff, rw) - current_soft;
+      double ratio = (gain + 1e-3 * soft_gain) / cands[i].cost;
+      if (ratio > best_ratio + kEps) {
+        best_ratio = ratio;
+        best = static_cast<long>(i);
+        best_gain = gain;
+        best_soft_gain = soft_gain;
+      }
+    }
+    if (best < 0) break;
+    size_t b = static_cast<size_t>(best);
+    in_pool[b] = 0;
+    --pool;
+    if (best_gain <= kEps && best_soft_gain <= kEps) {
+      continue;  // not picky w.r.t. the current set
+    }
+    if (spent + cands[b].cost > cfg.budget + kEps) continue;
+    // Guard screening of the extended set.
+    std::vector<size_t> trial = selected;
+    trial.push_back(b);
+    NodeSet aff = aff_union;
+    for (NodeId v : cands[b].affected) aff.Insert(v);
+    OperatorSet trial_ops;
+    for (size_t j : trial) trial_ops.push_back(cands[j].op);
+    Query rw = ApplyOperators(q, trial_ops);
+    CloseEstimate est = estimate(trial, aff, rw);
+    if (!est.guard_ok) continue;
+    for (size_t j : conflicts[b]) {
+      if (in_pool[j]) {
+        in_pool[j] = 0;
+        --pool;
+      }
+    }
+    selected = std::move(trial);
+    aff_union = std::move(aff);
+    spent += cands[b].cost;
+    current_cl = est.closeness;
+    current_soft = soft_score(aff_union, rw);
+  }
+
+  // Drop bootstrap operators that never paid off (estimated closeness
+  // unchanged without them).
+  bool shrunk = true;
+  while (shrunk && selected.size() > 1) {
+    shrunk = false;
+    for (size_t i = 0; i < selected.size(); ++i) {
+      std::vector<size_t> trial = selected;
+      trial.erase(trial.begin() + static_cast<long>(i));
+      NodeSet aff(std::vector<NodeId>{}, g.node_count());
+      OperatorSet trial_ops;
+      for (size_t j : trial) {
+        trial_ops.push_back(cands[j].op);
+        for (NodeId v : cands[j].affected) aff.Insert(v);
+      }
+      Query rw = ApplyOperators(q, trial_ops);
+      CloseEstimate est = estimate(trial, aff, rw);
+      if (est.guard_ok && est.closeness >= current_cl - kEps) {
+        selected = std::move(trial);
+        current_cl = est.closeness;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+
+  // Return the better of O_1 and O_2 (by the optimizer's own view).
+  if (best_single >= 0 && cl_o1 > current_cl + kEps) {
+    selected.assign(1, static_cast<size_t>(best_single));
+    current_cl = cl_o1;
+  }
+  if (selected.empty()) {
+    out.eval = eval.Evaluate(q);
+    return out;
+  }
+  OperatorSet ops;
+  for (size_t j : selected) ops.push_back(cands[j].op);
+  out.found = true;
+  out.ops = std::move(ops);
+  out.rewritten = ApplyOperators(q, out.ops);
+  out.cost = cost.Cost(out.ops);
+  out.eval = eval.Evaluate(out.rewritten);
+  out.estimated_closeness = current_cl;
+  out.found = out.eval.guard_ok && out.eval.closeness > 0.0;
+  return out;
+}
+
+}  // namespace
+
+RewriteAnswer ApproxWhy(const Graph& g, const Query& q,
+                        const std::vector<NodeId>& answers,
+                        const WhyQuestion& w, const AnswerConfig& cfg) {
+  return GreedyWhy(g, q, answers, w, cfg, /*exact=*/false);
+}
+
+RewriteAnswer IsoWhy(const Graph& g, const Query& q,
+                     const std::vector<NodeId>& answers, const WhyQuestion& w,
+                     const AnswerConfig& cfg) {
+  return GreedyWhy(g, q, answers, w, cfg, /*exact=*/true);
+}
+
+}  // namespace whyq

@@ -1,0 +1,58 @@
+#ifndef WHYQ_WHY_WHY_ALGORITHMS_H_
+#define WHYQ_WHY_WHY_ALGORITHMS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/query.h"
+#include "rewrite/evaluation.h"
+#include "rewrite/operators.h"
+#include "why/question.h"
+
+namespace whyq {
+
+/// The outcome of answering a Why/Why-not question: the chosen operator set
+/// O, the induced rewrite Q' = Q ⊕ O, its editing cost, and its *exact*
+/// evaluation (closeness + guard), regardless of whether the algorithm
+/// optimized exactly or by estimate.
+struct RewriteAnswer {
+  bool found = false;  // a non-empty valid operator set was selected
+  OperatorSet ops;
+  Query rewritten;
+  double cost = 0.0;
+  EvalResult eval;                    // exact closeness/guard of `rewritten`
+  double estimated_closeness = 0.0;   // the optimizer's own view (approx/fast)
+  size_t picky_count = 0;             // |O_s|
+  size_t sets_verified = 0;           // MBS verified / greedy steps taken
+  bool exhaustive = false;            // exact enumeration was not truncated
+
+  /// One-line explanation: the operators and the achieved closeness.
+  std::string Explain(const Graph& g) const;
+};
+
+/// ExactWhy (Fig. 3): enumerates maximal bounded sets over the refinement
+/// picky set, verifies each with the incremental Match, early-terminates at
+/// closeness 1, and (optionally, cfg.minimize_cost) post-processes the
+/// winner into a cost-minimal subset preserving its closeness.
+RewriteAnswer ExactWhy(const Graph& g, const Query& q,
+                       const std::vector<NodeId>& answers,
+                       const WhyQuestion& w, const AnswerConfig& cfg);
+
+/// ApproxWhy (Fig. 4): budgeted-submodular greedy over estimated marginal
+/// gains (EstMatch), with the paper's (1/2)(1-1/e) - 6B*eps guarantee.
+/// Verifies each picky operator exactly once; all set-level closenesses are
+/// estimated via per-operator affected sets + path tests.
+RewriteAnswer ApproxWhy(const Graph& g, const Query& q,
+                        const std::vector<NodeId>& answers,
+                        const WhyQuestion& w, const AnswerConfig& cfg);
+
+/// IsoWhy: ApproxWhy's greedy with exact Match in place of EstMatch
+/// (epsilon = 0, at O(|O_s|^2) isomorphism tests — the paper's baseline).
+RewriteAnswer IsoWhy(const Graph& g, const Query& q,
+                     const std::vector<NodeId>& answers, const WhyQuestion& w,
+                     const AnswerConfig& cfg);
+
+}  // namespace whyq
+
+#endif  // WHYQ_WHY_WHY_ALGORITHMS_H_

@@ -1,0 +1,352 @@
+#include "why/whynot_algorithms.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/timer.h"
+#include "matcher/path_index.h"
+#include "rewrite/cost_model.h"
+#include "rewrite/evaluation.h"
+#include "why/est_match.h"
+#include "why/mbs.h"
+#include "why/picky.h"
+
+namespace whyq {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+OperatorSet Select(const std::vector<EditOp>& ops,
+                   const std::vector<size_t>& idx) {
+  OperatorSet out;
+  out.reserve(idx.size());
+  for (size_t i : idx) out.push_back(ops[i]);
+  return out;
+}
+
+void MinimizeCostWhyNot(const Query& q, const WhyNotEvaluator& eval,
+                        const CostModel& cost, OperatorSet& ops,
+                        EvalResult& result, Query& rewritten) {
+  bool changed = true;
+  while (changed && ops.size() > 1) {
+    changed = false;
+    std::vector<size_t> order(ops.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return cost.Cost(ops[a]) > cost.Cost(ops[b]);
+    });
+    for (size_t i : order) {
+      OperatorSet trial = ops;
+      trial.erase(trial.begin() + static_cast<long>(i));
+      Query trial_q = ApplyOperators(q, trial);
+      EvalResult trial_eval = eval.Evaluate(trial_q);
+      if (trial_eval.guard_ok &&
+          trial_eval.closeness >= result.closeness - kEps) {
+        ops = std::move(trial);
+        rewritten = std::move(trial_q);
+        result = trial_eval;
+        changed = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RewriteAnswer ExactWhyNot(const Graph& g, const Query& q,
+                          const std::vector<NodeId>& answers,
+                          const WhyNotQuestion& w, const AnswerConfig& cfg) {
+  RewriteAnswer out;
+  out.rewritten = q;
+  WhyNotEvaluator eval(g, answers, w, cfg.guard_m, cfg.semantics);
+  CostModel cost(q, g, cfg.weighted_cost);
+
+  std::vector<EditOp> picky = GenPickyWhyNot(g, q, eval.missing(), cfg);
+  std::vector<EditOp> usable;
+  std::vector<double> costs;
+  for (EditOp& op : picky) {
+    double c = cost.Cost(op);
+    if (c <= cfg.budget + kEps) {
+      usable.push_back(std::move(op));
+      costs.push_back(c);
+    }
+  }
+  out.picky_count = usable.size();
+
+  double best_cl = -1.0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  OperatorSet best_ops;
+  EvalResult best_eval;
+  size_t verified = 0;
+  Timer exact_timer;
+  bool timed_out = false;
+
+
+  AdmitFn admit = [&](const std::vector<size_t>& cur, size_t next) {
+    OperatorSet ops = Select(usable, cur);
+    ops.push_back(usable[next]);
+    return eval.GuardOk(ApplyOperators(q, ops));
+  };
+  MbsStats stats;
+  {
+    stats = EnumerateMaximalBoundedSets(
+      costs, BuildConflicts(usable), cfg.budget, cfg.max_mbs,
+      [&](const std::vector<size_t>& idx) {
+        ++verified;
+        OperatorSet ops = Select(usable, idx);
+        Query rewritten = ApplyOperators(q, ops);
+        EvalResult r = eval.Evaluate(rewritten);
+        if (!r.guard_ok) return true;
+        double c = cost.Cost(ops);
+        if (r.closeness > best_cl + kEps ||
+            (r.closeness > best_cl - kEps && c < best_cost)) {
+          best_cl = r.closeness;
+          best_cost = c;
+          best_ops = std::move(ops);
+          best_eval = r;
+        }
+        if (cfg.exact_time_limit_ms > 0 &&
+            exact_timer.ElapsedMillis() > cfg.exact_time_limit_ms) {
+          timed_out = true;
+          return false;
+        }
+        return best_cl < 1.0 - kEps;
+      },
+      admit,
+      [&]() {
+        if (cfg.exact_time_limit_ms > 0 &&
+            exact_timer.ElapsedMillis() > cfg.exact_time_limit_ms) {
+          timed_out = true;
+          return true;
+        }
+        return false;
+      });
+  }
+  out.sets_verified = verified;
+  out.exhaustive = !stats.truncated && !timed_out;
+
+  // Fallback under truncation (see ExactWhy): never worse than the fast
+  // heuristic.
+  if (!out.exhaustive) {
+    RewriteAnswer seed = FastWhyNot(g, q, answers, w, cfg);
+    if (seed.found && seed.eval.guard_ok &&
+        seed.cost <= cfg.budget + kEps &&
+        (seed.eval.closeness > best_cl + kEps ||
+         (seed.eval.closeness > best_cl - kEps && seed.cost < best_cost))) {
+      best_cl = seed.eval.closeness;
+      best_cost = seed.cost;
+      best_ops = std::move(seed.ops);
+      best_eval = seed.eval;
+    }
+  }
+
+  if (best_cl < 0.0 || best_ops.empty()) {
+    out.eval = eval.Evaluate(q);
+    return out;
+  }
+  out.found = best_eval.closeness > 0.0;
+  out.ops = std::move(best_ops);
+  out.rewritten = ApplyOperators(q, out.ops);
+  out.eval = best_eval;
+  if (cfg.minimize_cost) {
+    MinimizeCostWhyNot(q, eval, cost, out.ops, out.eval, out.rewritten);
+  }
+  out.cost = cost.Cost(out.ops);
+  out.estimated_closeness = out.eval.closeness;
+  return out;
+}
+
+namespace {
+
+// Shared greedy skeleton for FastWhyNot / IsoWhyNot.
+RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
+                           const std::vector<NodeId>& answers,
+                           const WhyNotQuestion& w, const AnswerConfig& cfg,
+                           bool exact) {
+  RewriteAnswer out;
+  out.exhaustive = true;  // greedy: nothing to truncate
+  out.rewritten = q;
+  WhyNotEvaluator eval(g, answers, w, cfg.guard_m, cfg.semantics);
+  CostModel cost(q, g, cfg.weighted_cost);
+  PathIndex pidx(q, cfg.path_index_paths);
+
+  const NodeSet& protected_set = eval.protected_set();
+
+  std::vector<EditOp> picky = GenPickyWhyNot(g, q, eval.missing(), cfg);
+  struct Cand {
+    EditOp op;
+    double cost = 0.0;
+    std::vector<NodeId> covered;  // estimated (or exact) new matches in V_C
+  };
+  std::vector<Cand> cands;
+  for (EditOp& op : picky) {
+    double c = cost.Cost(op);
+    if (c > cfg.budget + kEps) continue;
+    Cand cand;
+    cand.op = std::move(op);
+    cand.cost = c;
+    Query single = ApplyOperators(q, {cand.op});
+    if (exact) {
+      cand.covered = eval.NewMatches(single);
+    } else {
+      for (NodeId v : eval.missing()) {
+        if (pidx.Passes(g, single, v)) cand.covered.push_back(v);
+      }
+    }
+    cands.push_back(std::move(cand));
+  }
+  out.picky_count = cands.size();
+
+  // Conflict adjacency: operators editing the same literal/edge cannot
+  // be co-selected.
+  std::vector<EditOp> cand_ops;
+  cand_ops.reserve(cands.size());
+  for (const auto& c : cands) cand_ops.push_back(c.op);
+  std::vector<std::vector<size_t>> conflicts = BuildConflicts(cand_ops);
+
+  auto estimate = [&](const NodeSet& covered_union,
+                      const Query& rw) -> CloseEstimate {
+    if (exact) {
+      (void)covered_union;
+      EvalResult r = eval.Evaluate(rw);
+      CloseEstimate e;
+      e.closeness = r.closeness;
+      e.guard = r.guard;
+      e.guard_ok = r.guard_ok;
+      return e;
+    }
+    return EstimateWhyNot(g, rw, pidx, covered_union, eval.missing(),
+                          protected_set, cfg.guard_m, cfg.est_guard_scan);
+  };
+
+  // Soft (partial-credit) score: how far along each missing entity is
+  // toward matching. Single relaxations frequently have zero hard marginal
+  // gain (an entity needs several constraints lifted at once); the soft
+  // score lets the greedy bootstrap such combinations (see DESIGN.md).
+  auto soft_score = [&](const NodeSet& covered_union, const Query& rw) {
+    double s = 0.0;
+    for (NodeId v : eval.missing()) {
+      s += covered_union.Contains(v) ? 1.0 : pidx.PassFraction(g, rw, v);
+    }
+    return eval.missing().empty()
+               ? 0.0
+               : s / static_cast<double>(eval.missing().size());
+  };
+
+  std::vector<size_t> selected;
+  NodeSet covered(std::vector<NodeId>{}, g.node_count());
+  double spent = 0.0;
+  double current_cl = 0.0;
+  double current_soft = soft_score(covered, q);
+  std::vector<uint8_t> in_pool(cands.size(), 1);
+  size_t pool = cands.size();
+
+  while (pool > 0 && current_cl < 1.0 - kEps) {
+    ++out.sets_verified;
+    long best = -1;
+    double best_ratio = -1.0;
+    double best_gain = 0.0;
+    double best_soft_gain = 0.0;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      if (!in_pool[i]) continue;
+      NodeSet cov = covered;
+      for (NodeId v : cands[i].covered) cov.Insert(v);
+      OperatorSet trial_ops;
+      for (size_t j : selected) trial_ops.push_back(cands[j].op);
+      trial_ops.push_back(cands[i].op);
+      Query rw = ApplyOperators(q, trial_ops);
+      CloseEstimate est = estimate(cov, rw);
+      double gain = est.closeness - current_cl;
+      double soft_gain = soft_score(cov, rw) - current_soft;
+      // Hard gains dominate; soft gains break zero-gain ties.
+      double ratio = (gain + 1e-3 * soft_gain) / cands[i].cost;
+      if (ratio > best_ratio + kEps) {
+        best_ratio = ratio;
+        best = static_cast<long>(i);
+        best_gain = gain;
+        best_soft_gain = soft_gain;
+      }
+    }
+    if (best < 0) break;
+    size_t b = static_cast<size_t>(best);
+    in_pool[b] = 0;
+    --pool;
+    if (best_gain <= kEps && best_soft_gain <= kEps) continue;
+    if (spent + cands[b].cost > cfg.budget + kEps) continue;
+    NodeSet cov = covered;
+    for (NodeId v : cands[b].covered) cov.Insert(v);
+    OperatorSet trial_ops;
+    for (size_t j : selected) trial_ops.push_back(cands[j].op);
+    trial_ops.push_back(cands[b].op);
+    Query rw = ApplyOperators(q, trial_ops);
+    CloseEstimate est = estimate(cov, rw);
+    if (!est.guard_ok) continue;
+    for (size_t j : conflicts[b]) {
+      if (in_pool[j]) {
+        in_pool[j] = 0;
+        --pool;
+      }
+    }
+    selected.push_back(b);
+    covered = std::move(cov);
+    spent += cands[b].cost;
+    current_cl = est.closeness;
+    current_soft = soft_score(covered, rw);
+  }
+
+  if (selected.empty()) {
+    out.eval = eval.Evaluate(q);
+    return out;
+  }
+  // Drop operators that no longer contribute to the (estimated) closeness —
+  // bootstrap steps that never paid off.
+  bool changed = true;
+  while (changed && selected.size() > 1) {
+    changed = false;
+    for (size_t i = 0; i < selected.size(); ++i) {
+      std::vector<size_t> trial = selected;
+      trial.erase(trial.begin() + static_cast<long>(i));
+      NodeSet cov(std::vector<NodeId>{}, g.node_count());
+      OperatorSet trial_ops;
+      for (size_t j : trial) {
+        trial_ops.push_back(cands[j].op);
+        for (NodeId v : cands[j].covered) cov.Insert(v);
+      }
+      Query rw = ApplyOperators(q, trial_ops);
+      CloseEstimate est = estimate(cov, rw);
+      if (est.guard_ok && est.closeness >= current_cl - kEps) {
+        selected = std::move(trial);
+        current_cl = est.closeness;
+        changed = true;
+        break;
+      }
+    }
+  }
+  OperatorSet ops;
+  for (size_t j : selected) ops.push_back(cands[j].op);
+  out.ops = std::move(ops);
+  out.rewritten = ApplyOperators(q, out.ops);
+  out.cost = cost.Cost(out.ops);
+  out.eval = eval.Evaluate(out.rewritten);
+  out.estimated_closeness = current_cl;
+  out.found = out.eval.guard_ok && out.eval.closeness > 0.0;
+  return out;
+}
+
+}  // namespace
+
+RewriteAnswer FastWhyNot(const Graph& g, const Query& q,
+                         const std::vector<NodeId>& answers,
+                         const WhyNotQuestion& w, const AnswerConfig& cfg) {
+  return GreedyWhyNot(g, q, answers, w, cfg, /*exact=*/false);
+}
+
+RewriteAnswer IsoWhyNot(const Graph& g, const Query& q,
+                        const std::vector<NodeId>& answers,
+                        const WhyNotQuestion& w, const AnswerConfig& cfg) {
+  return GreedyWhyNot(g, q, answers, w, cfg, /*exact=*/true);
+}
+
+}  // namespace whyq

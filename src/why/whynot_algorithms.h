@@ -1,0 +1,38 @@
+#ifndef WHYQ_WHY_WHYNOT_ALGORITHMS_H_
+#define WHYQ_WHY_WHYNOT_ALGORITHMS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/query.h"
+#include "why/question.h"
+#include "why/why_algorithms.h"
+
+namespace whyq {
+
+/// ExactWhyNot (Section V-A): the Why-side exact scheme with relaxation
+/// picky operators (Lemma 7) — MBS enumeration, incremental verification of
+/// V_C inclusion, early-terminating guard counting, early break at
+/// closeness 1, optional cost-minimizing post-processing.
+RewriteAnswer ExactWhyNot(const Graph& g, const Query& q,
+                          const std::vector<NodeId>& answers,
+                          const WhyNotQuestion& w, const AnswerConfig& cfg);
+
+/// FastWhyNot (Section V-B): budgeted-max-cover greedy over *estimated*
+/// new matches — per-operator coverage and set-level screening both use the
+/// sampled path index, so the selection loop performs no subgraph
+/// isomorphism test at all (the returned answer is still evaluated exactly
+/// for reporting).
+RewriteAnswer FastWhyNot(const Graph& g, const Query& q,
+                         const std::vector<NodeId>& answers,
+                         const WhyNotQuestion& w, const AnswerConfig& cfg);
+
+/// IsoWhyNot: FastWhyNot's greedy with exact Match-based marginal gains
+/// (the paper's costlier baseline).
+RewriteAnswer IsoWhyNot(const Graph& g, const Query& q,
+                        const std::vector<NodeId>& answers,
+                        const WhyNotQuestion& w, const AnswerConfig& cfg);
+
+}  // namespace whyq
+
+#endif  // WHYQ_WHY_WHYNOT_ALGORITHMS_H_

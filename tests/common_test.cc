@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/dictionary.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/value.h"
+
+namespace whyq {
+namespace {
+
+TEST(ValueTest, KindPredicates) {
+  EXPECT_TRUE(Value(int64_t{5}).is_int());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_TRUE(Value(int64_t{5}).is_numeric());
+  EXPECT_TRUE(Value(3.5).is_numeric());
+  EXPECT_FALSE(Value("abc").is_numeric());
+}
+
+TEST(ValueTest, NumericCompareAcrossKinds) {
+  EXPECT_EQ(Value(int64_t{5}).Compare(Value(5.0)), 0);
+  EXPECT_EQ(Value(int64_t{5}).Compare(Value(5.5)), -1);
+  EXPECT_EQ(Value(7.5).Compare(Value(int64_t{7})), 1);
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_EQ(Value("abc").Compare(Value("abd")), -1);
+  EXPECT_EQ(Value("abc").Compare(Value("abc")), 0);
+  EXPECT_EQ(Value("b").Compare(Value("a")), 1);
+}
+
+TEST(ValueTest, CrossKindIncomparable) {
+  EXPECT_FALSE(Value("5").Compare(Value(int64_t{5})).has_value());
+  EXPECT_FALSE(Value(int64_t{5}).Compare(Value("5")).has_value());
+}
+
+TEST(ValueTest, SatisfiesAllOperators) {
+  Value five{int64_t{5}};
+  EXPECT_TRUE(five.Satisfies(CompareOp::kLt, Value(int64_t{6})));
+  EXPECT_FALSE(five.Satisfies(CompareOp::kLt, Value(int64_t{5})));
+  EXPECT_TRUE(five.Satisfies(CompareOp::kLe, Value(int64_t{5})));
+  EXPECT_TRUE(five.Satisfies(CompareOp::kEq, Value(int64_t{5})));
+  EXPECT_TRUE(five.Satisfies(CompareOp::kGe, Value(int64_t{5})));
+  EXPECT_TRUE(five.Satisfies(CompareOp::kGt, Value(int64_t{4})));
+  EXPECT_FALSE(five.Satisfies(CompareOp::kGt, Value(int64_t{5})));
+}
+
+TEST(ValueTest, SatisfiesIncomparableIsFalse) {
+  EXPECT_FALSE(Value("x").Satisfies(CompareOp::kEq, Value(int64_t{1})));
+  EXPECT_FALSE(Value(int64_t{1}).Satisfies(CompareOp::kLe, Value("x")));
+}
+
+TEST(ValueTest, ExactEqualityIsKindSensitive) {
+  EXPECT_NE(Value(int64_t{5}), Value(5.0));
+  EXPECT_EQ(Value(int64_t{5}), Value(int64_t{5}));
+  EXPECT_EQ(Value("a"), Value("a"));
+}
+
+TEST(ValueTest, ContainerOrderIsTotal) {
+  std::set<Value> s;
+  s.insert(Value(int64_t{1}));
+  s.insert(Value(1.0));
+  s.insert(Value("1"));
+  s.insert(Value(int64_t{1}));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(ValueTest, AbsoluteDifference) {
+  EXPECT_DOUBLE_EQ(*AbsoluteDifference(Value(int64_t{3}), Value(7.5)), 4.5);
+  EXPECT_FALSE(AbsoluteDifference(Value("a"), Value(int64_t{1})).has_value());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(CompareOpTest, NamesAndBounds) {
+  EXPECT_STREQ(CompareOpName(CompareOp::kLe), "<=");
+  EXPECT_TRUE(IsUpperBound(CompareOp::kLt));
+  EXPECT_TRUE(IsUpperBound(CompareOp::kLe));
+  EXPECT_FALSE(IsUpperBound(CompareOp::kEq));
+  EXPECT_TRUE(IsLowerBound(CompareOp::kGt));
+  EXPECT_TRUE(IsLowerBound(CompareOp::kGe));
+  EXPECT_FALSE(IsLowerBound(CompareOp::kEq));
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  SymbolId a = d.Intern("alpha");
+  SymbolId b = d.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Intern("alpha"), a);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DictionaryTest, FindAndNameOf) {
+  Dictionary d;
+  SymbolId a = d.Intern("alpha");
+  EXPECT_EQ(d.Find("alpha"), a);
+  EXPECT_FALSE(d.Find("gamma").has_value());
+  EXPECT_EQ(d.NameOf(a), "alpha");
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    int64_t v = rng.Uniform(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+}
+
+TEST(RngTest, SampleDistinctProperties) {
+  Rng rng(5);
+  std::vector<size_t> s = rng.SampleDistinct(100, 10);
+  EXPECT_EQ(s.size(), 10u);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+  for (size_t x : s) EXPECT_LT(x, 100u);
+  // k >= n returns everything.
+  EXPECT_EQ(rng.SampleDistinct(5, 10).size(), 5u);
+  // Dense case goes through partial Fisher-Yates.
+  std::vector<size_t> dense = rng.SampleDistinct(10, 9);
+  EXPECT_EQ(std::set<size_t>(dense.begin(), dense.end()).size(), 9u);
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(7);
+  size_t first_bucket = 0;
+  for (int i = 0; i < 2000; ++i) {
+    size_t z = rng.Zipf(50, 1.2);
+    ASSERT_LT(z, 50u);
+    if (z == 0) ++first_bucket;
+  }
+  // Rank 0 should clearly dominate a uniform share (40 expected uniform).
+  EXPECT_GT(first_bucket, 200u);
+}
+
+TEST(TextTableTest, AlignsAndCounts) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "2.5"});
+  EXPECT_EQ(t.row_count(), 2u);
+  std::string s = t.ToString("demo");
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatting) {
+  EXPECT_EQ(TextTable::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::Num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace whyq

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "gen/figure1.h"
+#include "rewrite/cost_model.h"
+
+namespace whyq {
+namespace {
+
+class CostModelTest : public testing::Test {
+ protected:
+  CostModelTest() : f_(MakeFigure1()) {
+    price_ = *f_.graph.attr_names().Find("Price");
+    val_ = *f_.graph.attr_names().Find("val");
+    carrier_ = *f_.graph.attr_names().Find("carrier");
+    series_ = *f_.graph.edge_labels().Find("series");
+    color_ = *f_.graph.edge_labels().Find("color");
+  }
+  Figure1 f_;
+  SymbolId price_, val_, carrier_, series_, color_;
+};
+
+TEST_F(CostModelTest, CentralityOfFigure1) {
+  CostModel cm(f_.query, f_.graph);
+  EXPECT_DOUBLE_EQ(cm.Centrality(0), 2.0);  // output
+  EXPECT_DOUBLE_EQ(cm.Centrality(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.Centrality(2), 1.0);
+  EXPECT_EQ(cm.diameter(), 2u);
+}
+
+TEST_F(CostModelTest, Example4WhyCostIsFour) {
+  // O_1 = {AddL(Cellphone.Price > 120), AddE(Cellphone -series-> Series)
+  // carrying AddL(Series.val = S)} has total cost 4 in the paper.
+  CostModel cm(f_.query, f_.graph);
+  EditOp addl;
+  addl.kind = OpKind::kAddL;
+  addl.u = 0;
+  addl.after = Literal{price_, CompareOp::kGt, Value(int64_t{120})};
+  EditOp adde;
+  adde.kind = OpKind::kAddE;
+  adde.u = 0;
+  adde.edge_label = series_;
+  adde.new_node =
+      NewNodeSpec{*f_.graph.node_labels().Find("Series"),
+                  {Literal{val_, CompareOp::kEq, Value("S")}}};
+  EXPECT_DOUBLE_EQ(cm.Cost(addl), 2.0);
+  EXPECT_DOUBLE_EQ(cm.Cost(adde), 2.0);  // edge 1 + bundled literal 1
+  EXPECT_DOUBLE_EQ(cm.Cost(OperatorSet{addl, adde}), 4.0);
+}
+
+TEST_F(CostModelTest, EdgeOperatorsUseMinEndpointCentrality) {
+  CostModel cm(f_.query, f_.graph);
+  EditOp rme;
+  rme.kind = OpKind::kRmE;
+  rme.u = 0;
+  rme.v = 1;
+  rme.edge_label = color_;
+  EXPECT_DOUBLE_EQ(cm.Cost(rme), 1.0);  // min(2, 1)
+}
+
+TEST_F(CostModelTest, WeightedRxLChargesValueDistance) {
+  CostModel cm(f_.query, f_.graph, /*weighted=*/true);
+  EditOp rxl;
+  rxl.kind = OpKind::kRxL;
+  rxl.u = 0;
+  rxl.before = Literal{price_, CompareOp::kLe, Value(int64_t{650})};
+  rxl.after = Literal{price_, CompareOp::kLe, Value(int64_t{799})};
+  // Price range over the graph is [120, 799] -> w = 1 + 149/679.
+  double expected = (1.0 + 149.0 / 679.0) * 2.0;
+  EXPECT_NEAR(cm.Cost(rxl), expected, 1e-9);
+
+  CostModel unweighted(f_.query, f_.graph, /*weighted=*/false);
+  EXPECT_DOUBLE_EQ(unweighted.Cost(rxl), 2.0);
+}
+
+TEST_F(CostModelTest, WeightIgnoredForNonNumericAttrs) {
+  CostModel cm(f_.query, f_.graph, /*weighted=*/true);
+  EditOp rfl;
+  rfl.kind = OpKind::kRfL;
+  rfl.u = 2;
+  rfl.before = Literal{carrier_, CompareOp::kEq, Value("AT&T")};
+  rfl.after = Literal{carrier_, CompareOp::kEq, Value("T-Mobile")};
+  EXPECT_DOUBLE_EQ(cm.Cost(rfl), 1.0);
+}
+
+TEST_F(CostModelTest, RmLAndAddLAreUnweighted) {
+  CostModel cm(f_.query, f_.graph, /*weighted=*/true);
+  EditOp rml;
+  rml.kind = OpKind::kRmL;
+  rml.u = 0;
+  rml.before = Literal{price_, CompareOp::kLe, Value(int64_t{650})};
+  EXPECT_DOUBLE_EQ(cm.Cost(rml), 2.0);
+}
+
+TEST_F(CostModelTest, MinOperatorCostBound) {
+  CostModel cm(f_.query, f_.graph);
+  // d_Q/(d_Q+2) = 2/4.
+  EXPECT_DOUBLE_EQ(cm.MinOperatorCost(), 0.5);
+  // Every operator on the query costs at least that.
+  EditOp rml;
+  rml.kind = OpKind::kRmL;
+  rml.u = 1;
+  rml.before = Literal{val_, CompareOp::kEq, Value("pink")};
+  EXPECT_GE(cm.Cost(rml), cm.MinOperatorCost());
+}
+
+TEST_F(CostModelTest, BareCompositeAddECostsEdgeOnly) {
+  CostModel cm(f_.query, f_.graph);
+  EditOp adde;
+  adde.kind = OpKind::kAddE;
+  adde.u = 1;  // distance 1 -> new node at distance 2, oc = 2/3
+  adde.edge_label = series_;
+  adde.new_node = NewNodeSpec{*f_.graph.node_labels().Find("Series"), {}};
+  EXPECT_NEAR(cm.Cost(adde), 2.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace whyq

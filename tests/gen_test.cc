@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/bsbm.h"
+#include "gen/profiles.h"
+#include "gen/query_gen.h"
+#include "gen/question_gen.h"
+#include "graph/graph_stats.h"
+#include "matcher/candidates.h"
+#include "matcher/matcher.h"
+
+namespace whyq {
+namespace {
+
+TEST(BsbmTest, SchemaAndScale) {
+  BsbmConfig cfg;
+  cfg.products = 500;
+  Graph g = GenerateBsbm(cfg);
+  GraphStats s = ComputeStats(g);
+  // Products + producers + types + features + vendors + persons + offers
+  // + reviews.
+  EXPECT_GT(s.nodes, 2000u);
+  EXPECT_GT(s.edges, s.nodes);
+  EXPECT_EQ(s.node_labels, 8u);
+  // Every product must have a producer and a type.
+  SymbolId product = *g.node_labels().Find("Product");
+  SymbolId producer_edge = *g.edge_labels().Find("producer");
+  SymbolId type_edge = *g.edge_labels().Find("type");
+  for (NodeId v : g.NodesWithLabel(product)) {
+    bool has_producer = false;
+    bool has_type = false;
+    for (const HalfEdge& e : g.out_edges(v)) {
+      has_producer |= e.label == producer_edge;
+      has_type |= e.label == type_edge;
+    }
+    EXPECT_TRUE(has_producer);
+    EXPECT_TRUE(has_type);
+  }
+}
+
+TEST(BsbmTest, DeterministicForSeed) {
+  BsbmConfig cfg;
+  cfg.products = 200;
+  Graph a = GenerateBsbm(cfg);
+  Graph b = GenerateBsbm(cfg);
+  EXPECT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  // Spot-check attribute equality on a few nodes.
+  for (NodeId v : {0u, 57u, 199u}) {
+    ASSERT_EQ(a.attrs(v).size(), b.attrs(v).size());
+    for (size_t i = 0; i < a.attrs(v).size(); ++i) {
+      EXPECT_EQ(a.attrs(v)[i].value, b.attrs(v)[i].value);
+    }
+  }
+}
+
+TEST(BsbmTest, ScalesLinearly) {
+  BsbmConfig small;
+  small.products = 200;
+  BsbmConfig big = small;
+  big.products = 400;
+  Graph gs = GenerateBsbm(small);
+  Graph gb = GenerateBsbm(big);
+  double ratio = static_cast<double>(gb.node_count()) /
+                 static_cast<double>(gs.node_count());
+  EXPECT_NEAR(ratio, 2.0, 0.2);
+}
+
+TEST(ProfilesTest, AllProfilesGenerate) {
+  for (DatasetProfile p : kAllProfiles) {
+    Graph g = GenerateProfile(p, 2000, 3);
+    GraphStats s = ComputeStats(g);
+    EXPECT_EQ(s.nodes, 2000u) << DatasetProfileName(p);
+    EXPECT_GT(s.edges, 0u);
+    EXPECT_FALSE(std::string(DatasetProfileName(p)).empty());
+    EXPECT_GT(DefaultProfileNodes(p), 1000u);
+  }
+}
+
+TEST(ProfilesTest, ShapesDiffer) {
+  Graph yago = GenerateProfile(DatasetProfile::kYago, 3000, 3);
+  Graph pokec = GenerateProfile(DatasetProfile::kPokec, 3000, 3);
+  GraphStats sy = ComputeStats(yago);
+  GraphStats sp = ComputeStats(pokec);
+  // Pokec: one label, dense; Yago: many labels, sparse.
+  EXPECT_EQ(sp.node_labels, 1u);
+  EXPECT_GT(sy.node_labels, 100u);
+  EXPECT_GT(sp.avg_out_degree, 4 * sy.avg_out_degree);
+  EXPECT_GT(sp.avg_attrs_per_node, sy.avg_attrs_per_node);
+}
+
+class QueryGenTest : public testing::Test {
+ protected:
+  QueryGenTest() : g_(GenerateProfile(DatasetProfile::kIMDb, 4000, 17)) {}
+  Graph g_;
+};
+
+TEST_F(QueryGenTest, GeneratesQueriesWithNonEmptyAnswers) {
+  Rng rng(1);
+  QueryGenConfig cfg;
+  cfg.edges = 4;
+  cfg.literals_per_node = 2;
+  Matcher m(g_);
+  size_t generated = 0;
+  for (int i = 0; i < 5; ++i) {
+    std::optional<GeneratedQuery> gq = GenerateQuery(g_, cfg, rng);
+    if (!gq.has_value()) continue;
+    ++generated;
+    EXPECT_EQ(gq->query.edge_count(), 4u);
+    EXPECT_GE(gq->answers.size(), cfg.min_answers);
+    EXPECT_LE(gq->answers.size(), cfg.max_answers);
+    // Precomputed answers agree with the matcher.
+    EXPECT_EQ(m.MatchOutput(gq->query).size(), gq->answers.size());
+    // The witness matches node-locally: right labels, literals satisfied.
+    ASSERT_EQ(gq->witness.size(), gq->query.node_count());
+    for (QNodeId u = 0; u < gq->query.node_count(); ++u) {
+      EXPECT_TRUE(IsCandidate(g_, gq->witness[u], gq->query.node(u)));
+    }
+    std::string err;
+    EXPECT_TRUE(gq->query.Validate(&err)) << err;
+    EXPECT_TRUE(gq->query.IsConnected());
+  }
+  EXPECT_GT(generated, 0u);
+}
+
+TEST_F(QueryGenTest, TreeTopologyHasNoExtraEdges) {
+  QueryGenConfig cfg;
+  cfg.edges = 3;
+  cfg.literals_per_node = 1;
+  cfg.topology = QueryTopology::kTree;
+  std::optional<GeneratedQuery> gq;
+  for (uint64_t seed = 2; seed < 10 && !gq.has_value(); ++seed) {
+    Rng rng(seed);
+    gq = GenerateQuery(g_, cfg, rng);
+  }
+  ASSERT_TRUE(gq.has_value());
+  EXPECT_EQ(gq->query.node_count(), 4u);  // edges + 1
+  EXPECT_EQ(gq->query.edge_count(), 3u);
+}
+
+TEST_F(QueryGenTest, CyclicTopologyClosesDirectedCycle) {
+  Rng rng(3);
+  QueryGenConfig cfg;
+  cfg.edges = 4;
+  cfg.topology = QueryTopology::kCyclic;
+  cfg.max_attempts = 500;
+  std::optional<GeneratedQuery> gq = GenerateQuery(g_, cfg, rng);
+  if (!gq.has_value()) GTEST_SKIP() << "no cycle found in profile graph";
+  EXPECT_EQ(gq->query.edge_count(), 4u);
+  EXPECT_EQ(gq->query.node_count(), 4u);  // tree edges + 1 extra
+}
+
+TEST_F(QueryGenTest, TopologyNames) {
+  EXPECT_STREQ(QueryTopologyName(QueryTopology::kTree), "tree");
+  EXPECT_STREQ(QueryTopologyName(QueryTopology::kAcyclic), "acyclic");
+  EXPECT_STREQ(QueryTopologyName(QueryTopology::kCyclic), "cyclic");
+}
+
+TEST_F(QueryGenTest, EmptyGraphYieldsNothing) {
+  Graph empty;
+  Rng rng(1);
+  QueryGenConfig cfg;
+  EXPECT_FALSE(GenerateQuery(empty, cfg, rng).has_value());
+}
+
+class QuestionGenTest : public testing::Test {
+ protected:
+  QuestionGenTest() : g_(GenerateProfile(DatasetProfile::kIMDb, 4000, 17)) {
+    QueryGenConfig cfg;
+    cfg.edges = 3;
+    cfg.literals_per_node = 1;
+    cfg.min_answers = 4;
+    for (uint64_t seed = 4; seed < 16; ++seed) {
+      Rng rng(seed);
+      std::optional<GeneratedQuery> gq = GenerateQuery(g_, cfg, rng);
+      if (gq.has_value()) {
+        gq_ = std::move(*gq);
+        break;
+      }
+    }
+  }
+  Graph g_;
+  GeneratedQuery gq_;
+};
+
+TEST_F(QuestionGenTest, WhyQuestionSamplesAnswers) {
+  if (gq_.answers.empty()) GTEST_SKIP();
+  Rng rng(5);
+  WhyQuestion w = GenerateWhyQuestion(gq_, 3, rng);
+  EXPECT_FALSE(w.unexpected.empty());
+  EXPECT_LE(w.unexpected.size(), 3u);
+  // All unexpected are answers; at least one answer is left desired.
+  std::set<NodeId> ans(gq_.answers.begin(), gq_.answers.end());
+  for (NodeId v : w.unexpected) EXPECT_TRUE(ans.count(v));
+  EXPECT_LT(w.unexpected.size(), gq_.answers.size());
+}
+
+TEST_F(QuestionGenTest, GrowWhyQuestionAddsFreshAnswers) {
+  if (gq_.answers.size() < 3) GTEST_SKIP();
+  Rng rng(6);
+  WhyQuestion w = GenerateWhyQuestion(gq_, 1, rng);
+  size_t before = w.unexpected.size();
+  ASSERT_TRUE(GrowWhyQuestion(gq_, &w, rng));
+  EXPECT_EQ(w.unexpected.size(), before + 1);
+  std::set<NodeId> uniq(w.unexpected.begin(), w.unexpected.end());
+  EXPECT_EQ(uniq.size(), w.unexpected.size());
+}
+
+TEST_F(QuestionGenTest, WhyNotQuestionAvoidsAnswers) {
+  if (gq_.answers.empty()) GTEST_SKIP();
+  Rng rng(7);
+  std::optional<WhyNotQuestion> w =
+      GenerateWhyNotQuestion(g_, gq_, 3, 0, rng);
+  if (!w.has_value()) GTEST_SKIP() << "no same-label non-answers";
+  EXPECT_FALSE(w->missing.empty());
+  std::set<NodeId> ans(gq_.answers.begin(), gq_.answers.end());
+  SymbolId out_label = gq_.query.node(gq_.query.output()).label;
+  for (NodeId v : w->missing) {
+    EXPECT_FALSE(ans.count(v));
+    EXPECT_EQ(g_.label(v), out_label);
+  }
+}
+
+TEST_F(QuestionGenTest, ConstraintSatisfiedBySomeMissing) {
+  if (gq_.answers.empty()) GTEST_SKIP();
+  Rng rng(8);
+  std::optional<WhyNotQuestion> w =
+      GenerateWhyNotQuestion(g_, gq_, 3, 2, rng);
+  if (!w.has_value() || w->condition.empty()) GTEST_SKIP();
+  EXPECT_LE(w->condition.literals.size(), 2u);
+  bool some = false;
+  for (NodeId v : w->missing) {
+    some |= w->condition.Satisfies(g_, v, w->missing);
+  }
+  EXPECT_TRUE(some);
+}
+
+}  // namespace
+}  // namespace whyq

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+
+namespace whyq {
+namespace {
+
+TEST(TypedValueTest, ParseAllKinds) {
+  EXPECT_EQ(ParseTypedValue("i:42")->as_int(), 42);
+  EXPECT_EQ(ParseTypedValue("i:-3")->as_int(), -3);
+  EXPECT_DOUBLE_EQ(ParseTypedValue("d:2.5")->as_double(), 2.5);
+  EXPECT_EQ(ParseTypedValue("s:hello")->as_string(), "hello");
+}
+
+TEST(TypedValueTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseTypedValue("").has_value());
+  EXPECT_FALSE(ParseTypedValue("x:1").has_value());
+  EXPECT_FALSE(ParseTypedValue("i:abc").has_value());
+  EXPECT_FALSE(ParseTypedValue("i:12x").has_value());
+  EXPECT_FALSE(ParseTypedValue("d:").has_value());
+  EXPECT_FALSE(ParseTypedValue("42").has_value());
+}
+
+TEST(TypedValueTest, FormatRoundTrips) {
+  for (const Value& v :
+       {Value(int64_t{7}), Value(-1.25), Value("txt")}) {
+    std::optional<Value> back = ParseTypedValue(FormatTypedValue(v));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+Graph SampleGraph() {
+  GraphBuilder b;
+  NodeId a = b.AddNode("Person");
+  b.SetAttr(a, "age", Value(int64_t{30}));
+  b.SetAttr(a, "name", Value("ann"));
+  NodeId c = b.AddNode("City");
+  b.SetAttr(c, "pop", Value(1.5));
+  b.AddEdge(a, c, "lives_in");
+  b.AddEdge(c, a, "hosts");
+  return b.Build();
+}
+
+TEST(GraphIoTest, WriteReadRoundTrip) {
+  Graph g = SampleGraph();
+  std::ostringstream os;
+  WriteGraph(g, os);
+  std::istringstream is(os.str());
+  std::string err;
+  std::optional<Graph> back = ReadGraph(is, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  GraphStats s1 = ComputeStats(g);
+  GraphStats s2 = ComputeStats(*back);
+  EXPECT_EQ(s1.nodes, s2.nodes);
+  EXPECT_EQ(s1.edges, s2.edges);
+  EXPECT_EQ(s1.attributes, s2.attributes);
+  // Content check: node 0's attributes survive.
+  SymbolId age = *back->attr_names().Find("age");
+  EXPECT_EQ(back->GetAttr(0, age)->as_int(), 30);
+  SymbolId lives = *back->edge_labels().Find("lives_in");
+  EXPECT_TRUE(back->HasEdge(0, 1, lives));
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::istringstream is("# header\n\nN A x=i:1\n# mid\nN B\nE 0 1 r\n");
+  std::string err;
+  std::optional<Graph> g = ReadGraph(is, &err);
+  ASSERT_TRUE(g.has_value()) << err;
+  EXPECT_EQ(g->node_count(), 2u);
+  EXPECT_EQ(g->edge_count(), 1u);
+}
+
+TEST(GraphIoTest, EdgeBeforeNodesIsBuffered) {
+  std::istringstream is("E 0 1 r\nN A\nN B\n");
+  std::string err;
+  std::optional<Graph> g = ReadGraph(is, &err);
+  ASSERT_TRUE(g.has_value()) << err;
+  EXPECT_EQ(g->edge_count(), 1u);
+}
+
+TEST(GraphIoTest, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"N\n", "label"},
+      {"N A bad\n", "attr"},
+      {"N A x=q:1\n", "value"},
+      {"E 0 1\n", "edge line"},
+      {"Z whatever\n", "unknown"},
+      {"N A\nE 0 5 r\n", "out of range"},
+  };
+  for (const Case& c : cases) {
+    std::istringstream is(c.text);
+    std::string err;
+    EXPECT_FALSE(ReadGraph(is, &err).has_value()) << c.text;
+    EXPECT_NE(err.find("line"), std::string::npos) << err;
+    EXPECT_NE(err.find(c.needle), std::string::npos) << err;
+  }
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Graph g = SampleGraph();
+  std::string path = testing::TempDir() + "/whyq_io_test.graph";
+  ASSERT_TRUE(WriteGraphToFile(g, path));
+  std::string err;
+  std::optional<Graph> back = ReadGraphFromFile(path, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->node_count(), g.node_count());
+}
+
+TEST(GraphIoTest, MissingFileReportsError) {
+  std::string err;
+  EXPECT_FALSE(ReadGraphFromFile("/nonexistent/x.graph", &err).has_value());
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace whyq

@@ -1,0 +1,179 @@
+// Oracle suites: the production matcher and the dual-simulation fixpoint
+// are checked against brute-force reference implementations on randomly
+// generated small instances — the strongest correctness evidence short of
+// proofs, per seed-parameterized sweeps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/rng.h"
+#include "matcher/candidates.h"
+#include "matcher/matcher.h"
+#include "matcher/simulation.h"
+
+namespace whyq {
+namespace {
+
+struct Instance {
+  Graph g;
+  Query q;
+};
+
+// Random small attributed graph + random small query over its label space.
+Instance MakeInstance(uint64_t seed) {
+  Rng rng(seed);
+  Instance inst;
+  GraphBuilder b;
+  size_t n = 5 + rng.Index(8);           // 5..12 nodes
+  size_t n_labels = 2 + rng.Index(3);    // 2..4 labels
+  size_t n_elabels = 1 + rng.Index(2);   // 1..2 edge labels
+  for (size_t i = 0; i < n; ++i) {
+    NodeId v = b.AddNode("L" + std::to_string(rng.Index(n_labels)));
+    b.SetAttr(v, "x", Value(rng.Uniform(0, 4)));
+    if (rng.Chance(0.5)) b.SetAttr(v, "y", Value(rng.Uniform(0, 2)));
+  }
+  size_t m = n + rng.Index(2 * n);
+  for (size_t i = 0; i < m; ++i) {
+    b.AddEdge(static_cast<NodeId>(rng.Index(n)),
+              static_cast<NodeId>(rng.Index(n)),
+              "r" + std::to_string(rng.Index(n_elabels)));
+  }
+  inst.g = b.Build();
+
+  Query& q = inst.q;
+  size_t qn = 2 + rng.Index(2);  // 2..3 query nodes
+  for (size_t i = 0; i < qn; ++i) {
+    SymbolId label = static_cast<SymbolId>(rng.Index(n_labels));
+    q.AddNode(label);
+    if (rng.Chance(0.6)) {
+      Literal l;
+      l.attr = 0;  // "x"
+      l.op = rng.Chance(0.5) ? CompareOp::kLe : CompareOp::kGe;
+      l.constant = Value(rng.Uniform(0, 4));
+      q.AddLiteral(static_cast<QNodeId>(i), l);
+    }
+  }
+  // Connected-ish edge set: a path plus an optional extra edge.
+  for (size_t i = 1; i < qn; ++i) {
+    QNodeId a = static_cast<QNodeId>(i - 1);
+    QNodeId bq = static_cast<QNodeId>(i);
+    if (rng.Chance(0.5)) std::swap(a, bq);
+    q.AddEdge(a, bq, static_cast<SymbolId>(rng.Index(n_elabels)));
+  }
+  if (qn == 3 && rng.Chance(0.5)) {
+    q.AddEdge(0, 2, static_cast<SymbolId>(rng.Index(n_elabels)));
+  }
+  q.SetOutput(static_cast<QNodeId>(rng.Index(qn)));
+  return inst;
+}
+
+// Brute-force reference: try every injective assignment of query nodes to
+// data nodes and collect the output node's images.
+std::set<NodeId> BruteForceAnswers(const Graph& g, const Query& q) {
+  std::set<NodeId> out;
+  size_t qn = q.node_count();
+  std::vector<NodeId> assign(qn, kInvalidNode);
+  std::vector<uint8_t> used(g.node_count(), 0);
+  std::function<void(size_t)> rec = [&](size_t u) {
+    if (u == qn) {
+      out.insert(assign[q.output()]);
+      return;
+    }
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (used[v] || !IsCandidate(g, v, q.node(static_cast<QNodeId>(u)))) {
+        continue;
+      }
+      assign[u] = v;
+      used[v] = 1;
+      bool ok = true;
+      for (const QueryEdge& e : q.edges()) {
+        if (e.src > u && e.dst > u) continue;
+        if (e.src <= u && e.dst <= u) {
+          if (!g.HasEdge(assign[e.src], assign[e.dst], e.label)) ok = false;
+        }
+        if (!ok) break;
+      }
+      if (ok) rec(u + 1);
+      used[v] = 0;
+      assign[u] = kInvalidNode;
+    }
+  };
+  rec(0);
+  return out;
+}
+
+class MatcherOracleTest : public testing::TestWithParam<int> {};
+
+TEST_P(MatcherOracleTest, AgreesWithBruteForce) {
+  Instance inst = MakeInstance(static_cast<uint64_t>(GetParam()) * 131 + 1);
+  Matcher m(inst.g);
+  std::vector<NodeId> got = m.MatchOutput(inst.q);
+  std::set<NodeId> got_set(got.begin(), got.end());
+  std::set<NodeId> want = BruteForceAnswers(inst.g, inst.q);
+  EXPECT_EQ(got_set, want) << inst.q.ToString(inst.g);
+  // IsAnswer agrees pointwise.
+  for (NodeId v = 0; v < inst.g.node_count(); ++v) {
+    EXPECT_EQ(m.IsAnswer(inst.q, v), want.count(v) > 0) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherOracleTest, testing::Range(0, 40));
+
+// Dual-simulation oracle: the returned relation must (1) contain only
+// candidates, (2) be closed under the forward/backward witness conditions,
+// and (3) be maximal — no pruned candidate can be added back while keeping
+// closure (checked by one round of re-insertion attempts).
+class SimulationOracleTest : public testing::TestWithParam<int> {};
+
+TEST_P(SimulationOracleTest, MaximalClosedRelation) {
+  Instance inst = MakeInstance(static_cast<uint64_t>(GetParam()) * 733 + 5);
+  const Graph& g = inst.g;
+  const Query& q = inst.q;
+  std::vector<std::vector<NodeId>> sim = DualSimulation(g, q);
+  auto member = [&](QNodeId u, NodeId v) {
+    return std::binary_search(sim[u].begin(), sim[u].end(), v);
+  };
+  auto closed_at = [&](QNodeId u, NodeId v) {
+    if (!IsCandidate(g, v, q.node(u))) return false;
+    for (const QueryEdge& e : q.edges()) {
+      if (e.src == u) {
+        bool witness = false;
+        for (const HalfEdge& he : g.out_edges(v)) {
+          witness |= he.label == e.label && member(e.dst, he.other);
+        }
+        if (!witness) return false;
+      }
+      if (e.dst == u) {
+        bool witness = false;
+        for (const HalfEdge& he : g.in_edges(v)) {
+          witness |= he.label == e.label && member(e.src, he.other);
+        }
+        if (!witness) return false;
+      }
+    }
+    return true;
+  };
+  for (QNodeId u = 0; u < q.node_count(); ++u) {
+    // (1) + (2): every member is a closed candidate.
+    for (NodeId v : sim[u]) EXPECT_TRUE(closed_at(u, v));
+    // (3): no non-member candidate is closed w.r.t. the final relation.
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (member(u, v)) continue;
+      EXPECT_FALSE(closed_at(u, v))
+          << "u" << u << " could re-admit node " << v;
+    }
+  }
+  // Simulation answers contain the isomorphism answers.
+  Matcher m(g);
+  for (NodeId v : m.MatchOutput(q)) {
+    EXPECT_TRUE(member(q.output(), v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulationOracleTest, testing::Range(0, 40));
+
+}  // namespace
+}  // namespace whyq

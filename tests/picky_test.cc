@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/figure1.h"
+#include "why/picky.h"
+
+namespace whyq {
+namespace {
+
+class PickyTest : public testing::Test {
+ protected:
+  PickyTest() : f_(MakeFigure1()) {
+    answers_ = {f_.a5, f_.s5, f_.s6};
+    price_ = *f_.graph.attr_names().Find("Price");
+    val_ = *f_.graph.attr_names().Find("val");
+    series_ = *f_.graph.edge_labels().Find("series");
+  }
+
+  bool Contains(const std::vector<EditOp>& ops,
+                const std::function<bool(const EditOp&)>& pred) {
+    return std::any_of(ops.begin(), ops.end(), pred);
+  }
+
+  Figure1 f_;
+  std::vector<NodeId> answers_;
+  AnswerConfig cfg_;
+  SymbolId price_, val_, series_;
+};
+
+TEST_F(PickyTest, WhyGeneratesPairingLowerBound) {
+  // Example 5: Price <= 650 pairs with AddL(Price > 120) / (Price > 250).
+  std::vector<EditOp> ops =
+      GenPickyWhy(f_.graph, f_.query, answers_, {f_.a5, f_.s5}, cfg_);
+  EXPECT_TRUE(Contains(ops, [&](const EditOp& o) {
+    return o.kind == OpKind::kAddL && o.u == 0 && o.after.attr == price_ &&
+           o.after.op == CompareOp::kGt && o.after.constant == Value(120);
+  }));
+  EXPECT_TRUE(Contains(ops, [&](const EditOp& o) {
+    return o.kind == OpKind::kAddL && o.u == 0 && o.after.attr == price_ &&
+           o.after.op == CompareOp::kGt && o.after.constant == Value(250);
+  }));
+}
+
+TEST_F(PickyTest, WhyGeneratesCompositeAddESeries) {
+  // Example 5: AddE(Cellphone -series-> Series[val = S]) excludes the A5.
+  std::vector<EditOp> ops =
+      GenPickyWhy(f_.graph, f_.query, answers_, {f_.a5, f_.s5}, cfg_);
+  EXPECT_TRUE(Contains(ops, [&](const EditOp& o) {
+    return o.kind == OpKind::kAddE && o.new_node.has_value() &&
+           o.edge_label == series_ && o.new_node->literals.size() == 1 &&
+           o.new_node->literals[0].attr == val_ &&
+           o.new_node->literals[0].constant == Value("S");
+  }));
+  // And the bare structural variant.
+  EXPECT_TRUE(Contains(ops, [&](const EditOp& o) {
+    return o.kind == OpKind::kAddE && o.new_node.has_value() &&
+           o.edge_label == series_ && o.new_node->literals.empty();
+  }));
+}
+
+TEST_F(PickyTest, WhyGeneratesRfLTighteningPrice) {
+  std::vector<EditOp> ops =
+      GenPickyWhy(f_.graph, f_.query, answers_, {f_.a5, f_.s5}, cfg_);
+  // RfL(Price <= 650 -> Price < 250) cuts below the A5.
+  EXPECT_TRUE(Contains(ops, [&](const EditOp& o) {
+    return o.kind == OpKind::kRfL && o.u == 0 &&
+           o.after.op == CompareOp::kLt && o.after.constant == Value(250);
+  }));
+}
+
+TEST_F(PickyTest, WhyAllOperatorsAreRefinements) {
+  std::vector<EditOp> ops =
+      GenPickyWhy(f_.graph, f_.query, answers_, {f_.a5, f_.s5}, cfg_);
+  for (const EditOp& o : ops) EXPECT_TRUE(IsRefinement(o.kind));
+}
+
+TEST_F(PickyTest, WhyEmptyUnexpectedYieldsNothing) {
+  EXPECT_TRUE(GenPickyWhy(f_.graph, f_.query, answers_, {}, cfg_).empty());
+}
+
+TEST_F(PickyTest, WhyRespectsCap) {
+  AnswerConfig tight = cfg_;
+  tight.max_picky_ops = 5;
+  std::vector<EditOp> ops =
+      GenPickyWhy(f_.graph, f_.query, answers_, {f_.a5, f_.s5}, tight);
+  EXPECT_LE(ops.size(), 5u);
+}
+
+TEST_F(PickyTest, WhyOpsAreDeduplicated) {
+  std::vector<EditOp> ops =
+      GenPickyWhy(f_.graph, f_.query, answers_, {f_.a5, f_.s5}, cfg_);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    for (size_t j = i + 1; j < ops.size(); ++j) {
+      EXPECT_FALSE(ops[i] == ops[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST_F(PickyTest, WhyNotGeneratesRxLTowardMissingPrices) {
+  // Example 8: dom(Price, V_C) = {654, 799} yields RxL(l, Price <= 654)
+  // and RxL(l, Price <= 799).
+  std::vector<EditOp> ops =
+      GenPickyWhyNot(f_.graph, f_.query, {f_.s8, f_.s9}, cfg_);
+  for (int64_t c : {654, 799}) {
+    EXPECT_TRUE(Contains(ops, [&](const EditOp& o) {
+      return o.kind == OpKind::kRxL && o.u == 0 &&
+             o.after.op == CompareOp::kLe && o.after.constant == Value(c);
+    })) << c;
+  }
+}
+
+TEST_F(PickyTest, WhyNotGeneratesAllRmLAndRmE) {
+  std::vector<EditOp> ops =
+      GenPickyWhyNot(f_.graph, f_.query, {f_.s8, f_.s9}, cfg_);
+  size_t rml = 0;
+  size_t rme = 0;
+  for (const EditOp& o : ops) {
+    EXPECT_TRUE(IsRelaxation(o.kind));
+    if (o.kind == OpKind::kRmL) ++rml;
+    if (o.kind == OpKind::kRmE) ++rme;
+  }
+  EXPECT_EQ(rml, 4u);  // one per literal of Q
+  EXPECT_EQ(rme, 3u);  // one per edge of Q
+}
+
+TEST_F(PickyTest, WhyNotEmptyMissingYieldsNothing) {
+  EXPECT_TRUE(GenPickyWhyNot(f_.graph, f_.query, {}, cfg_).empty());
+}
+
+TEST_F(PickyTest, WhyNotNoUselessRelaxations) {
+  // Relaxing toward values below the current bound never appears: every
+  // generated RxL must actually weaken the literal.
+  std::vector<EditOp> ops =
+      GenPickyWhyNot(f_.graph, f_.query, {f_.s8, f_.s9}, cfg_);
+  for (const EditOp& o : ops) {
+    if (o.kind != OpKind::kRxL) continue;
+    if (o.before.op == CompareOp::kLe && o.after.op == CompareOp::kLe) {
+      EXPECT_GE(*o.after.constant.Compare(o.before.constant), 0);
+    }
+  }
+}
+
+TEST_F(PickyTest, DomainSubsamplingKeepsBounds) {
+  // With a tiny domain cap the generator still emits usable operators.
+  PickyLimits limits;
+  limits.max_domain_values = 1;
+  std::vector<EditOp> ops = GenPickyWhyNot(f_.graph, f_.query,
+                                           {f_.s8, f_.s9}, cfg_, limits);
+  EXPECT_FALSE(ops.empty());
+}
+
+}  // namespace
+}  // namespace whyq

@@ -1,0 +1,137 @@
+// End-to-end integration: the exploratory-search loop of the paper's
+// Fig. 2 — query, inspect, ask a Why-question, adopt the suggested
+// rewrite, re-query, ask a follow-up — exercised across the whole stack
+// (graph, matcher, question generation, algorithms, rewrite application).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/figure1.h"
+#include "gen/profiles.h"
+#include "harness/experiment.h"
+#include "matcher/matcher.h"
+#include "why/extensions.h"
+#include "why/why_algorithms.h"
+#include "why/whynot_algorithms.h"
+
+namespace whyq {
+namespace {
+
+TEST(SessionTest, Figure1FullNarrative) {
+  // The complete Example 1-8 walk-through.
+  Figure1 f = MakeFigure1();
+  Matcher m(f.graph);
+
+  // Initial answer: {A5, S5, S6}.
+  std::vector<NodeId> answers = m.MatchOutput(f.query);
+  std::set<NodeId> initial(answers.begin(), answers.end());
+  EXPECT_EQ(initial, (std::set<NodeId>{f.a5, f.s5, f.s6}));
+
+  // Turn 1 — Why {A5, S5}: the rewrite Q1 keeps the S6 only.
+  AnswerConfig cfg;
+  cfg.budget = 4.0;
+  cfg.guard_m = 0;
+  WhyQuestion why{{f.a5, f.s5}};
+  RewriteAnswer q1 = ExactWhy(f.graph, f.query, answers, why, cfg);
+  ASSERT_TRUE(q1.found);
+  EXPECT_DOUBLE_EQ(q1.eval.closeness, 1.0);
+  std::vector<NodeId> a1 = m.MatchOutput(q1.rewritten);
+  EXPECT_EQ(std::set<NodeId>(a1.begin(), a1.end()),
+            std::set<NodeId>{f.s6});
+
+  // Turn 2 — Why-not {S8, S9} with OS >= 5 on the ORIGINAL query: the
+  // rewrite Q2 admits both while keeping the original answers (Lemma 1).
+  WhyNotQuestion whynot;
+  whynot.missing = {f.s8, f.s9};
+  ConstraintLiteral os5;
+  os5.attr = *f.graph.attr_names().Find("OS");
+  os5.op = CompareOp::kGe;
+  os5.constant = Value(5.0);
+  whynot.condition.literals.push_back(os5);
+  AnswerConfig relax = cfg;
+  relax.budget = 5.0;
+  relax.guard_m = 2;
+  RewriteAnswer q2 = ExactWhyNot(f.graph, f.query, answers, whynot, relax);
+  ASSERT_TRUE(q2.found);
+  EXPECT_DOUBLE_EQ(q2.eval.closeness, 1.0);
+  std::vector<NodeId> a2 = m.MatchOutput(q2.rewritten);
+  std::set<NodeId> final(a2.begin(), a2.end());
+  EXPECT_TRUE(final.count(f.s8));
+  EXPECT_TRUE(final.count(f.s9));
+  for (NodeId v : answers) EXPECT_TRUE(final.count(v));
+
+  // Turn 3 — Why-so-many on the relaxed query: shrink back to <= 2.
+  WhySoManyResult shrink =
+      AnswerWhySoMany(f.graph, q2.rewritten, a2, 2, relax);
+  EXPECT_LE(shrink.after, shrink.before);
+}
+
+TEST(SessionTest, IterativeSessionOnProfileGraph) {
+  // A generated multi-turn session: each turn adopts the rewrite and poses
+  // the next question against it — closeness and answers must stay
+  // consistent at every step.
+  Graph g = GenerateProfile(DatasetProfile::kIMDb, 3000, 41);
+  WorkloadConfig wc;
+  wc.items = 1;
+  wc.query.edges = 3;
+  wc.query.min_answers = 5;
+  wc.seed = 9;
+  Workload w = MakeWorkload(g, wc);
+  if (w.items.empty()) GTEST_SKIP();
+  Matcher m(g);
+  AnswerConfig cfg;
+  cfg.budget = 4.0;
+  cfg.guard_m = 2;
+
+  Query current = w.items[0].gq.query;
+  std::vector<NodeId> answers = w.items[0].gq.answers;
+  Rng rng(5);
+  for (int turn = 0; turn < 3 && answers.size() > 1; ++turn) {
+    WhyQuestion why{{answers[rng.Index(answers.size())]}};
+    RewriteAnswer a = ApproxWhy(g, current, answers, why, cfg);
+    // The reported exact closeness must agree with re-evaluating the
+    // rewrite from scratch.
+    std::vector<NodeId> after = m.MatchOutput(a.rewritten);
+    std::set<NodeId> after_set(after.begin(), after.end());
+    size_t excluded = 0;
+    for (NodeId v : why.unexpected) excluded += after_set.count(v) ? 0 : 1;
+    double recomputed = static_cast<double>(excluded) /
+                        static_cast<double>(why.unexpected.size());
+    EXPECT_DOUBLE_EQ(a.eval.closeness, recomputed);
+    // Refinement: answers never grow (Lemma 1).
+    std::set<NodeId> before_set(answers.begin(), answers.end());
+    for (NodeId v : after) EXPECT_TRUE(before_set.count(v));
+    if (!a.found) break;
+    current = a.rewritten;
+    answers = std::move(after);
+  }
+}
+
+TEST(SessionTest, WhyEmptyThenQueryWorks) {
+  Figure1 f = MakeFigure1();
+  Query q = f.query;
+  SymbolId price = *f.graph.attr_names().Find("Price");
+  // Over-constrain, repair, and verify the repaired query's answers
+  // satisfy every literal it still carries.
+  q.AddLiteral(q.output(), Literal{price, CompareOp::kGt,
+                                   Value(int64_t{10000})});
+  AnswerConfig cfg;
+  cfg.budget = 6.0;
+  WhyEmptyResult r = AnswerWhyEmpty(f.graph, q, cfg);
+  ASSERT_TRUE(r.found);
+  Matcher m(f.graph);
+  std::vector<NodeId> repaired = m.MatchOutput(r.rewritten);
+  EXPECT_FALSE(repaired.empty());
+  for (NodeId v : repaired) {
+    for (const Literal& l : r.rewritten.node(r.rewritten.output()).literals) {
+      const Value* val = f.graph.GetAttr(v, l.attr);
+      ASSERT_NE(val, nullptr);
+      EXPECT_TRUE(val->Satisfies(l.op, l.constant));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace whyq

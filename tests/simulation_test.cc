@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/figure1.h"
+#include "gen/profiles.h"
+#include "gen/query_gen.h"
+#include "matcher/match_engine.h"
+#include "matcher/matcher.h"
+#include "matcher/simulation.h"
+#include "why/why_algorithms.h"
+#include "why/whynot_algorithms.h"
+
+namespace whyq {
+namespace {
+
+TEST(SimulationTest, Figure1AgreesWithIsomorphism) {
+  // On the star-shaped Fig. 1 query (no injectivity pressure, no cycles)
+  // dual simulation and isomorphism coincide.
+  Figure1 f = MakeFigure1();
+  Matcher m(f.graph);
+  std::vector<NodeId> iso = m.MatchOutput(f.query);
+  std::vector<NodeId> sim = SimulationAnswers(f.graph, f.query);
+  std::sort(iso.begin(), iso.end());
+  EXPECT_EQ(iso, sim);
+}
+
+TEST(SimulationTest, SimulationIsSupersetOfIsomorphism) {
+  Graph g = GenerateProfile(DatasetProfile::kIMDb, 2000, 5);
+  Rng rng(3);
+  QueryGenConfig cfg;
+  cfg.edges = 3;
+  cfg.literals_per_node = 1;
+  size_t checked = 0;
+  for (int i = 0; i < 6; ++i) {
+    std::optional<GeneratedQuery> gq = GenerateQuery(g, cfg, rng);
+    if (!gq.has_value()) continue;
+    std::vector<NodeId> sim = SimulationAnswers(g, gq->query);
+    for (NodeId v : gq->answers) {
+      EXPECT_TRUE(std::binary_search(sim.begin(), sim.end(), v));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(SimulationTest, DropsInjectivity) {
+  // One B node serving two query children: iso fails, simulation matches.
+  GraphBuilder gb;
+  NodeId a = gb.AddNode("A");
+  NodeId b = gb.AddNode("B");
+  gb.AddEdge(a, b, "r");
+  Graph g = gb.Build();
+  SymbolId la = *g.node_labels().Find("A");
+  SymbolId lb = *g.node_labels().Find("B");
+  SymbolId r = *g.edge_labels().Find("r");
+  Query q;
+  QNodeId ua = q.AddNode(la);
+  QNodeId u1 = q.AddNode(lb);
+  QNodeId u2 = q.AddNode(lb);
+  q.AddEdge(ua, u1, r);
+  q.AddEdge(ua, u2, r);
+  q.SetOutput(ua);
+  Matcher m(g);
+  EXPECT_TRUE(m.MatchOutput(q).empty());
+  std::vector<NodeId> sim = SimulationAnswers(g, q);
+  ASSERT_EQ(sim.size(), 1u);
+  EXPECT_EQ(sim[0], a);
+}
+
+TEST(SimulationTest, DualConditionPrunesDanglingChain) {
+  // Cyclic query vs. a plain chain: the chain's endpoints lack the
+  // required successor/predecessor, and pruning cascades to emptiness.
+  GraphBuilder gb;
+  NodeId x0 = gb.AddNode("X");
+  NodeId x1 = gb.AddNode("X");
+  NodeId x2 = gb.AddNode("X");
+  gb.AddEdge(x0, x1, "r");
+  gb.AddEdge(x1, x2, "r");
+  Graph chain = gb.Build();
+  SymbolId x = *chain.node_labels().Find("X");
+  SymbolId r = *chain.edge_labels().Find("r");
+  Query cyc;
+  QNodeId u0 = cyc.AddNode(x);
+  QNodeId u1 = cyc.AddNode(x);
+  cyc.AddEdge(u0, u1, r);
+  cyc.AddEdge(u1, u0, r);
+  cyc.SetOutput(u0);
+  EXPECT_TRUE(SimulationAnswers(chain, cyc).empty());
+
+  // On an actual 2-cycle both nodes simulate.
+  GraphBuilder gb2;
+  NodeId y0 = gb2.AddNode("X");
+  NodeId y1 = gb2.AddNode("X");
+  gb2.AddEdge(y0, y1, "r");
+  gb2.AddEdge(y1, y0, "r");
+  Graph cycle = gb2.Build();
+  EXPECT_EQ(SimulationAnswers(cycle, cyc).size(), 2u);
+}
+
+TEST(SimulationTest, CycleMatchesUnrolling) {
+  // The hallmark of simulation: a directed 3-cycle query matches a 2-cycle
+  // graph (its unrolling), which isomorphism cannot.
+  GraphBuilder gb;
+  NodeId y0 = gb.AddNode("X");
+  NodeId y1 = gb.AddNode("X");
+  gb.AddEdge(y0, y1, "r");
+  gb.AddEdge(y1, y0, "r");
+  Graph cycle2 = gb.Build();
+  SymbolId x = *cycle2.node_labels().Find("X");
+  SymbolId r = *cycle2.edge_labels().Find("r");
+  Query cyc3;
+  QNodeId u0 = cyc3.AddNode(x);
+  QNodeId u1 = cyc3.AddNode(x);
+  QNodeId u2 = cyc3.AddNode(x);
+  cyc3.AddEdge(u0, u1, r);
+  cyc3.AddEdge(u1, u2, r);
+  cyc3.AddEdge(u2, u0, r);
+  cyc3.SetOutput(u0);
+  Matcher m(cycle2);
+  EXPECT_TRUE(m.MatchOutput(cyc3).empty());  // needs 3 distinct nodes
+  EXPECT_EQ(SimulationAnswers(cycle2, cyc3).size(), 2u);
+}
+
+TEST(SimulationTest, LiteralsRespected) {
+  Figure1 f = MakeFigure1();
+  std::vector<std::vector<NodeId>> sim = DualSimulation(f.graph, f.query);
+  // Phones over the price bound never simulate the output node.
+  const std::vector<NodeId>& out = sim[f.query.output()];
+  EXPECT_FALSE(std::binary_search(out.begin(), out.end(), f.s8));
+  EXPECT_FALSE(std::binary_search(out.begin(), out.end(), f.s9));
+}
+
+TEST(MatchEngineTest, FactoryAndNames) {
+  Figure1 f = MakeFigure1();
+  for (MatchSemantics s :
+       {MatchSemantics::kIsomorphism, MatchSemantics::kSimulation}) {
+    std::unique_ptr<MatchEngine> e = MakeMatchEngine(f.graph, s);
+    ASSERT_NE(e, nullptr);
+    std::vector<NodeId> ans = e->MatchOutput(f.query);
+    EXPECT_EQ(ans.size(), 3u);
+    EXPECT_TRUE(e->IsAnswer(f.query, f.s6));
+    EXPECT_FALSE(e->IsAnswer(f.query, f.s9));
+    EXPECT_TRUE(e->HasAnyMatch(f.query));
+    NodeSet none(std::vector<NodeId>{}, f.graph.node_count());
+    EXPECT_EQ(e->CountAnswersNotIn(f.query, none, 10), 3u);
+    EXPECT_EQ(e->CountAnswersNotIn(f.query, none, 1), 2u);  // early stop
+    EXPECT_NE(std::string(MatchSemanticsName(s)), "?");
+  }
+}
+
+TEST(MatchEngineTest, WhyUnderSimulationSemantics) {
+  // The full Why pipeline under simulation semantics on Fig. 1: same
+  // optimal rewrite story as under isomorphism.
+  Figure1 f = MakeFigure1();
+  std::unique_ptr<MatchEngine> e =
+      MakeMatchEngine(f.graph, MatchSemantics::kSimulation);
+  std::vector<NodeId> answers = e->MatchOutput(f.query);
+  AnswerConfig cfg;
+  cfg.budget = 4.0;
+  cfg.guard_m = 0;
+  cfg.semantics = MatchSemantics::kSimulation;
+  WhyQuestion why{{f.a5, f.s5}};
+  RewriteAnswer a = ExactWhy(f.graph, f.query, answers, why, cfg);
+  ASSERT_TRUE(a.found);
+  EXPECT_DOUBLE_EQ(a.eval.closeness, 1.0);
+  EXPECT_TRUE(a.eval.guard_ok);
+  EXPECT_FALSE(e->IsAnswer(a.rewritten, f.a5));
+  EXPECT_FALSE(e->IsAnswer(a.rewritten, f.s5));
+  EXPECT_TRUE(e->IsAnswer(a.rewritten, f.s6));
+}
+
+TEST(MatchEngineTest, WhyNotUnderSimulationSemantics) {
+  Figure1 f = MakeFigure1();
+  std::unique_ptr<MatchEngine> e =
+      MakeMatchEngine(f.graph, MatchSemantics::kSimulation);
+  std::vector<NodeId> answers = e->MatchOutput(f.query);
+  AnswerConfig cfg;
+  cfg.budget = 5.0;
+  cfg.guard_m = 2;
+  cfg.semantics = MatchSemantics::kSimulation;
+  WhyNotQuestion w;
+  w.missing = {f.s8, f.s9};
+  RewriteAnswer a = ExactWhyNot(f.graph, f.query, answers, w, cfg);
+  ASSERT_TRUE(a.found);
+  EXPECT_DOUBLE_EQ(a.eval.closeness, 1.0);
+  EXPECT_TRUE(e->IsAnswer(a.rewritten, f.s8));
+  EXPECT_TRUE(e->IsAnswer(a.rewritten, f.s9));
+}
+
+}  // namespace
+}  // namespace whyq

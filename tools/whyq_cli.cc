@@ -1,0 +1,367 @@
+// whyq command-line tool: generate graphs, inspect them, run subgraph
+// queries from the textual DSL, and answer Why / Why-not / Why-empty /
+// Why-so-many questions — the library's functionality end to end without
+// writing C++.
+//
+// Usage:
+//   whyq_cli generate --out=FILE [--profile=NAME|--bsbm=N] [--nodes=N]
+//                     [--seed=S]
+//   whyq_cli import EDGELIST --out=FILE [--attrs=K] [--seed=S]
+//   whyq_cli dot GRAPH QUERYFILE
+//   whyq_cli stats GRAPH
+//   whyq_cli query GRAPH QUERYFILE [--limit=K]
+//   whyq_cli why GRAPH QUERYFILE --entities=ID,ID,... [--algo=A] [common]
+//   whyq_cli whynot GRAPH QUERYFILE --entities=ID,ID,... [--algo=A] [common]
+//   whyq_cli whyempty GRAPH QUERYFILE [common]
+//   whyq_cli whysomany GRAPH QUERYFILE --target=K [common]
+//   whyq_cli demo
+// Common flags: --budget=B --guard=M --semantics=iso|sim
+// Algorithms: exact | approx/fast | iso (default approx/fast).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gen/figure1.h"
+#include "whyq.h"
+
+namespace whyq::cli {
+namespace {
+
+struct Options {
+  std::string out;
+  std::string profile;
+  size_t bsbm = 0;
+  size_t nodes = 0;
+  uint64_t seed = 7;
+  size_t limit = 20;
+  double attrs = 0.0;
+  size_t target = 10;
+  std::vector<NodeId> entities;
+  std::string algo = "auto";
+  double budget = 4.0;
+  size_t guard = 2;
+  MatchSemantics semantics = MatchSemantics::kIsomorphism;
+  std::vector<std::string> positional;
+};
+
+bool ParseArgs(int argc, char** argv, Options* o, std::string* error) {
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value_of = [&](const char* flag) -> const char* {
+      size_t n = std::strlen(flag);
+      if (a.compare(0, n, flag) == 0 && a.size() > n && a[n] == '=') {
+        return a.c_str() + n + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value_of("--out")) {
+      o->out = v;
+    } else if (const char* v = value_of("--profile")) {
+      o->profile = v;
+    } else if (const char* v = value_of("--bsbm")) {
+      o->bsbm = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value_of("--nodes")) {
+      o->nodes = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value_of("--seed")) {
+      o->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--attrs")) {
+      o->attrs = std::strtod(v, nullptr);
+    } else if (const char* v = value_of("--limit")) {
+      o->limit = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value_of("--target")) {
+      o->target = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value_of("--budget")) {
+      o->budget = std::strtod(v, nullptr);
+    } else if (const char* v = value_of("--guard")) {
+      o->guard = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value_of("--algo")) {
+      o->algo = v;
+    } else if (const char* v = value_of("--semantics")) {
+      if (std::string(v) == "sim") {
+        o->semantics = MatchSemantics::kSimulation;
+      } else if (std::string(v) == "iso") {
+        o->semantics = MatchSemantics::kIsomorphism;
+      } else {
+        *error = "unknown semantics (use iso|sim)";
+        return false;
+      }
+    } else if (const char* v = value_of("--entities")) {
+      std::stringstream ss(v);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        o->entities.push_back(
+            static_cast<NodeId>(std::strtoul(tok.c_str(), nullptr, 10)));
+      }
+    } else if (a.rfind("--", 0) == 0) {
+      *error = "unknown flag " + a;
+      return false;
+    } else {
+      o->positional.push_back(a);
+    }
+  }
+  return true;
+}
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "whyq: %s\n", msg.c_str());
+  return 1;
+}
+
+std::optional<Graph> LoadGraph(const std::string& path) {
+  std::string err;
+  std::optional<Graph> g = ReadGraphFromFile(path, &err);
+  if (!g.has_value()) std::fprintf(stderr, "whyq: %s\n", err.c_str());
+  return g;
+}
+
+std::optional<Query> LoadQuery(const std::string& path, const Graph& g) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "whyq: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+  std::string err;
+  std::optional<Query> q = ParseQuery(buf.str(), g, &err);
+  if (!q.has_value()) std::fprintf(stderr, "whyq: %s\n", err.c_str());
+  return q;
+}
+
+AnswerConfig MakeConfig(const Options& o) {
+  AnswerConfig cfg;
+  cfg.budget = o.budget;
+  cfg.guard_m = o.guard;
+  cfg.semantics = o.semantics;
+  cfg.exact_time_limit_ms = 30000;
+  return cfg;
+}
+
+void PrintAnswer(const Graph& g, const Query& q, const RewriteAnswer& a) {
+  std::printf("%s\n", a.Explain(g).c_str());
+  if (!a.found) return;
+  std::printf("explanation:\n%s", ExplainRewrite(g, q, a.ops).ToString().c_str());
+  std::printf("rewritten query:\n%s", WriteQuery(a.rewritten, g).c_str());
+}
+
+int CmdGenerate(const Options& o) {
+  if (o.out.empty()) return Fail("generate needs --out=FILE");
+  Graph g;
+  if (o.bsbm > 0) {
+    BsbmConfig bc;
+    bc.products = o.bsbm;
+    bc.seed = o.seed;
+    g = GenerateBsbm(bc);
+  } else if (!o.profile.empty()) {
+    const DatasetProfile* match = nullptr;
+    for (const DatasetProfile& p : kAllProfiles) {
+      if (o.profile == DatasetProfileName(p)) match = &p;
+    }
+    if (match == nullptr) {
+      return Fail("unknown profile (dbpedia|yago|freebase|pokec|imdb)");
+    }
+    g = GenerateProfile(*match, o.nodes, o.seed);
+  } else {
+    return Fail("generate needs --profile=NAME or --bsbm=N");
+  }
+  if (!WriteGraphToFile(g, o.out)) return Fail("cannot write " + o.out);
+  std::printf("wrote %s: %s\n", o.out.c_str(),
+              ComputeStats(g).ToString().c_str());
+  return 0;
+}
+
+int CmdImport(const Options& o) {
+  if (o.positional.empty()) return Fail("import needs an edge-list file");
+  if (o.out.empty()) return Fail("import needs --out=FILE");
+  std::string err;
+  std::optional<Graph> bare =
+      ReadEdgeListFromFile(o.positional[0], EdgeListOptions(), &err);
+  if (!bare.has_value()) return Fail(err);
+  Graph out = std::move(*bare);
+  if (o.attrs > 0) {
+    DecorationConfig dc;
+    dc.avg_attrs = o.attrs;
+    dc.seed = o.seed;
+    out = DecorateGraph(out, dc);
+  }
+  if (!WriteGraphToFile(out, o.out)) return Fail("cannot write " + o.out);
+  std::printf("imported %s: %s\n", o.out.c_str(),
+              ComputeStats(out).ToString().c_str());
+  return 0;
+}
+
+int CmdDot(const Options& o) {
+  if (o.positional.size() < 2) return Fail("dot needs GRAPH QUERYFILE");
+  std::optional<Graph> g = LoadGraph(o.positional[0]);
+  if (!g.has_value()) return 1;
+  std::optional<Query> q = LoadQuery(o.positional[1], *g);
+  if (!q.has_value()) return 1;
+  std::printf("%s", QueryToDot(*q, *g).c_str());
+  return 0;
+}
+
+int CmdStats(const Options& o) {
+  if (o.positional.empty()) return Fail("stats needs a graph file");
+  std::optional<Graph> g = LoadGraph(o.positional[0]);
+  if (!g.has_value()) return 1;
+  std::printf("%s\n", ComputeStats(*g).ToString().c_str());
+  return 0;
+}
+
+int CmdQuery(const Options& o) {
+  if (o.positional.size() < 2) return Fail("query needs GRAPH QUERYFILE");
+  std::optional<Graph> g = LoadGraph(o.positional[0]);
+  if (!g.has_value()) return 1;
+  std::optional<Query> q = LoadQuery(o.positional[1], *g);
+  if (!q.has_value()) return 1;
+  std::unique_ptr<MatchEngine> engine = MakeMatchEngine(*g, o.semantics);
+  std::vector<NodeId> answers = engine->MatchOutput(*q);
+  std::printf("%zu answers (%s semantics)\n", answers.size(),
+              MatchSemanticsName(o.semantics));
+  for (size_t i = 0; i < answers.size() && i < o.limit; ++i) {
+    std::printf("  node %u", answers[i]);
+    for (const AttrEntry& e : g->attrs(answers[i])) {
+      std::printf(" %s=%s", g->AttrName(e.attr).c_str(),
+                  e.value.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  if (answers.size() > o.limit) {
+    std::printf("  ... (%zu more; raise --limit)\n",
+                answers.size() - o.limit);
+  }
+  return 0;
+}
+
+int CmdWhy(const Options& o, bool why_not) {
+  if (o.positional.size() < 2) return Fail("needs GRAPH QUERYFILE");
+  if (o.entities.empty()) return Fail("needs --entities=ID,ID,...");
+  std::optional<Graph> g = LoadGraph(o.positional[0]);
+  if (!g.has_value()) return 1;
+  std::optional<Query> q = LoadQuery(o.positional[1], *g);
+  if (!q.has_value()) return 1;
+  std::unique_ptr<MatchEngine> engine = MakeMatchEngine(*g, o.semantics);
+  std::vector<NodeId> answers = engine->MatchOutput(*q);
+  AnswerConfig cfg = MakeConfig(o);
+  RewriteAnswer a;
+  if (why_not) {
+    WhyNotQuestion w;
+    w.missing = o.entities;
+    if (o.algo == "exact") {
+      a = ExactWhyNot(*g, *q, answers, w, cfg);
+    } else if (o.algo == "iso") {
+      a = IsoWhyNot(*g, *q, answers, w, cfg);
+    } else {
+      a = FastWhyNot(*g, *q, answers, w, cfg);
+    }
+  } else {
+    WhyQuestion w{o.entities};
+    if (o.algo == "exact") {
+      a = ExactWhy(*g, *q, answers, w, cfg);
+    } else if (o.algo == "iso") {
+      a = IsoWhy(*g, *q, answers, w, cfg);
+    } else {
+      a = ApproxWhy(*g, *q, answers, w, cfg);
+    }
+  }
+  PrintAnswer(*g, *q, a);
+  return a.found ? 0 : 2;
+}
+
+int CmdWhyEmpty(const Options& o) {
+  if (o.positional.size() < 2) return Fail("needs GRAPH QUERYFILE");
+  std::optional<Graph> g = LoadGraph(o.positional[0]);
+  if (!g.has_value()) return 1;
+  std::optional<Query> q = LoadQuery(o.positional[1], *g);
+  if (!q.has_value()) return 1;
+  WhyEmptyResult r = AnswerWhyEmpty(*g, *q, MakeConfig(o));
+  if (!r.found) {
+    std::printf("not repairable within budget %.1f\n", o.budget);
+    return 2;
+  }
+  if (r.ops.empty()) {
+    std::printf("the query already has answers\n");
+  } else {
+    std::printf("repaired at cost %.2f via { %s }\n", r.cost,
+                DescribeOperators(r.ops, *g).c_str());
+    std::printf("%s", ExplainRewrite(*g, *q, r.ops).ToString().c_str());
+  }
+  std::printf("%zu sample answers\n", r.sample_answers.size());
+  return 0;
+}
+
+int CmdWhySoMany(const Options& o) {
+  if (o.positional.size() < 2) return Fail("needs GRAPH QUERYFILE");
+  std::optional<Graph> g = LoadGraph(o.positional[0]);
+  if (!g.has_value()) return 1;
+  std::optional<Query> q = LoadQuery(o.positional[1], *g);
+  if (!q.has_value()) return 1;
+  Matcher matcher(*g);
+  std::vector<NodeId> answers = matcher.MatchOutput(*q);
+  WhySoManyResult r =
+      AnswerWhySoMany(*g, *q, answers, o.target, MakeConfig(o));
+  std::printf("%zu -> %zu answers via { %s }\n", r.before, r.after,
+              DescribeOperators(r.ops, *g).c_str());
+  std::printf("%s", ExplainRewrite(*g, *q, r.ops).ToString().c_str());
+  return r.found ? 0 : 2;
+}
+
+// Self-contained smoke flow on the paper's Fig. 1 example; exits nonzero
+// on any unexpected outcome (used as a ctest entry).
+int CmdDemo() {
+  Figure1 f = MakeFigure1();
+  Matcher m(f.graph);
+  std::vector<NodeId> answers = m.MatchOutput(f.query);
+  if (answers.size() != 3) return Fail("demo: expected 3 answers");
+  AnswerConfig cfg;
+  cfg.budget = 4.0;
+  cfg.guard_m = 0;
+  WhyQuestion why{{f.a5, f.s5}};
+  RewriteAnswer a = ExactWhy(f.graph, f.query, answers, why, cfg);
+  if (!a.found || a.eval.closeness < 1.0) return Fail("demo: Why failed");
+  WhyNotQuestion wn;
+  wn.missing = {f.s8, f.s9};
+  cfg.budget = 5.0;
+  cfg.guard_m = 2;
+  RewriteAnswer b = ExactWhyNot(f.graph, f.query, answers, wn, cfg);
+  if (!b.found || b.eval.closeness < 1.0) return Fail("demo: Why-not failed");
+  std::printf("demo OK: Why %s | Why-not %s\n",
+              a.Explain(f.graph).c_str(), b.Explain(f.graph).c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: whyq_cli "
+                 "generate|import|dot|stats|query|why|whynot|whyempty|"
+                 "whysomany|demo "
+                 "...\n");
+    return 1;
+  }
+  Options o;
+  std::string err;
+  if (!ParseArgs(argc, argv, &o, &err)) return Fail(err);
+  std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(o);
+  if (cmd == "import") return CmdImport(o);
+  if (cmd == "dot") return CmdDot(o);
+  if (cmd == "stats") return CmdStats(o);
+  if (cmd == "query") return CmdQuery(o);
+  if (cmd == "why") return CmdWhy(o, /*why_not=*/false);
+  if (cmd == "whynot") return CmdWhy(o, /*why_not=*/true);
+  if (cmd == "whyempty") return CmdWhyEmpty(o);
+  if (cmd == "whysomany") return CmdWhySoMany(o);
+  if (cmd == "demo") return CmdDemo();
+  return Fail("unknown command " + cmd);
+}
+
+}  // namespace
+}  // namespace whyq::cli
+
+int main(int argc, char** argv) { return whyq::cli::Main(argc, argv); }
