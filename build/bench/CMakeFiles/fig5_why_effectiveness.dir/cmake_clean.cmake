@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_why_effectiveness.dir/fig5_why_effectiveness.cpp.o"
+  "CMakeFiles/fig5_why_effectiveness.dir/fig5_why_effectiveness.cpp.o.d"
+  "fig5_why_effectiveness"
+  "fig5_why_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_why_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

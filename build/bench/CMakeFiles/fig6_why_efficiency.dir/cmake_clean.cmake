@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_why_efficiency.dir/fig6_why_efficiency.cpp.o"
+  "CMakeFiles/fig6_why_efficiency.dir/fig6_why_efficiency.cpp.o.d"
+  "fig6_why_efficiency"
+  "fig6_why_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_why_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

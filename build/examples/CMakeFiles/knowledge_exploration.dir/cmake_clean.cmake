@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_exploration.dir/knowledge_exploration.cpp.o"
+  "CMakeFiles/knowledge_exploration.dir/knowledge_exploration.cpp.o.d"
+  "knowledge_exploration"
+  "knowledge_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

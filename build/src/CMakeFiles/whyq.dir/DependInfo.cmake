@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/dictionary.cc" "src/CMakeFiles/whyq.dir/common/dictionary.cc.o" "gcc" "src/CMakeFiles/whyq.dir/common/dictionary.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/whyq.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/whyq.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/whyq.dir/common/table.cc.o" "gcc" "src/CMakeFiles/whyq.dir/common/table.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/whyq.dir/common/value.cc.o" "gcc" "src/CMakeFiles/whyq.dir/common/value.cc.o.d"
+  "/root/repo/src/gen/bsbm.cc" "src/CMakeFiles/whyq.dir/gen/bsbm.cc.o" "gcc" "src/CMakeFiles/whyq.dir/gen/bsbm.cc.o.d"
+  "/root/repo/src/gen/figure1.cc" "src/CMakeFiles/whyq.dir/gen/figure1.cc.o" "gcc" "src/CMakeFiles/whyq.dir/gen/figure1.cc.o.d"
+  "/root/repo/src/gen/profiles.cc" "src/CMakeFiles/whyq.dir/gen/profiles.cc.o" "gcc" "src/CMakeFiles/whyq.dir/gen/profiles.cc.o.d"
+  "/root/repo/src/gen/query_gen.cc" "src/CMakeFiles/whyq.dir/gen/query_gen.cc.o" "gcc" "src/CMakeFiles/whyq.dir/gen/query_gen.cc.o.d"
+  "/root/repo/src/gen/question_gen.cc" "src/CMakeFiles/whyq.dir/gen/question_gen.cc.o" "gcc" "src/CMakeFiles/whyq.dir/gen/question_gen.cc.o.d"
+  "/root/repo/src/graph/edge_list.cc" "src/CMakeFiles/whyq.dir/graph/edge_list.cc.o" "gcc" "src/CMakeFiles/whyq.dir/graph/edge_list.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/whyq.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/whyq.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/whyq.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/whyq.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/CMakeFiles/whyq.dir/graph/graph_stats.cc.o" "gcc" "src/CMakeFiles/whyq.dir/graph/graph_stats.cc.o.d"
+  "/root/repo/src/graph/neighborhood.cc" "src/CMakeFiles/whyq.dir/graph/neighborhood.cc.o" "gcc" "src/CMakeFiles/whyq.dir/graph/neighborhood.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/whyq.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/whyq.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/matcher/candidates.cc" "src/CMakeFiles/whyq.dir/matcher/candidates.cc.o" "gcc" "src/CMakeFiles/whyq.dir/matcher/candidates.cc.o.d"
+  "/root/repo/src/matcher/match_engine.cc" "src/CMakeFiles/whyq.dir/matcher/match_engine.cc.o" "gcc" "src/CMakeFiles/whyq.dir/matcher/match_engine.cc.o.d"
+  "/root/repo/src/matcher/matcher.cc" "src/CMakeFiles/whyq.dir/matcher/matcher.cc.o" "gcc" "src/CMakeFiles/whyq.dir/matcher/matcher.cc.o.d"
+  "/root/repo/src/matcher/path_index.cc" "src/CMakeFiles/whyq.dir/matcher/path_index.cc.o" "gcc" "src/CMakeFiles/whyq.dir/matcher/path_index.cc.o.d"
+  "/root/repo/src/matcher/simulation.cc" "src/CMakeFiles/whyq.dir/matcher/simulation.cc.o" "gcc" "src/CMakeFiles/whyq.dir/matcher/simulation.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/whyq.dir/query/query.cc.o" "gcc" "src/CMakeFiles/whyq.dir/query/query.cc.o.d"
+  "/root/repo/src/query/query_dot.cc" "src/CMakeFiles/whyq.dir/query/query_dot.cc.o" "gcc" "src/CMakeFiles/whyq.dir/query/query_dot.cc.o.d"
+  "/root/repo/src/query/query_parser.cc" "src/CMakeFiles/whyq.dir/query/query_parser.cc.o" "gcc" "src/CMakeFiles/whyq.dir/query/query_parser.cc.o.d"
+  "/root/repo/src/rewrite/cost_model.cc" "src/CMakeFiles/whyq.dir/rewrite/cost_model.cc.o" "gcc" "src/CMakeFiles/whyq.dir/rewrite/cost_model.cc.o.d"
+  "/root/repo/src/rewrite/evaluation.cc" "src/CMakeFiles/whyq.dir/rewrite/evaluation.cc.o" "gcc" "src/CMakeFiles/whyq.dir/rewrite/evaluation.cc.o.d"
+  "/root/repo/src/rewrite/explanation.cc" "src/CMakeFiles/whyq.dir/rewrite/explanation.cc.o" "gcc" "src/CMakeFiles/whyq.dir/rewrite/explanation.cc.o.d"
+  "/root/repo/src/rewrite/operators.cc" "src/CMakeFiles/whyq.dir/rewrite/operators.cc.o" "gcc" "src/CMakeFiles/whyq.dir/rewrite/operators.cc.o.d"
+  "/root/repo/src/why/est_match.cc" "src/CMakeFiles/whyq.dir/why/est_match.cc.o" "gcc" "src/CMakeFiles/whyq.dir/why/est_match.cc.o.d"
+  "/root/repo/src/why/extensions.cc" "src/CMakeFiles/whyq.dir/why/extensions.cc.o" "gcc" "src/CMakeFiles/whyq.dir/why/extensions.cc.o.d"
+  "/root/repo/src/why/mbs.cc" "src/CMakeFiles/whyq.dir/why/mbs.cc.o" "gcc" "src/CMakeFiles/whyq.dir/why/mbs.cc.o.d"
+  "/root/repo/src/why/picky.cc" "src/CMakeFiles/whyq.dir/why/picky.cc.o" "gcc" "src/CMakeFiles/whyq.dir/why/picky.cc.o.d"
+  "/root/repo/src/why/question.cc" "src/CMakeFiles/whyq.dir/why/question.cc.o" "gcc" "src/CMakeFiles/whyq.dir/why/question.cc.o.d"
+  "/root/repo/src/why/why_algorithms.cc" "src/CMakeFiles/whyq.dir/why/why_algorithms.cc.o" "gcc" "src/CMakeFiles/whyq.dir/why/why_algorithms.cc.o.d"
+  "/root/repo/src/why/whynot_algorithms.cc" "src/CMakeFiles/whyq.dir/why/whynot_algorithms.cc.o" "gcc" "src/CMakeFiles/whyq.dir/why/whynot_algorithms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algorithms_sweep_test.cc" "tests/CMakeFiles/whyq_tests.dir/algorithms_sweep_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/algorithms_sweep_test.cc.o.d"
+  "/root/repo/tests/algorithms_test.cc" "tests/CMakeFiles/whyq_tests.dir/algorithms_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/algorithms_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/whyq_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/whyq_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/est_match_test.cc" "tests/CMakeFiles/whyq_tests.dir/est_match_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/est_match_test.cc.o.d"
+  "/root/repo/tests/evaluation_test.cc" "tests/CMakeFiles/whyq_tests.dir/evaluation_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/evaluation_test.cc.o.d"
+  "/root/repo/tests/explanation_test.cc" "tests/CMakeFiles/whyq_tests.dir/explanation_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/explanation_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/whyq_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/gen_test.cc" "tests/CMakeFiles/whyq_tests.dir/gen_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/gen_test.cc.o.d"
+  "/root/repo/tests/graph_io_test.cc" "tests/CMakeFiles/whyq_tests.dir/graph_io_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/graph_io_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/whyq_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/whyq_tests.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/harness_test.cc.o.d"
+  "/root/repo/tests/io_extras_test.cc" "tests/CMakeFiles/whyq_tests.dir/io_extras_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/io_extras_test.cc.o.d"
+  "/root/repo/tests/matcher_test.cc" "tests/CMakeFiles/whyq_tests.dir/matcher_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/matcher_test.cc.o.d"
+  "/root/repo/tests/mbs_test.cc" "tests/CMakeFiles/whyq_tests.dir/mbs_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/mbs_test.cc.o.d"
+  "/root/repo/tests/operators_test.cc" "tests/CMakeFiles/whyq_tests.dir/operators_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/operators_test.cc.o.d"
+  "/root/repo/tests/oracle_test.cc" "tests/CMakeFiles/whyq_tests.dir/oracle_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/oracle_test.cc.o.d"
+  "/root/repo/tests/path_index_test.cc" "tests/CMakeFiles/whyq_tests.dir/path_index_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/path_index_test.cc.o.d"
+  "/root/repo/tests/picky_test.cc" "tests/CMakeFiles/whyq_tests.dir/picky_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/picky_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/whyq_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/whyq_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/session_test.cc" "tests/CMakeFiles/whyq_tests.dir/session_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/session_test.cc.o.d"
+  "/root/repo/tests/simulation_test.cc" "tests/CMakeFiles/whyq_tests.dir/simulation_test.cc.o" "gcc" "tests/CMakeFiles/whyq_tests.dir/simulation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/whyq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

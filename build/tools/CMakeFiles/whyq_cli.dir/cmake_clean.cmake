@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whyq_cli.dir/whyq_cli.cc.o"
+  "CMakeFiles/whyq_cli.dir/whyq_cli.cc.o.d"
+  "whyq_cli"
+  "whyq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whyq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

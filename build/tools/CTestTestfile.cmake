@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_demo "/root/repo/build/tools/whyq_cli" "demo")
+set_tests_properties(cli_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_generate_stats "sh" "-c" "/root/repo/build/tools/whyq_cli generate --bsbm=200 --out=cli_t1.graph && /root/repo/build/tools/whyq_cli stats cli_t1.graph")
+set_tests_properties(cli_generate_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_import_decorate_dot "sh" "-c" "printf '# toy\\n0 1\\n1 2\\n2 0\\n' > cli_t2.edges && /root/repo/build/tools/whyq_cli import cli_t2.edges --out=cli_t2.graph --attrs=4 && printf 'node a Node\\nnode b Node\\nedge a b edge\\noutput a\\n' > cli_t2.query && /root/repo/build/tools/whyq_cli dot cli_t2.graph cli_t2.query | grep -q 'digraph Q'")
+set_tests_properties(cli_import_decorate_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_query_and_why "sh" "-c" "/root/repo/build/tools/whyq_cli generate --bsbm=300 --out=cli_t3.graph && printf 'node r Review rating >= i:5\\nnode p Product\\nedge r p reviewOf\\noutput r\\n' > cli_t3.query && /root/repo/build/tools/whyq_cli query cli_t3.graph cli_t3.query --limit=2 | grep -q 'answers' && id=\$(/root/repo/build/tools/whyq_cli query cli_t3.graph cli_t3.query --limit=1 | sed -n 's/^  node \\([0-9]*\\).*/\\1/p') && /root/repo/build/tools/whyq_cli why cli_t3.graph cli_t3.query --entities=\$id --algo=approx --guard=5 --budget=6 > /dev/null; test \$? -le 2")
+set_tests_properties(cli_query_and_why PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulation_semantics "sh" "-c" "/root/repo/build/tools/whyq_cli generate --bsbm=200 --out=cli_t4.graph && printf 'node r Review rating >= i:5\\nnode p Product\\nedge r p reviewOf\\noutput r\\n' > cli_t4.query && /root/repo/build/tools/whyq_cli query cli_t4.graph cli_t4.query --semantics=sim | grep -q 'simulation'")
+set_tests_properties(cli_simulation_semantics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_errors "sh" "-c" "! /root/repo/build/tools/whyq_cli stats /nonexistent 2>/dev/null && ! /root/repo/build/tools/whyq_cli bogus 2>/dev/null && ! /root/repo/build/tools/whyq_cli why 2>/dev/null")
+set_tests_properties(cli_errors PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
