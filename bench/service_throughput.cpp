@@ -1,0 +1,158 @@
+// Throughput/scaling driver for the explanation service (DESIGN.md
+// "Serving architecture"):
+//   part a: requests/sec of one shared WhyqService at 1/2/4/8 workers over
+//           a mixed why/whynot workload (same batch each row).
+//   part b: prepared-question cache on vs off — repeated questions over a
+//           small query pool amortize the MatchOutput + PathIndex build.
+//
+// EXPERIMENTS.md records the shapes: >1x scaling 1 -> 4 workers and a
+// visible cache-hit speedup.
+
+#include <future>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace whyq::bench {
+namespace {
+
+std::vector<ServiceRequest> BuildRequests(const Graph& g, const Workload& w,
+                                          size_t rounds) {
+  std::vector<ServiceRequest> reqs;
+  for (size_t r = 0; r < rounds; ++r) {
+    for (const Workload::Item& item : w.items) {
+      ServiceRequest why;
+      why.kind = RequestKind::kWhy;
+      why.query_text = WriteQuery(item.gq.query, g);
+      why.entities = item.why.unexpected;
+      why.config = DefaultAnswerConfig();
+      reqs.push_back(why);
+
+      ServiceRequest whynot = why;
+      whynot.kind = RequestKind::kWhyNot;
+      whynot.entities = item.whynot.missing;
+      whynot.condition = item.whynot.condition;
+      reqs.push_back(whynot);
+    }
+  }
+  return reqs;
+}
+
+// Submits every request (spinning on backpressure), waits for all
+// responses, and returns the wall-clock milliseconds for the whole batch.
+double RunBatch(WhyqService* service,
+                const std::vector<ServiceRequest>& reqs) {
+  Timer timer;
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.reserve(reqs.size());
+  for (const ServiceRequest& req : reqs) {
+    for (;;) {
+      std::optional<std::future<ServiceResponse>> f = service->Submit(req);
+      if (f.has_value()) {
+        futures.push_back(std::move(*f));
+        break;
+      }
+      std::this_thread::yield();
+    }
+  }
+  for (auto& f : futures) f.get();
+  return timer.ElapsedMillis();
+}
+
+void PartScaling(const Flags& flags,
+                 const std::shared_ptr<const Graph>& graph,
+                 const std::vector<ServiceRequest>& reqs) {
+  TextTable t({"workers", "batch_ms", "req_per_s", "speedup_vs_1", "hits"});
+  double base_ms = 0.0;
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    ServiceConfig sc;
+    sc.workers = workers;
+    sc.queue_capacity = 64;
+    sc.cache_capacity = 64;
+    WhyqService service(graph, sc);
+    double ms = RunBatch(&service, reqs);
+    if (workers == 1) base_ms = ms;
+    StatsSnapshot s = service.Stats();
+    t.AddRow({std::to_string(workers), TextTable::Num(ms, 1),
+              TextTable::Num(1000.0 * static_cast<double>(reqs.size()) / ms,
+                             1),
+              TextTable::Num(base_ms / ms), std::to_string(s.cache_hits)});
+  }
+  std::printf(
+      "%s\n",
+      t.ToString("Part a: worker scaling (shared graph, mixed why/whynot)")
+          .c_str());
+}
+
+// Per-request latency of a repeated question, cache off vs on. The cache
+// amortizes the per-request *fixed* cost — the MatchOutput answer scan and
+// the PathIndex build — so the probe is a question whose search phase is
+// trivial (why-so-many already at its target): cold requests pay the full
+// answer match, warm requests reuse the prepared artifacts.
+void PartCache(const Flags& flags,
+               const std::shared_ptr<const Graph>& graph,
+               const Workload& w) {
+  ServiceRequest req;
+  req.kind = RequestKind::kWhySoMany;
+  req.query_text = WriteQuery(w.items[0].gq.query, *graph);
+  req.target_k = graph->node_count();  // already satisfied
+  req.config = DefaultAnswerConfig();
+
+  constexpr int kReps = 10;
+  TextTable t({"cache", "mean_ms", "hits", "misses"});
+  double mean[2] = {0.0, 0.0};
+  int row = 0;
+  for (size_t capacity : {0u, 64u}) {
+    ServiceConfig sc;
+    sc.workers = 1;
+    sc.cache_capacity = capacity;
+    WhyqService service(graph, sc);
+    service.Execute(req);  // warmup (cold miss; populates the cache if on)
+    Timer timer;
+    for (int i = 0; i < kReps; ++i) service.Execute(req);
+    mean[row] = timer.ElapsedMillis() / kReps;
+    StatsSnapshot s = service.Stats();
+    t.AddRow({capacity == 0 ? "off" : "on", TextTable::Num(mean[row], 2),
+              std::to_string(s.cache_hits),
+              std::to_string(s.cache_misses)});
+    ++row;
+  }
+  std::printf(
+      "%s",
+      t.ToString("Part b: prepared-question cache (repeated question)")
+          .c_str());
+  std::printf("cache-hit speedup: %.2fx\n\n",
+              mean[1] > 0 ? mean[0] / mean[1] : 0.0);
+}
+
+int Main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+  BsbmConfig bc;
+  bc.products = static_cast<size_t>(2000.0 * flags.scale);
+  bc.seed = 7;
+  auto graph = std::make_shared<const Graph>(GenerateBsbm(bc));
+  std::printf("graph: %s\n\n", ComputeStats(*graph).ToString().c_str());
+
+  WorkloadConfig wc = DefaultWorkload(flags, 8);
+  Workload w = MakeWorkload(*graph, wc);
+  if (w.items.empty()) {
+    std::fprintf(stderr, "no workload items generated\n");
+    return 1;
+  }
+  // 4 rounds over the item pool: plenty of repeated questions, so both
+  // parts exercise the cache the way a serving deployment would.
+  std::vector<ServiceRequest> reqs = BuildRequests(*graph, w, 4);
+  std::printf("workload: %zu items x 2 kinds x 4 rounds = %zu requests\n\n",
+              w.items.size(), reqs.size());
+
+  if (RunPart(flags, "a")) PartScaling(flags, graph, reqs);
+  if (RunPart(flags, "b")) PartCache(flags, graph, w);
+  return 0;
+}
+
+}  // namespace
+}  // namespace whyq::bench
+
+int main(int argc, char** argv) { return whyq::bench::Main(argc, argv); }

@@ -18,6 +18,12 @@ inline constexpr SymbolId kInvalidSymbol = UINT32_MAX;
 
 /// A string interning table mapping names (node labels, edge labels,
 /// attribute names) to dense SymbolIds. Append-only; ids are stable.
+///
+/// Thread-safety: immutable after construction, shared across workers —
+/// Find()/NameOf()/size() are const with no lazy state and may run
+/// concurrently. Intern() mutates and is reserved for the single-threaded
+/// build phase (GraphBuilder, generators); never call it on a dictionary
+/// already shared with workers.
 class Dictionary {
  public:
   Dictionary() = default;

@@ -49,6 +49,12 @@ struct AttrRange {
 /// Construction goes through GraphBuilder; a built Graph is immutable, with
 /// sorted adjacency (O(log d) labeled-edge probes), a label->nodes index and
 /// per-attribute numeric ranges.
+///
+/// Thread-safety: immutable after construction, shared across workers. All
+/// read accessors are const with no hidden mutable or lazily-built state
+/// (the label index and attribute ranges are finalized in Build()), so any
+/// number of threads may query one Graph concurrently with no locking —
+/// the invariant the service's shared-graph architecture rests on.
 class Graph {
  public:
   Graph() = default;

@@ -14,6 +14,9 @@ class IsoMatchEngine : public MatchEngine {
  public:
   explicit IsoMatchEngine(const Graph& g) : matcher_(g) {}
 
+  void SetCancelToken(const CancelToken* t) override {
+    matcher_.set_cancel_token(t);
+  }
   std::vector<NodeId> MatchOutput(const Query& q) const override {
     return matcher_.MatchOutput(q);
   }
@@ -44,6 +47,7 @@ class SimMatchEngine : public MatchEngine {
  public:
   explicit SimMatchEngine(const Graph& g) : g_(g) {}
 
+  void SetCancelToken(const CancelToken* t) override { cancel_ = t; }
   std::vector<NodeId> MatchOutput(const Query& q) const override {
     return AnswersFor(q);
   }
@@ -68,6 +72,13 @@ class SimMatchEngine : public MatchEngine {
   const std::vector<NodeId>& AnswersFor(const Query& q) const {
     std::string key = WriteQuery(q, g_);
     if (key != cached_key_) {
+      // Simulation is a polynomial whole-query fixpoint; cancellation is
+      // honored at this coarse granularity (skip fresh computations once
+      // expired, returning the empty conservative answer).
+      if (CancelRequested(cancel_)) {
+        static const std::vector<NodeId> kEmpty;
+        return kEmpty;
+      }
       cached_answers_ = SimulationAnswers(g_, q);  // sorted by construction
       cached_key_ = std::move(key);
     }
@@ -75,6 +86,7 @@ class SimMatchEngine : public MatchEngine {
   }
 
   const Graph& g_;
+  const CancelToken* cancel_ = nullptr;
   mutable std::string cached_key_;
   mutable std::vector<NodeId> cached_answers_;
 };

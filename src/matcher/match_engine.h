@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cancel.h"
 #include "graph/graph.h"
 #include "graph/neighborhood.h"
 #include "query/query.h"
@@ -24,9 +25,18 @@ const char* MatchSemanticsName(MatchSemantics s);
 /// over the matching semantics. Lemma 1 (relaxation grows / refinement
 /// shrinks answers) holds for both implementations, which is the property
 /// the guard-aware enumeration and Aff()-based estimation rely on.
+///
+/// Thread-safety: engines carry per-instance mutable state (matcher stats,
+/// the simulation engine's one-entry answer cache) and are one-per-request
+/// objects; only the Graph behind them is shared.
 class MatchEngine {
  public:
   virtual ~MatchEngine() = default;
+
+  /// Arms cooperative cancellation for subsequent calls (token not owned;
+  /// null disarms). An expired token makes the primitives return partial,
+  /// conservative results instead of blocking.
+  virtual void SetCancelToken(const CancelToken* t) = 0;
 
   /// The answer Q(u_o, G) under this engine's semantics.
   virtual std::vector<NodeId> MatchOutput(const Query& q) const = 0;

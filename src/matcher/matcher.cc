@@ -97,6 +97,7 @@ bool Matcher::Extend(const Query& q, const std::vector<PlanStep>& plan,
 
   auto try_node = [&](NodeId v) -> bool {
     ++stats_.embeddings_tried;
+    if (CancelledNow()) return false;  // unwind; caller reports truncation
     if (!IsCandidate(g_, v, qn)) return false;
     // Injectivity.
     for (size_t i = 0; i < pos; ++i) {
@@ -147,6 +148,10 @@ std::vector<NodeId> Matcher::MatchOutput(const Query& q) const {
   std::vector<NodeId> answers;
   std::vector<PlanStep> plan = BuildPlan(q, q.output());
   for (NodeId v : g_.NodesWithLabel(q.node(q.output()).label)) {
+    if (cancel_ != nullptr && (cancel_hit_ || cancel_->Expired())) {
+      cancel_hit_ = true;
+      break;  // best-so-far answer prefix
+    }
     if (SearchFrom(q, plan, v)) answers.push_back(v);
   }
   return answers;
@@ -162,6 +167,10 @@ std::vector<uint8_t> Matcher::TestAnswers(
   std::vector<PlanStep> plan = BuildPlan(q, q.output());
   std::vector<uint8_t> out(nodes.size(), 0);
   for (size_t i = 0; i < nodes.size(); ++i) {
+    if (cancel_ != nullptr && (cancel_hit_ || cancel_->Expired())) {
+      cancel_hit_ = true;
+      break;  // remaining nodes stay 0 (conservative: "not an answer")
+    }
     out[i] = SearchFrom(q, plan, nodes[i]) ? 1 : 0;
   }
   return out;
@@ -170,6 +179,10 @@ std::vector<uint8_t> Matcher::TestAnswers(
 bool Matcher::HasAnyMatch(const Query& q) const {
   std::vector<PlanStep> plan = BuildPlan(q, q.output());
   for (NodeId v : g_.NodesWithLabel(q.node(q.output()).label)) {
+    if (cancel_ != nullptr && (cancel_hit_ || cancel_->Expired())) {
+      cancel_hit_ = true;
+      return false;  // unknown; caller sees truncation via cancelled()
+    }
     if (SearchFrom(q, plan, v)) return true;
   }
   return false;
@@ -180,6 +193,10 @@ size_t Matcher::CountAnswersNotIn(const Query& q, const NodeSet& exclude,
   std::vector<PlanStep> plan = BuildPlan(q, q.output());
   size_t count = 0;
   for (NodeId v : g_.NodesWithLabel(q.node(q.output()).label)) {
+    if (cancel_ != nullptr && (cancel_hit_ || cancel_->Expired())) {
+      cancel_hit_ = true;
+      break;  // undercount; guard checks treat the partial count as-is
+    }
     if (exclude.Contains(v)) continue;
     if (SearchFrom(q, plan, v)) {
       ++count;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.h"
 #include "graph/graph.h"
 #include "graph/neighborhood.h"
 #include "query/query.h"
@@ -30,9 +31,28 @@ struct MatcherStats {
 ///
 /// The engine is stateless with respect to queries; one Matcher may be
 /// reused across many (rewritten) queries against the same graph.
+///
+/// Thread-safety: a Matcher instance carries per-instance mutable state
+/// (stats, cancellation latch) and must be confined to one thread/request.
+/// The shared, immutable Graph it borrows may back any number of Matchers
+/// concurrently.
 class Matcher {
  public:
   explicit Matcher(const Graph& g) : g_(g) {}
+
+  /// Arms cooperative cancellation (token not owned; may be null to
+  /// disarm). Polled every few hundred extension attempts and once per
+  /// output candidate; when it expires, the current search unwinds and the
+  /// enumeration APIs return whatever was found so far. Resets the sticky
+  /// latch, so a Matcher may be re-armed across requests.
+  void set_cancel_token(const CancelToken* t) {
+    cancel_ = t;
+    cancel_hit_ = false;
+  }
+
+  /// True when an armed token expired during (or before) the last search —
+  /// the caller's signal that results are partial.
+  bool cancelled() const { return cancel_hit_; }
 
   /// Computes the full answer Q(u_o, G).
   std::vector<NodeId> MatchOutput(const Query& q) const;
@@ -95,8 +115,21 @@ class Matcher {
   bool Extend(const Query& q, const std::vector<PlanStep>& plan, size_t pos,
               std::vector<NodeId>& assignment) const;
 
+  // Periodic cancellation poll (every 256 extension attempts). Once true it
+  // latches, so the backtracking stack unwinds without further clock reads.
+  bool CancelledNow() const {
+    if (cancel_hit_) return true;
+    if (cancel_ != nullptr && (stats_.embeddings_tried & 255) == 0 &&
+        cancel_->Expired()) {
+      cancel_hit_ = true;
+    }
+    return cancel_hit_;
+  }
+
   const Graph& g_;
   mutable MatcherStats stats_;
+  const CancelToken* cancel_ = nullptr;
+  mutable bool cancel_hit_ = false;
 };
 
 }  // namespace whyq

@@ -26,6 +26,11 @@ namespace whyq {
 /// appends nodes). Steps whose query edge was removed by the rewrite (RmE)
 /// terminate their path early — the tail is no longer connected through
 /// this path, so it constrains nothing.
+///
+/// Thread-safety: immutable after construction, shared across workers.
+/// Passes()/PassFraction() are const, allocate only locals, and keep no
+/// per-call caches, so one index (e.g. from the service's prepared-question
+/// cache) may be probed by many workers concurrently.
 class PathIndex {
  public:
   struct Step {

@@ -57,6 +57,12 @@ struct QueryEdge {
 /// Mutation is limited to construction-style appends plus the operations
 /// needed by rewrite application (literal edits, edge/literal removal); the
 /// rewriting layer in rewrite/ is the intended mutator.
+///
+/// Thread-safety: immutable after construction, shared across workers. All
+/// const accessors (including Size/IsConnected/DistanceToOutput) compute on
+/// demand with no mutable caches, so a built Query may be read concurrently.
+/// Rewrite application never mutates a shared instance — ApplyOperators
+/// copies, which is what makes sharing cached queries across workers safe.
 class Query {
  public:
   Query() = default;

@@ -16,12 +16,14 @@ std::vector<NodeId> Dedup(std::vector<NodeId> v) {
 
 WhyEvaluator::WhyEvaluator(const Graph& g, std::vector<NodeId> answers,
                            const WhyQuestion& w, size_t guard_m,
-                           MatchSemantics semantics)
+                           MatchSemantics semantics,
+                           const CancelToken* cancel)
     : g_(g),
       engine_(MakeMatchEngine(g, semantics)),
       answers_(std::move(answers)),
       unexpected_set_(std::vector<NodeId>{}, g.node_count()),
       guard_m_(guard_m) {
+  engine_->SetCancelToken(cancel);
   NodeSet answer_set(answers_, g.node_count());
   for (NodeId v : Dedup(w.unexpected)) {
     if (answer_set.Contains(v)) {
@@ -78,12 +80,14 @@ std::vector<NodeId> WhyEvaluator::AffectedAnswers(
 WhyNotEvaluator::WhyNotEvaluator(const Graph& g,
                                  std::vector<NodeId> answers,
                                  const WhyNotQuestion& w, size_t guard_m,
-                                 MatchSemantics semantics)
+                                 MatchSemantics semantics,
+                                 const CancelToken* cancel)
     : g_(g),
       engine_(MakeMatchEngine(g, semantics)),
       answers_(std::move(answers)),
       protected_set_(answers_, g.node_count()),
       guard_m_(guard_m) {
+  engine_->SetCancelToken(cancel);
   std::vector<NodeId> missing;
   for (NodeId v : Dedup(w.missing)) {
     if (!protected_set_.Contains(v)) missing.push_back(v);

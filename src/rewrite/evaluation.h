@@ -23,11 +23,16 @@ struct EvalResult {
 /// incrementally which original answers survive the rewrite instead of
 /// recomputing Q'(u_o, G) from scratch, early-terminating per node on the
 /// first embedding and early-terminating the guard count beyond m.
+///
+/// Evaluators are per-request objects (they own a stateful MatchEngine);
+/// `cancel` (not owned, may be null) is forwarded into the engine so
+/// verification sweeps stop mid-search once a deadline passes.
 class WhyEvaluator {
  public:
   WhyEvaluator(const Graph& g, std::vector<NodeId> answers,
                const WhyQuestion& w, size_t guard_m,
-               MatchSemantics semantics = MatchSemantics::kIsomorphism);
+               MatchSemantics semantics = MatchSemantics::kIsomorphism,
+               const CancelToken* cancel = nullptr);
 
   /// cl(O) and guard of a refinement rewrite.
   EvalResult Evaluate(const Query& rewritten) const;
@@ -67,7 +72,8 @@ class WhyNotEvaluator {
  public:
   WhyNotEvaluator(const Graph& g, std::vector<NodeId> answers,
                   const WhyNotQuestion& w, size_t guard_m,
-                  MatchSemantics semantics = MatchSemantics::kIsomorphism);
+                  MatchSemantics semantics = MatchSemantics::kIsomorphism,
+                  const CancelToken* cancel = nullptr);
 
   EvalResult Evaluate(const Query& rewritten) const;
 

@@ -1,0 +1,67 @@
+#include "service/prepared.h"
+
+#include <utility>
+
+#include "common/cancel.h"
+#include "matcher/candidates.h"
+#include "query/query_parser.h"
+
+namespace whyq {
+
+std::string PreparedQueryKey(const Query& q, const Graph& g,
+                             MatchSemantics semantics, size_t max_paths) {
+  return std::string(MatchSemanticsName(semantics)) + "|paths=" +
+         std::to_string(max_paths) + "\n" + WriteQuery(q, g);
+}
+
+std::shared_ptr<const PreparedQuery> PrepareQuery(const Graph& g, Query q,
+                                                  MatchSemantics semantics,
+                                                  size_t max_paths,
+                                                  const CancelToken* cancel,
+                                                  bool* complete) {
+  auto prepared =
+      std::make_shared<PreparedQuery>(std::move(q), semantics, max_paths);
+  prepared->output_candidates =
+      Candidates(g, prepared->query, prepared->query.output());
+  std::unique_ptr<MatchEngine> engine = MakeMatchEngine(g, semantics);
+  engine->SetCancelToken(cancel);
+  prepared->answers = engine->MatchOutput(prepared->query);
+  // A build whose answer match was clipped would poison every later hit;
+  // the caller keeps it request-local instead of caching it.
+  if (complete != nullptr) *complete = !CancelRequested(cancel);
+  return prepared;
+}
+
+std::shared_ptr<const PreparedQuery> PreparedQueryCache::Get(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->value;
+}
+
+void PreparedQueryCache::Put(const std::string& key,
+                             std::shared_ptr<const PreparedQuery> value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(value)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+size_t PreparedQueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace whyq

@@ -1,0 +1,84 @@
+#ifndef WHYQ_SERVICE_PREPARED_H_
+#define WHYQ_SERVICE_PREPARED_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "matcher/match_engine.h"
+#include "matcher/path_index.h"
+#include "query/query.h"
+
+namespace whyq {
+
+class CancelToken;
+
+/// Per-(query, semantics) artifacts every question over that query needs:
+/// the parsed query, its answer set Q(u_o, G), the output node's candidate
+/// set, and the sampled PathIndex (the estimation backbone). Building these
+/// is the dominant fixed cost of a request — the answer match scans every
+/// output-label node — so repeated questions over the same query share one
+/// immutable PreparedQuery through the service's LRU cache.
+///
+/// Thread-safety: immutable after construction; shared across workers via
+/// shared_ptr<const PreparedQuery>.
+struct PreparedQuery {
+  Query query;
+  MatchSemantics semantics = MatchSemantics::kIsomorphism;
+  std::vector<NodeId> answers;            // Q(u_o, G) under `semantics`
+  std::vector<NodeId> output_candidates;  // label+literal candidates of u_o
+  PathIndex path_index;
+
+  PreparedQuery(Query q, MatchSemantics s, size_t max_paths)
+      : query(std::move(q)), semantics(s), path_index(query, max_paths) {}
+};
+
+/// Cache key: the query's canonical serialized form plus the semantics and
+/// the path-index size — two textual spellings of the same query share an
+/// entry; requests tuned differently do not.
+std::string PreparedQueryKey(const Query& q, const Graph& g,
+                             MatchSemantics semantics, size_t max_paths);
+
+/// Builds the artifacts. `cancel` (nullable) clips the answer match; a
+/// clipped build is still usable for its own request (best-so-far) but must
+/// NOT be cached — `complete` reports whether the build ran to the end.
+std::shared_ptr<const PreparedQuery> PrepareQuery(const Graph& g, Query q,
+                                                  MatchSemantics semantics,
+                                                  size_t max_paths,
+                                                  const CancelToken* cancel,
+                                                  bool* complete);
+
+/// Thread-safe LRU map key -> shared_ptr<const PreparedQuery>. Eviction
+/// only drops the cache's reference; in-flight requests keep theirs.
+class PreparedQueryCache {
+ public:
+  explicit PreparedQueryCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the entry (refreshing its recency) or nullptr.
+  std::shared_ptr<const PreparedQuery> Get(const std::string& key);
+
+  /// Inserts/refreshes `value`, evicting the least-recently-used entry
+  /// beyond capacity. A capacity of 0 disables caching.
+  void Put(const std::string& key,
+           std::shared_ptr<const PreparedQuery> value);
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const PreparedQuery> value;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace whyq
+
+#endif  // WHYQ_SERVICE_PREPARED_H_

@@ -1,0 +1,224 @@
+#include "service/service.h"
+
+#include <utility>
+
+#include "query/query_parser.h"
+#include "why/whynot_algorithms.h"
+
+namespace whyq {
+
+const char* RequestKindName(RequestKind k) {
+  switch (k) {
+    case RequestKind::kWhy:
+      return "why";
+    case RequestKind::kWhyNot:
+      return "whynot";
+    case RequestKind::kWhyEmpty:
+      return "whyempty";
+    case RequestKind::kWhySoMany:
+      return "whysomany";
+  }
+  return "?";
+}
+
+const char* AlgoChoiceName(AlgoChoice a) {
+  switch (a) {
+    case AlgoChoice::kAuto:
+      return "auto";
+    case AlgoChoice::kExact:
+      return "exact";
+    case AlgoChoice::kIso:
+      return "iso";
+  }
+  return "?";
+}
+
+const char* ResponseStatusName(ResponseStatus s) {
+  switch (s) {
+    case ResponseStatus::kOk:
+      return "ok";
+    case ResponseStatus::kRejected:
+      return "rejected";
+    case ResponseStatus::kBadRequest:
+      return "bad-request";
+    case ResponseStatus::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+WhyqService::WhyqService(std::shared_ptr<const Graph> graph,
+                         ServiceConfig cfg)
+    : graph_(std::move(graph)),
+      cfg_(cfg),
+      cache_(cfg.cache_capacity) {
+  workers_.reserve(cfg_.workers);
+  for (size_t i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WhyqService::WhyqService(Graph&& graph, ServiceConfig cfg)
+    : WhyqService(std::make_shared<const Graph>(std::move(graph)), cfg) {}
+
+WhyqService::~WhyqService() { Stop(); }
+
+void WhyqService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+std::optional<std::future<ServiceResponse>> WhyqService::Submit(
+    ServiceRequest req) {
+  auto job = std::make_unique<Job>();
+  double deadline =
+      req.deadline_ms > 0 ? req.deadline_ms : cfg_.default_deadline_ms;
+  job->token.SetDeadlineAfterMillis(deadline);
+  job->request = std::move(req);
+  std::future<ServiceResponse> future = job->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ServiceResponse r;
+      r.status = ResponseStatus::kShutdown;
+      job->promise.set_value(std::move(r));
+      return future;
+    }
+    if (queue_.size() >= cfg_.queue_capacity) {
+      stats_.RecordRejected();
+      return std::nullopt;
+    }
+    queue_.push_back(std::move(job));
+  }
+  stats_.RecordReceived();
+  cv_.notify_one();
+  return future;
+}
+
+ServiceResponse WhyqService::Execute(const ServiceRequest& req) {
+  stats_.RecordReceived();
+  CancelToken token;
+  double deadline =
+      req.deadline_ms > 0 ? req.deadline_ms : cfg_.default_deadline_ms;
+  token.SetDeadlineAfterMillis(deadline);
+  Timer timer;
+  return Run(req, &token, timer);
+}
+
+void WhyqService::WorkerLoop() {
+  for (;;) {
+    std::unique_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job->promise.set_value(Run(job->request, &job->token, job->timer));
+  }
+}
+
+ServiceResponse WhyqService::Run(const ServiceRequest& req,
+                                 const CancelToken* token,
+                                 const Timer& timer) {
+  const Graph& g = *graph_;
+  ServiceResponse resp;
+  std::string klass = std::string(RequestKindName(req.kind)) + "/" +
+                      AlgoChoiceName(req.algo);
+
+  auto fail = [&](const std::string& msg) {
+    resp.status = ResponseStatus::kBadRequest;
+    resp.error = msg;
+    resp.latency_ms = timer.ElapsedMillis();
+    stats_.RecordBadRequest();
+    return resp;
+  };
+
+  if ((req.kind == RequestKind::kWhy || req.kind == RequestKind::kWhyNot) &&
+      req.entities.empty()) {
+    return fail("why/whynot requests need at least one entity");
+  }
+  for (NodeId v : req.entities) {
+    if (v >= g.node_count()) {
+      return fail("entity id " + std::to_string(v) + " out of range");
+    }
+  }
+
+  std::string parse_error;
+  std::optional<Query> parsed = ParseQuery(req.query_text, g, &parse_error);
+  if (!parsed.has_value()) return fail("query parse error: " + parse_error);
+
+  // Prepared artifacts: canonical-form LRU lookup, build on miss. A build
+  // clipped by the deadline stays request-local (never cached).
+  AnswerConfig cfg = req.config;
+  std::string key =
+      PreparedQueryKey(*parsed, g, cfg.semantics, cfg.path_index_paths);
+  std::shared_ptr<const PreparedQuery> prepared = cache_.Get(key);
+  resp.cache_hit = prepared != nullptr;
+  if (prepared == nullptr) {
+    bool complete = false;
+    prepared = PrepareQuery(g, std::move(*parsed), cfg.semantics,
+                            cfg.path_index_paths, token, &complete);
+    if (complete) cache_.Put(key, prepared);
+  }
+
+  cfg.cancel = token;
+  cfg.path_index = &prepared->path_index;
+  const Query& q = prepared->query;
+  const std::vector<NodeId>& answers = prepared->answers;
+  resp.base_answers = answers;
+
+  switch (req.kind) {
+    case RequestKind::kWhy: {
+      WhyQuestion w{req.entities};
+      if (req.algo == AlgoChoice::kExact) {
+        resp.answer = ExactWhy(g, q, answers, w, cfg);
+      } else if (req.algo == AlgoChoice::kIso) {
+        resp.answer = IsoWhy(g, q, answers, w, cfg);
+      } else {
+        resp.answer = ApproxWhy(g, q, answers, w, cfg);
+      }
+      resp.truncated = !resp.answer.exhaustive;
+      break;
+    }
+    case RequestKind::kWhyNot: {
+      WhyNotQuestion w;
+      w.missing = req.entities;
+      w.condition = req.condition;
+      if (req.algo == AlgoChoice::kExact) {
+        resp.answer = ExactWhyNot(g, q, answers, w, cfg);
+      } else if (req.algo == AlgoChoice::kIso) {
+        resp.answer = IsoWhyNot(g, q, answers, w, cfg);
+      } else {
+        resp.answer = FastWhyNot(g, q, answers, w, cfg);
+      }
+      resp.truncated = !resp.answer.exhaustive;
+      break;
+    }
+    case RequestKind::kWhyEmpty:
+      resp.why_empty = AnswerWhyEmpty(g, q, cfg);
+      break;
+    case RequestKind::kWhySoMany:
+      resp.why_so_many = AnswerWhySoMany(g, q, answers, req.target_k, cfg);
+      break;
+  }
+  // Deadline expiry anywhere in the pipeline (including the prepare step)
+  // marks the response truncated, whatever the algorithm reported.
+  resp.truncated = resp.truncated || CancelRequested(token);
+  resp.status = ResponseStatus::kOk;
+  resp.latency_ms = timer.ElapsedMillis();
+  stats_.RecordCompleted(klass, resp.latency_ms, resp.truncated,
+                         resp.cache_hit);
+  return resp;
+}
+
+}  // namespace whyq

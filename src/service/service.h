@@ -1,0 +1,108 @@
+#ifndef WHYQ_SERVICE_SERVICE_H_
+#define WHYQ_SERVICE_SERVICE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/timer.h"
+#include "graph/graph.h"
+#include "service/prepared.h"
+#include "service/request.h"
+#include "service/stats.h"
+
+namespace whyq {
+
+/// Tuning for one WhyqService instance.
+struct ServiceConfig {
+  size_t workers = 4;          // fixed-size pool
+  size_t queue_capacity = 256; // bounded; Submit rejects when full
+  size_t cache_capacity = 64;  // prepared-question LRU entries (0 disables)
+  double default_deadline_ms = 0;  // applied when a request carries none
+};
+
+/// A concurrent, deadline-aware explanation service over one immutable
+/// shared Graph (DESIGN.md "Serving architecture").
+///
+/// Request lifecycle: Submit() stamps the deadline and enqueues (bounded
+/// queue — a full queue rejects immediately with backpressure, it never
+/// blocks the caller); a worker pops the job, resolves the prepared
+/// artifacts for its query (LRU cache keyed by canonical query text +
+/// semantics: answer set, output candidates, sampled PathIndex), runs the
+/// requested algorithm with the request's CancelToken plumbed into the
+/// matcher/enumeration hot loops, and fulfills the future. A request past
+/// its deadline unwinds mid-search and reports its best-so-far rewrite with
+/// `truncated` set — a slow question degrades, it never wedges a worker.
+///
+/// Sharing rule: the Graph (and every cached PreparedQuery) is immutable
+/// after construction and shared across workers; all per-request state
+/// (engines, evaluators, matchers) is worker-local.
+class WhyqService {
+ public:
+  /// The service shares ownership of the graph; callers may keep using it
+  /// concurrently for reads.
+  explicit WhyqService(std::shared_ptr<const Graph> graph,
+                       ServiceConfig cfg = ServiceConfig());
+
+  /// Convenience: take over a graph by value.
+  explicit WhyqService(Graph&& graph, ServiceConfig cfg = ServiceConfig());
+
+  ~WhyqService();  // Stop()s: drains the queue, joins the workers
+
+  WhyqService(const WhyqService&) = delete;
+  WhyqService& operator=(const WhyqService&) = delete;
+
+  /// Enqueues a request. Returns std::nullopt when the bounded queue is
+  /// full (backpressure — the caller decides whether to retry) or a future
+  /// that resolves to the response otherwise. After Stop(), the returned
+  /// future resolves immediately with ResponseStatus::kShutdown.
+  std::optional<std::future<ServiceResponse>> Submit(ServiceRequest req);
+
+  /// Synchronous execution on the caller's thread, sharing the same
+  /// prepared-question cache and stats. With no deadline the result is
+  /// byte-identical to the pooled path — the determinism the stress test
+  /// pins down.
+  ServiceResponse Execute(const ServiceRequest& req);
+
+  /// Stops accepting new requests, lets the workers drain what is queued,
+  /// and joins them. Idempotent.
+  void Stop();
+
+  StatsSnapshot Stats() const { return stats_.Snapshot(); }
+  size_t cache_size() const { return cache_.size(); }
+  const Graph& graph() const { return *graph_; }
+  const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  struct Job {
+    ServiceRequest request;
+    std::promise<ServiceResponse> promise;
+    CancelToken token;  // armed at submission; address-stable (no moves)
+    Timer timer;        // latency clock starts at submission
+  };
+
+  ServiceResponse Run(const ServiceRequest& req, const CancelToken* token,
+                      const Timer& timer);
+  void WorkerLoop();
+
+  std::shared_ptr<const Graph> graph_;
+  ServiceConfig cfg_;
+  PreparedQueryCache cache_;
+  ServiceStats stats_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Job>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace whyq
+
+#endif  // WHYQ_SERVICE_SERVICE_H_

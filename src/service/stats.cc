@@ -1,0 +1,87 @@
+#include "service/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace whyq {
+
+void ServiceStats::RecordReceived() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.received;
+}
+
+void ServiceStats::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.rejected;
+}
+
+void ServiceStats::RecordBadRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.bad_requests;
+}
+
+void ServiceStats::RecordCompleted(const std::string& klass,
+                                   double latency_ms, bool truncated,
+                                   bool cache_hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.completed;
+  if (truncated) ++counters_.truncated;
+  if (cache_hit) {
+    ++counters_.cache_hits;
+  } else {
+    ++counters_.cache_misses;
+  }
+  std::vector<double>& samples = samples_[klass];
+  if (samples.size() < kMaxSamples) samples.push_back(latency_ms);
+}
+
+StatsSnapshot ServiceStats::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatsSnapshot out = counters_;
+  for (const auto& [klass, raw] : samples_) {
+    if (raw.empty()) continue;
+    std::vector<double> sorted = raw;
+    std::sort(sorted.begin(), sorted.end());
+    LatencySummary s;
+    s.count = sorted.size();
+    s.min_ms = sorted.front();
+    s.max_ms = sorted.back();
+    double sum = 0.0;
+    for (double x : sorted) sum += x;
+    s.mean_ms = sum / static_cast<double>(sorted.size());
+    // Nearest-rank p95 (1-based rank ceil(0.95 n)).
+    size_t rank = (sorted.size() * 95 + 99) / 100;
+    if (rank == 0) rank = 1;
+    s.p95_ms = sorted[std::min(rank, sorted.size()) - 1];
+    out.latency[klass] = s;
+  }
+  return out;
+}
+
+std::string StatsSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "requests: received=" << received << " rejected=" << rejected
+     << " completed=" << completed << " truncated=" << truncated
+     << " bad=" << bad_requests << "\n";
+  os << "prepared cache: hits=" << cache_hits << " misses=" << cache_misses;
+  uint64_t looked_up = cache_hits + cache_misses;
+  if (looked_up > 0) {
+    os << " (" << TextTable::Num(100.0 * static_cast<double>(cache_hits) /
+                                     static_cast<double>(looked_up),
+                                 1)
+       << "% hit rate)";
+  }
+  os << "\n";
+  for (const auto& [klass, s] : latency) {
+    os << "  " << klass << ": n=" << s.count << " min="
+       << TextTable::Num(s.min_ms, 2) << "ms mean="
+       << TextTable::Num(s.mean_ms, 2) << "ms p95="
+       << TextTable::Num(s.p95_ms, 2) << "ms max="
+       << TextTable::Num(s.max_ms, 2) << "ms\n";
+  }
+  return os.str();
+}
+
+}  // namespace whyq

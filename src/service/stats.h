@@ -1,0 +1,61 @@
+#ifndef WHYQ_SERVICE_STATS_H_
+#define WHYQ_SERVICE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace whyq {
+
+/// Latency summary over one request class.
+struct LatencySummary {
+  uint64_t count = 0;
+  double min_ms = 0.0;
+  double mean_ms = 0.0;
+  double p95_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// A consistent copy of the service counters, snapshotable at any time.
+struct StatsSnapshot {
+  uint64_t received = 0;   // accepted into the queue (or executed inline)
+  uint64_t rejected = 0;   // backpressure: bounded queue was full
+  uint64_t completed = 0;  // responses produced
+  uint64_t truncated = 0;  // ... of which deadline/cancellation clipped
+  uint64_t bad_requests = 0;
+  uint64_t cache_hits = 0;    // prepared-question artifacts reused
+  uint64_t cache_misses = 0;  // built fresh (and inserted when complete)
+
+  /// Keyed by "<kind>/<algo>" (e.g. "why/auto", "whynot/exact").
+  std::map<std::string, LatencySummary> latency;
+
+  /// Multi-line human-readable rendering (one row per request class).
+  std::string ToString() const;
+};
+
+/// Thread-safe counter block shared by the workers. Latencies keep a
+/// bounded per-class sample buffer (first kMaxSamples requests) from which
+/// the snapshot derives min/mean/p95/max; counts are always exact.
+class ServiceStats {
+ public:
+  static constexpr size_t kMaxSamples = 65536;
+
+  void RecordReceived();
+  void RecordRejected();
+  void RecordBadRequest();
+  void RecordCompleted(const std::string& klass, double latency_ms,
+                       bool truncated, bool cache_hit);
+
+  StatsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  StatsSnapshot counters_;  // latency field unused; derived at Snapshot()
+  std::map<std::string, std::vector<double>> samples_;
+};
+
+}  // namespace whyq
+
+#endif  // WHYQ_SERVICE_STATS_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <set>
 
 #include "matcher/matcher.h"
@@ -36,6 +37,7 @@ WhyEmptyResult AnswerWhyEmpty(const Graph& g, const Query& q,
   WhyEmptyResult out;
   out.rewritten = q;
   Matcher matcher(g);
+  matcher.set_cancel_token(cfg.cancel);
   auto harvest = [&](const Query& rewritten) {
     std::vector<NodeId> all = matcher.MatchOutput(rewritten);
     if (all.size() > 10) all.resize(10);
@@ -64,7 +66,9 @@ WhyEmptyResult AnswerWhyEmpty(const Graph& g, const Query& q,
   // Greedy relaxation steered by path-test pass fractions over the proxy
   // sample: each step picks the operator that moves some candidate closest
   // to a full match, per unit cost, until the answer becomes non-empty.
-  PathIndex pidx(q, cfg.path_index_paths);
+  std::optional<PathIndex> own_pidx;
+  if (cfg.path_index == nullptr) own_pidx.emplace(q, cfg.path_index_paths);
+  const PathIndex& pidx = cfg.path_index ? *cfg.path_index : *own_pidx;
   auto score = [&](const Query& rewritten) {
     double best = 0.0;
     double sum = 0.0;
@@ -81,7 +85,7 @@ WhyEmptyResult AnswerWhyEmpty(const Graph& g, const Query& q,
   double current_score = score(q);
   std::vector<uint8_t> in_pool(usable.size(), 1);
   size_t pool = usable.size();
-  while (pool > 0) {
+  while (pool > 0 && !CancelRequested(cfg.cancel)) {
     long best = -1;
     double best_ratio = 0.0;
     for (size_t i = 0; i < usable.size(); ++i) {
@@ -148,8 +152,11 @@ WhySoManyResult AnswerWhySoMany(const Graph& g, const Query& q,
     return out;
   }
   Matcher matcher(g);
+  matcher.set_cancel_token(cfg.cancel);
   CostModel cost(q, g, cfg.weighted_cost);
-  PathIndex pidx(q, cfg.path_index_paths);
+  std::optional<PathIndex> own_pidx;
+  if (cfg.path_index == nullptr) own_pidx.emplace(q, cfg.path_index_paths);
+  const PathIndex& pidx = cfg.path_index ? *cfg.path_index : *own_pidx;
 
   // Every answer is "unexpected": generate the full refinement picky set.
   std::vector<EditOp> picky = GenPickyWhy(g, q, answers, answers, cfg);
@@ -176,7 +183,7 @@ WhySoManyResult AnswerWhySoMany(const Graph& g, const Query& q,
   size_t current = answers.size();
   std::vector<uint8_t> in_pool(cands.size(), 1);
   size_t pool = cands.size();
-  while (pool > 0 && current > target_k) {
+  while (pool > 0 && current > target_k && !CancelRequested(cfg.cancel)) {
     long best = -1;
     double best_ratio = 0.0;
     size_t best_kept = current;

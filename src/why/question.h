@@ -4,11 +4,14 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "graph/graph.h"
 #include "matcher/match_engine.h"
 #include "query/query.h"
 
 namespace whyq {
+
+class PathIndex;
 
 /// One literal of a Why-not selection condition C (Section III-A). Either
 /// unary (`x.A op c`, constraining a missing entity directly) or binary
@@ -70,6 +73,19 @@ struct AnswerConfig {
   size_t path_index_paths = 8;     // sampled paths for EstMatch
   size_t est_guard_scan = 2000;    // candidate scan cap for estimated guards
   bool minimize_cost = true;       // exact post-processing (minimal MBS)
+
+  /// Cooperative cancellation/deadline (not owned; may be null). Polled in
+  /// the matcher search, the MBS enumeration, and the greedy selection
+  /// loops; an expired token makes the algorithms return their best-so-far
+  /// rewrite with RewriteAnswer::exhaustive cleared (-> truncated).
+  const CancelToken* cancel = nullptr;
+
+  /// Prebuilt estimation backbone for the *original* query (not owned; may
+  /// be null). When set, the greedy algorithms use it instead of sampling a
+  /// fresh PathIndex(q, path_index_paths) — the service's prepared-question
+  /// cache shares one immutable index across repeated questions. Must have
+  /// been built from the same query `q` the algorithm is invoked with.
+  const PathIndex* path_index = nullptr;
 };
 
 }  // namespace whyq

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <sstream>
 
 #include "common/table.h"
@@ -77,7 +78,7 @@ RewriteAnswer ExactWhy(const Graph& g, const Query& q,
                        const WhyQuestion& w, const AnswerConfig& cfg) {
   RewriteAnswer out;
   out.rewritten = q;
-  WhyEvaluator eval(g, answers, w, cfg.guard_m, cfg.semantics);
+  WhyEvaluator eval(g, answers, w, cfg.guard_m, cfg.semantics, cfg.cancel);
   CostModel cost(q, g, cfg.weighted_cost);
 
   std::vector<EditOp> picky =
@@ -128,8 +129,9 @@ RewriteAnswer ExactWhy(const Graph& g, const Query& q,
           best_ops = std::move(ops);
           best_eval = r;
         }
-        if (cfg.exact_time_limit_ms > 0 &&
-            exact_timer.ElapsedMillis() > cfg.exact_time_limit_ms) {
+        if (CancelRequested(cfg.cancel) ||
+            (cfg.exact_time_limit_ms > 0 &&
+             exact_timer.ElapsedMillis() > cfg.exact_time_limit_ms)) {
           timed_out = true;
           return false;
         }
@@ -137,8 +139,9 @@ RewriteAnswer ExactWhy(const Graph& g, const Query& q,
       },
       admit,
       [&]() {
-        if (cfg.exact_time_limit_ms > 0 &&
-            exact_timer.ElapsedMillis() > cfg.exact_time_limit_ms) {
+        if (CancelRequested(cfg.cancel) ||
+            (cfg.exact_time_limit_ms > 0 &&
+             exact_timer.ElapsedMillis() > cfg.exact_time_limit_ms)) {
           timed_out = true;
           return true;
         }
@@ -150,8 +153,9 @@ RewriteAnswer ExactWhy(const Graph& g, const Query& q,
 
   // Fallback when the capped enumeration missed a solution the greedy can
   // still reach: the greedy set is a valid bounded set, so adopting it
-  // keeps ExactWhy's answer at least as close as ApproxWhy's.
-  if (!out.exhaustive) {
+  // keeps ExactWhy's answer at least as close as ApproxWhy's. Skipped when
+  // the request itself is cancelled/past deadline — return best-so-far now.
+  if (!out.exhaustive && !CancelRequested(cfg.cancel)) {
     RewriteAnswer seed = ApproxWhy(g, q, answers, w, cfg);
     if (seed.found && seed.eval.guard_ok &&
         seed.cost <= cfg.budget + kEps &&
@@ -173,7 +177,7 @@ RewriteAnswer ExactWhy(const Graph& g, const Query& q,
   out.ops = std::move(best_ops);
   out.rewritten = ApplyOperators(q, out.ops);
   out.eval = best_eval;
-  if (cfg.minimize_cost) {
+  if (cfg.minimize_cost && !CancelRequested(cfg.cancel)) {
     MinimizeCost(g, q, eval, cost, out.ops, out.eval, out.rewritten);
   }
   out.cost = cost.Cost(out.ops);
@@ -190,11 +194,13 @@ RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
                         const WhyQuestion& w, const AnswerConfig& cfg,
                         bool exact) {
   RewriteAnswer out;
-  out.exhaustive = true;  // greedy: nothing to truncate
+  out.exhaustive = true;  // greedy: nothing to truncate (unless cancelled)
   out.rewritten = q;
-  WhyEvaluator eval(g, answers, w, cfg.guard_m, cfg.semantics);
+  WhyEvaluator eval(g, answers, w, cfg.guard_m, cfg.semantics, cfg.cancel);
   CostModel cost(q, g, cfg.weighted_cost);
-  PathIndex pidx(q, cfg.path_index_paths);
+  std::optional<PathIndex> own_pidx;
+  if (cfg.path_index == nullptr) own_pidx.emplace(q, cfg.path_index_paths);
+  const PathIndex& pidx = cfg.path_index ? *cfg.path_index : *own_pidx;
 
   std::vector<NodeId> desired;
   for (NodeId v : answers) {
@@ -212,6 +218,10 @@ RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
   };
   std::vector<Cand> cands;
   for (EditOp& op : picky) {
+    if (CancelRequested(cfg.cancel)) {
+      out.exhaustive = false;
+      break;  // score the candidates verified so far
+    }
     double c = cost.Cost(op);
     if (c > cfg.budget + kEps) continue;
     Cand cand;
@@ -299,6 +309,10 @@ RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
   double current_soft = soft_score(aff_union, q);
 
   while (pool > 0 && current_cl < 1.0 - kEps) {
+    if (CancelRequested(cfg.cancel)) {
+      out.exhaustive = false;
+      break;  // keep the greedy prefix selected so far
+    }
     ++out.sets_verified;
     long best = -1;
     double best_ratio = -1.0;
@@ -358,7 +372,7 @@ RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
   // Drop bootstrap operators that never paid off (estimated closeness
   // unchanged without them).
   bool shrunk = true;
-  while (shrunk && selected.size() > 1) {
+  while (shrunk && selected.size() > 1 && !CancelRequested(cfg.cancel)) {
     shrunk = false;
     for (size_t i = 0; i < selected.size(); ++i) {
       std::vector<size_t> trial = selected;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
 #include "common/timer.h"
 #include "matcher/path_index.h"
@@ -60,7 +61,8 @@ RewriteAnswer ExactWhyNot(const Graph& g, const Query& q,
                           const WhyNotQuestion& w, const AnswerConfig& cfg) {
   RewriteAnswer out;
   out.rewritten = q;
-  WhyNotEvaluator eval(g, answers, w, cfg.guard_m, cfg.semantics);
+  WhyNotEvaluator eval(g, answers, w, cfg.guard_m, cfg.semantics,
+                       cfg.cancel);
   CostModel cost(q, g, cfg.weighted_cost);
 
   std::vector<EditOp> picky = GenPickyWhyNot(g, q, eval.missing(), cfg);
@@ -107,8 +109,9 @@ RewriteAnswer ExactWhyNot(const Graph& g, const Query& q,
           best_ops = std::move(ops);
           best_eval = r;
         }
-        if (cfg.exact_time_limit_ms > 0 &&
-            exact_timer.ElapsedMillis() > cfg.exact_time_limit_ms) {
+        if (CancelRequested(cfg.cancel) ||
+            (cfg.exact_time_limit_ms > 0 &&
+             exact_timer.ElapsedMillis() > cfg.exact_time_limit_ms)) {
           timed_out = true;
           return false;
         }
@@ -116,8 +119,9 @@ RewriteAnswer ExactWhyNot(const Graph& g, const Query& q,
       },
       admit,
       [&]() {
-        if (cfg.exact_time_limit_ms > 0 &&
-            exact_timer.ElapsedMillis() > cfg.exact_time_limit_ms) {
+        if (CancelRequested(cfg.cancel) ||
+            (cfg.exact_time_limit_ms > 0 &&
+             exact_timer.ElapsedMillis() > cfg.exact_time_limit_ms)) {
           timed_out = true;
           return true;
         }
@@ -128,8 +132,8 @@ RewriteAnswer ExactWhyNot(const Graph& g, const Query& q,
   out.exhaustive = !stats.truncated && !timed_out;
 
   // Fallback under truncation (see ExactWhy): never worse than the fast
-  // heuristic.
-  if (!out.exhaustive) {
+  // heuristic. Skipped once the request itself is cancelled/past deadline.
+  if (!out.exhaustive && !CancelRequested(cfg.cancel)) {
     RewriteAnswer seed = FastWhyNot(g, q, answers, w, cfg);
     if (seed.found && seed.eval.guard_ok &&
         seed.cost <= cfg.budget + kEps &&
@@ -150,7 +154,7 @@ RewriteAnswer ExactWhyNot(const Graph& g, const Query& q,
   out.ops = std::move(best_ops);
   out.rewritten = ApplyOperators(q, out.ops);
   out.eval = best_eval;
-  if (cfg.minimize_cost) {
+  if (cfg.minimize_cost && !CancelRequested(cfg.cancel)) {
     MinimizeCostWhyNot(q, eval, cost, out.ops, out.eval, out.rewritten);
   }
   out.cost = cost.Cost(out.ops);
@@ -166,11 +170,14 @@ RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
                            const WhyNotQuestion& w, const AnswerConfig& cfg,
                            bool exact) {
   RewriteAnswer out;
-  out.exhaustive = true;  // greedy: nothing to truncate
+  out.exhaustive = true;  // greedy: nothing to truncate (unless cancelled)
   out.rewritten = q;
-  WhyNotEvaluator eval(g, answers, w, cfg.guard_m, cfg.semantics);
+  WhyNotEvaluator eval(g, answers, w, cfg.guard_m, cfg.semantics,
+                       cfg.cancel);
   CostModel cost(q, g, cfg.weighted_cost);
-  PathIndex pidx(q, cfg.path_index_paths);
+  std::optional<PathIndex> own_pidx;
+  if (cfg.path_index == nullptr) own_pidx.emplace(q, cfg.path_index_paths);
+  const PathIndex& pidx = cfg.path_index ? *cfg.path_index : *own_pidx;
 
   const NodeSet& protected_set = eval.protected_set();
 
@@ -182,6 +189,10 @@ RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
   };
   std::vector<Cand> cands;
   for (EditOp& op : picky) {
+    if (CancelRequested(cfg.cancel)) {
+      out.exhaustive = false;
+      break;  // score the candidates verified so far
+    }
     double c = cost.Cost(op);
     if (c > cfg.budget + kEps) continue;
     Cand cand;
@@ -244,6 +255,10 @@ RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
   size_t pool = cands.size();
 
   while (pool > 0 && current_cl < 1.0 - kEps) {
+    if (CancelRequested(cfg.cancel)) {
+      out.exhaustive = false;
+      break;  // keep the greedy prefix selected so far
+    }
     ++out.sets_verified;
     long best = -1;
     double best_ratio = -1.0;
@@ -303,7 +318,7 @@ RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
   // Drop operators that no longer contribute to the (estimated) closeness —
   // bootstrap steps that never paid off.
   bool changed = true;
-  while (changed && selected.size() > 1) {
+  while (changed && selected.size() > 1 && !CancelRequested(cfg.cancel)) {
     changed = false;
     for (size_t i = 0; i < selected.size(); ++i) {
       std::vector<size_t> trial = selected;

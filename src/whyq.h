@@ -15,6 +15,7 @@
 ///   whyq::RewriteAnswer a = whyq::ApproxWhy(g, q, ans, why, cfg);
 ///   std::cout << a.Explain(g) << "\n";
 
+#include "common/cancel.h"
 #include "common/dictionary.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -39,6 +40,10 @@
 #include "query/query_dot.h"
 #include "query/query_parser.h"
 #include "rewrite/cost_model.h"
+#include "service/prepared.h"
+#include "service/request.h"
+#include "service/service.h"
+#include "service/stats.h"
 #include "rewrite/evaluation.h"
 #include "rewrite/explanation.h"
 #include "rewrite/operators.h"

@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "gen/bsbm.h"
+#include "gen/figure1.h"
+#include "matcher/matcher.h"
+#include "query/query_parser.h"
+#include "rewrite/operators.h"
+#include "service/prepared.h"
+#include "service/request.h"
+#include "service/service.h"
+
+namespace whyq {
+namespace {
+
+// A response's result, flattened for equality checks across execution modes
+// (serial vs pooled, cold vs cached).
+std::string ResultKey(const Graph& g, const ServiceResponse& r) {
+  std::string key = ResponseStatusName(r.status);
+  key += "|" + std::to_string(r.base_answers.size());
+  key += "|found=" + std::to_string(r.answer.found);
+  key += "|ops=" + DescribeOperators(r.answer.ops, g);
+  key += "|cost=" + std::to_string(r.answer.cost);
+  key += "|close=" + std::to_string(r.answer.eval.closeness);
+  key += "|we=" + std::to_string(r.why_empty.found) + "," +
+         std::to_string(r.why_empty.cost) + "," +
+         DescribeOperators(r.why_empty.ops, g);
+  key += "|wsm=" + std::to_string(r.why_so_many.found) + "," +
+         std::to_string(r.why_so_many.before) + "->" +
+         std::to_string(r.why_so_many.after) + "," +
+         DescribeOperators(r.why_so_many.ops, g);
+  return key;
+}
+
+class ServiceTest : public testing::Test {
+ protected:
+  ServiceTest() {
+    Figure1 f = MakeFigure1();
+    query_text_ = WriteQuery(f.query, f.graph);
+    graph_ = std::make_shared<const Graph>(std::move(f.graph));
+    a5_ = f.a5;
+    s5_ = f.s5;
+    s8_ = f.s8;
+    s9_ = f.s9;
+  }
+
+  ServiceRequest Why(std::vector<NodeId> unexpected) {
+    ServiceRequest r;
+    r.kind = RequestKind::kWhy;
+    r.query_text = query_text_;
+    r.entities = std::move(unexpected);
+    r.config.guard_m = 0;
+    return r;
+  }
+
+  ServiceRequest WhyNot(std::vector<NodeId> missing) {
+    ServiceRequest r;
+    r.kind = RequestKind::kWhyNot;
+    r.query_text = query_text_;
+    r.entities = std::move(missing);
+    r.config.budget = 5.0;
+    return r;
+  }
+
+  std::shared_ptr<const Graph> graph_;
+  std::string query_text_;
+  NodeId a5_ = kInvalidNode;
+  NodeId s5_ = kInvalidNode;
+  NodeId s8_ = kInvalidNode;
+  NodeId s9_ = kInvalidNode;
+};
+
+TEST_F(ServiceTest, ExecutesAllFourKinds) {
+  ServiceConfig sc;
+  sc.workers = 2;
+  WhyqService service(graph_, sc);
+
+  ServiceRequest why = Why({a5_, s5_});
+  why.algo = AlgoChoice::kExact;
+  ServiceResponse r1 = service.Execute(why);
+  EXPECT_EQ(r1.status, ResponseStatus::kOk);
+  EXPECT_EQ(r1.base_answers.size(), 3u);
+  EXPECT_TRUE(r1.answer.found);
+  EXPECT_FALSE(r1.truncated);
+
+  ServiceRequest whynot = WhyNot({s8_, s9_});
+  whynot.algo = AlgoChoice::kExact;
+  ServiceResponse r2 = service.Execute(whynot);
+  EXPECT_EQ(r2.status, ResponseStatus::kOk);
+  EXPECT_TRUE(r2.answer.found);
+
+  ServiceRequest we;
+  we.kind = RequestKind::kWhyEmpty;
+  we.query_text = query_text_;
+  ServiceResponse r3 = service.Execute(we);
+  EXPECT_EQ(r3.status, ResponseStatus::kOk);
+  EXPECT_TRUE(r3.why_empty.found);
+  EXPECT_TRUE(r3.why_empty.ops.empty());  // the query is non-empty already
+
+  ServiceRequest wsm;
+  wsm.kind = RequestKind::kWhySoMany;
+  wsm.query_text = query_text_;
+  wsm.target_k = 1;
+  ServiceResponse r4 = service.Execute(wsm);
+  EXPECT_EQ(r4.status, ResponseStatus::kOk);
+}
+
+TEST_F(ServiceTest, BadRequestsAreReported) {
+  WhyqService service(graph_, ServiceConfig{1, 4, 4, 0});
+
+  ServiceRequest bad_parse = Why({a5_});
+  bad_parse.query_text = "node a\nedge oops";
+  ServiceResponse r1 = service.Execute(bad_parse);
+  EXPECT_EQ(r1.status, ResponseStatus::kBadRequest);
+  EXPECT_FALSE(r1.error.empty());
+
+  ServiceRequest no_entities = Why({});
+  ServiceResponse r2 = service.Execute(no_entities);
+  EXPECT_EQ(r2.status, ResponseStatus::kBadRequest);
+
+  ServiceRequest out_of_range = Why({static_cast<NodeId>(1u << 30)});
+  ServiceResponse r3 = service.Execute(out_of_range);
+  EXPECT_EQ(r3.status, ResponseStatus::kBadRequest);
+
+  StatsSnapshot s = service.Stats();
+  EXPECT_EQ(s.bad_requests, 3u);
+}
+
+// The determinism invariant the pool must preserve: N workers racing over
+// the same mixed workload produce responses identical to serial Execute().
+// Run under TSan this doubles as the data-race stress test.
+TEST_F(ServiceTest, PooledMatchesSerialByteForByte) {
+  std::vector<ServiceRequest> workload;
+  for (int i = 0; i < 6; ++i) {
+    workload.push_back(Why({a5_, s5_}));
+    workload.push_back(WhyNot({s8_, s9_}));
+    ServiceRequest we;
+    we.kind = RequestKind::kWhyEmpty;
+    we.query_text = query_text_;
+    workload.push_back(we);
+    ServiceRequest wsm;
+    wsm.kind = RequestKind::kWhySoMany;
+    wsm.query_text = query_text_;
+    wsm.target_k = 2;
+    workload.push_back(wsm);
+  }
+
+  // Serial baseline on a fresh service (fresh cache).
+  std::vector<std::string> expected;
+  {
+    WhyqService serial(graph_, ServiceConfig{1, 64, 8, 0});
+    for (const ServiceRequest& req : workload) {
+      expected.push_back(ResultKey(*graph_, serial.Execute(req)));
+    }
+  }
+
+  // Pooled, repeated a few times to give the scheduler room to interleave.
+  for (size_t workers : {2u, 4u}) {
+    WhyqService pooled(graph_, ServiceConfig{workers, 64, 8, 0});
+    std::vector<std::future<ServiceResponse>> futures;
+    for (const ServiceRequest& req : workload) {
+      std::optional<std::future<ServiceResponse>> f = pooled.Submit(req);
+      ASSERT_TRUE(f.has_value());
+      futures.push_back(std::move(*f));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      ServiceResponse r = futures[i].get();
+      EXPECT_EQ(ResultKey(*graph_, r), expected[i])
+          << "workers=" << workers << " request " << i;
+    }
+    StatsSnapshot s = pooled.Stats();
+    EXPECT_EQ(s.completed, workload.size());
+    EXPECT_EQ(s.truncated, 0u);
+  }
+}
+
+TEST_F(ServiceTest, CacheHitsAndIdenticalResults) {
+  WhyqService service(graph_, ServiceConfig{1, 16, 8, 0});
+  ServiceRequest req = Why({a5_, s5_});
+  ServiceResponse cold = service.Execute(req);
+  ServiceResponse warm = service.Execute(req);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(ResultKey(*graph_, cold), ResultKey(*graph_, warm));
+  StatsSnapshot s = service.Stats();
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_EQ(service.cache_size(), 1u);
+}
+
+TEST_F(ServiceTest, CacheKeyedBySemanticsAndPaths) {
+  WhyqService service(graph_, ServiceConfig{1, 16, 8, 0});
+  ServiceRequest req = Why({a5_, s5_});
+  service.Execute(req);
+  ServiceRequest other = req;
+  other.config.path_index_paths = 3;  // different artifact: different key
+  ServiceResponse r = service.Execute(other);
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(service.cache_size(), 2u);
+}
+
+TEST_F(ServiceTest, CacheDisabledWhenCapacityZero) {
+  WhyqService service(graph_, ServiceConfig{1, 16, 0, 0});
+  ServiceRequest req = Why({a5_, s5_});
+  service.Execute(req);
+  ServiceResponse r = service.Execute(req);
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(service.cache_size(), 0u);
+}
+
+TEST_F(ServiceTest, LruEvictsOldestPreparedQuery) {
+  PreparedQueryCache cache(2);
+  auto put = [&](const std::string& key) {
+    bool complete = true;
+    std::optional<Query> q = ParseQuery(query_text_, *graph_, nullptr);
+    ASSERT_TRUE(q.has_value());
+    cache.Put(key, PrepareQuery(*graph_, std::move(*q),
+                                MatchSemantics::kIsomorphism, 4, nullptr,
+                                &complete));
+  };
+  put("a");
+  put("b");
+  EXPECT_NE(cache.Get("a"), nullptr);  // touch: "b" is now LRU
+  put("c");
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+}
+
+TEST_F(ServiceTest, BackpressureRejectsWhenQueueFull) {
+  // One worker wedged on slow requests + capacity-2 queue: further submits
+  // must reject immediately, not block.
+  ServiceConfig sc{1, 2, 0, 0};
+  auto big = std::make_shared<const Graph>(GenerateBsbm(BsbmConfig{300, 7}));
+  WhyqService service(big, sc);
+  Query q;
+  {
+    std::optional<SymbolId> product = big->node_labels().Find("Product");
+    std::optional<SymbolId> review = big->node_labels().Find("Review");
+    std::optional<SymbolId> rev_of = big->edge_labels().Find("reviewOf");
+    ASSERT_TRUE(product && review && rev_of);
+    QNodeId p = q.AddNode(*product);
+    QNodeId r = q.AddNode(*review);
+    q.AddEdge(r, p, *rev_of);
+    q.SetOutput(p);
+  }
+  ServiceRequest req;
+  req.kind = RequestKind::kWhySoMany;
+  req.query_text = WriteQuery(q, *big);
+  req.target_k = 1;
+  req.config.budget = 6.0;
+
+  std::vector<std::future<ServiceResponse>> accepted;
+  size_t rejections = 0;
+  // Keep submitting until the bounded queue pushes back.
+  for (int i = 0; i < 64 && rejections == 0; ++i) {
+    std::optional<std::future<ServiceResponse>> f = service.Submit(req);
+    if (f.has_value()) {
+      accepted.push_back(std::move(*f));
+    } else {
+      ++rejections;
+    }
+  }
+  EXPECT_GT(rejections, 0u);
+  for (auto& f : accepted) {
+    EXPECT_EQ(f.get().status, ResponseStatus::kOk);
+  }
+  EXPECT_EQ(service.Stats().rejected, rejections);
+}
+
+TEST_F(ServiceTest, SubmitAfterStopResolvesShutdown) {
+  WhyqService service(graph_, ServiceConfig{1, 4, 4, 0});
+  service.Stop();
+  std::optional<std::future<ServiceResponse>> f = service.Submit(Why({a5_}));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->get().status, ResponseStatus::kShutdown);
+}
+
+// Deadline behavior on a graph big enough that the full question would take
+// far longer than the deadline: the response must come back promptly (the
+// worker unwinds cooperatively) and be flagged truncated.
+TEST_F(ServiceTest, TightDeadlineTruncatesInsteadOfHanging) {
+  auto big = std::make_shared<const Graph>(GenerateBsbm(BsbmConfig{2000, 7}));
+  Query q;
+  {
+    std::optional<SymbolId> product = big->node_labels().Find("Product");
+    std::optional<SymbolId> review = big->node_labels().Find("Review");
+    std::optional<SymbolId> offer = big->node_labels().Find("Offer");
+    std::optional<SymbolId> rev_of = big->edge_labels().Find("reviewOf");
+    std::optional<SymbolId> off_of = big->edge_labels().Find("offerOf");
+    ASSERT_TRUE(product && review && offer && rev_of && off_of);
+    QNodeId p = q.AddNode(*product);
+    QNodeId r = q.AddNode(*review);
+    QNodeId o = q.AddNode(*offer);
+    q.AddEdge(r, p, *rev_of);
+    q.AddEdge(o, p, *off_of);
+    q.SetOutput(p);
+  }
+  WhyqService service(big, ServiceConfig{2, 16, 4, 0});
+
+  // Exact Why over this query enumerates maximal bounded sets with an
+  // isomorphism verification per set — seconds of work, far past the
+  // deadline. The entities must be actual answers; any reviewed+offered
+  // product is one.
+  Matcher m(*big);
+  std::vector<NodeId> answers = m.MatchOutput(q);
+  ASSERT_GE(answers.size(), 2u);
+
+  ServiceRequest req;
+  req.kind = RequestKind::kWhy;
+  req.query_text = WriteQuery(q, *big);
+  req.entities = {answers[0], answers[1]};
+  req.algo = AlgoChoice::kExact;
+  req.config.budget = 8.0;
+  req.config.guard_m = 0;
+  req.deadline_ms = 15;
+
+  Timer t;
+  std::optional<std::future<ServiceResponse>> f = service.Submit(req);
+  ASSERT_TRUE(f.has_value());
+  ServiceResponse r = f->get();
+  double elapsed = t.ElapsedMillis();
+  EXPECT_EQ(r.status, ResponseStatus::kOk);
+  EXPECT_TRUE(r.truncated);
+  // Generous bound: polling granularity + preparation make the response a
+  // little late, but nowhere near the seconds the full question takes.
+  EXPECT_LT(elapsed, 40 * req.deadline_ms);
+  EXPECT_EQ(service.Stats().truncated, 1u);
+
+  // The same question without a deadline (greedy variant, so the test stays
+  // fast) completes un-truncated, proving the truncation above came from the
+  // deadline, not the workload.
+  req.deadline_ms = 0;
+  req.algo = AlgoChoice::kAuto;
+  ServiceResponse full = service.Execute(req);
+  EXPECT_EQ(full.status, ResponseStatus::kOk);
+  EXPECT_FALSE(full.truncated);
+}
+
+TEST_F(ServiceTest, CancelTokenBasics) {
+  CancelToken t;
+  EXPECT_FALSE(t.Cancelled());
+  EXPECT_FALSE(t.Expired());
+  t.SetDeadlineAfterMillis(1e9);
+  EXPECT_FALSE(t.Expired());
+  EXPECT_GT(t.RemainingMillis(), 0.0);
+  t.SetDeadlineAfterMillis(-1.0);  // documented no-op: ms <= 0 disarms none
+  EXPECT_FALSE(t.Expired());
+  t.SetDeadline(CancelToken::Clock::now());  // already past
+  EXPECT_TRUE(t.Expired());
+  EXPECT_FALSE(t.Cancelled());  // expiry is not cancellation
+  CancelToken c;
+  c.Cancel();
+  EXPECT_TRUE(c.Cancelled());
+  EXPECT_TRUE(c.Expired());
+  EXPECT_TRUE(CancelRequested(&c));
+  EXPECT_FALSE(CancelRequested(nullptr));
+}
+
+TEST_F(ServiceTest, StatsSnapshotRendersLatencies) {
+  ServiceStats stats;
+  stats.RecordReceived();
+  stats.RecordCompleted("why/auto", 1.5, false, true);
+  stats.RecordReceived();
+  stats.RecordCompleted("why/auto", 2.5, true, false);
+  StatsSnapshot s = stats.Snapshot();
+  EXPECT_EQ(s.received, 2u);
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_EQ(s.truncated, 1u);
+  EXPECT_EQ(s.cache_hits, 1u);
+  ASSERT_EQ(s.latency.count("why/auto"), 1u);
+  const LatencySummary& l = s.latency.at("why/auto");
+  EXPECT_EQ(l.count, 2u);
+  EXPECT_DOUBLE_EQ(l.min_ms, 1.5);
+  EXPECT_DOUBLE_EQ(l.max_ms, 2.5);
+  EXPECT_DOUBLE_EQ(l.mean_ms, 2.0);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+}  // namespace
+}  // namespace whyq

@@ -14,16 +14,34 @@
 //   whyq_cli whynot GRAPH QUERYFILE --entities=ID,ID,... [--algo=A] [common]
 //   whyq_cli whyempty GRAPH QUERYFILE [common]
 //   whyq_cli whysomany GRAPH QUERYFILE --target=K [common]
+//   whyq_cli serve-batch GRAPH QUESTIONSFILE [--workers=N] [--queue=N]
+//                        [--cache=N] [--deadline-ms=D] [common]
 //   whyq_cli demo
 // Common flags: --budget=B --guard=M --semantics=iso|sim
 // Algorithms: exact | approx/fast | iso (default approx/fast).
+//
+// serve-batch reads one question per line and executes the batch on a
+// WhyqService worker pool, printing one result row per question plus the
+// service stats block. Line format (# starts a comment):
+//   why       QUERYFILE ID[,ID...]
+//   whynot    QUERYFILE ID[,ID...]
+//   whyempty  QUERYFILE
+//   whysomany QUERYFILE K
+//
+// Every subcommand exits nonzero on parse or I/O failure; `why`/`whynot`/
+// `whyempty`/`whysomany` additionally exit 2 when no rewrite was found
+// (a valid "no explanation within budget" outcome, not an error).
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gen/figure1.h"
@@ -46,8 +64,61 @@ struct Options {
   double budget = 4.0;
   size_t guard = 2;
   MatchSemantics semantics = MatchSemantics::kIsomorphism;
+  size_t workers = 4;
+  size_t queue = 256;
+  size_t cache = 64;
+  double deadline_ms = 0;
   std::vector<std::string> positional;
 };
+
+// Strict numeric parsing: the whole token must be consumed. Silent
+// best-effort strtoul coercion turned typos like --bsbm=1e4 into 1 before;
+// now every malformed flag fails the invocation with a nonzero exit.
+bool ParseUint64(const char* v, uint64_t* out) {
+  if (v == nullptr || *v == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long x = std::strtoull(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0') return false;
+  *out = static_cast<uint64_t>(x);
+  return true;
+}
+
+bool ParseSize(const char* v, size_t* out) {
+  uint64_t x = 0;
+  if (!ParseUint64(v, &x)) return false;
+  *out = static_cast<size_t>(x);
+  return true;
+}
+
+bool ParseDouble(const char* v, double* out) {
+  if (v == nullptr || *v == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  double x = std::strtod(v, &end);
+  if (errno != 0 || end == v || *end != '\0') return false;
+  *out = x;
+  return true;
+}
+
+bool ParseEntityList(const std::string& v, std::vector<NodeId>* out,
+                     std::string* error) {
+  std::stringstream ss(v);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    uint64_t id = 0;
+    if (!ParseUint64(tok.c_str(), &id) || id > UINT32_MAX) {
+      *error = "bad entity id '" + tok + "'";
+      return false;
+    }
+    out->push_back(static_cast<NodeId>(id));
+  }
+  if (out->empty()) {
+    *error = "empty entity list";
+    return false;
+  }
+  return true;
+}
 
 bool ParseArgs(int argc, char** argv, Options* o, std::string* error) {
   for (int i = 2; i < argc; ++i) {
@@ -59,28 +130,42 @@ bool ParseArgs(int argc, char** argv, Options* o, std::string* error) {
       }
       return nullptr;
     };
+    bool ok = true;
     if (const char* v = value_of("--out")) {
       o->out = v;
     } else if (const char* v = value_of("--profile")) {
       o->profile = v;
     } else if (const char* v = value_of("--bsbm")) {
-      o->bsbm = std::strtoul(v, nullptr, 10);
+      ok = ParseSize(v, &o->bsbm);
     } else if (const char* v = value_of("--nodes")) {
-      o->nodes = std::strtoul(v, nullptr, 10);
+      ok = ParseSize(v, &o->nodes);
     } else if (const char* v = value_of("--seed")) {
-      o->seed = std::strtoull(v, nullptr, 10);
+      ok = ParseUint64(v, &o->seed);
     } else if (const char* v = value_of("--attrs")) {
-      o->attrs = std::strtod(v, nullptr);
+      ok = ParseDouble(v, &o->attrs);
     } else if (const char* v = value_of("--limit")) {
-      o->limit = std::strtoul(v, nullptr, 10);
+      ok = ParseSize(v, &o->limit);
     } else if (const char* v = value_of("--target")) {
-      o->target = std::strtoul(v, nullptr, 10);
+      ok = ParseSize(v, &o->target);
     } else if (const char* v = value_of("--budget")) {
-      o->budget = std::strtod(v, nullptr);
+      ok = ParseDouble(v, &o->budget);
     } else if (const char* v = value_of("--guard")) {
-      o->guard = std::strtoul(v, nullptr, 10);
+      ok = ParseSize(v, &o->guard);
+    } else if (const char* v = value_of("--workers")) {
+      ok = ParseSize(v, &o->workers) && o->workers > 0;
+    } else if (const char* v = value_of("--queue")) {
+      ok = ParseSize(v, &o->queue) && o->queue > 0;
+    } else if (const char* v = value_of("--cache")) {
+      ok = ParseSize(v, &o->cache);
+    } else if (const char* v = value_of("--deadline-ms")) {
+      ok = ParseDouble(v, &o->deadline_ms);
     } else if (const char* v = value_of("--algo")) {
       o->algo = v;
+      if (o->algo != "auto" && o->algo != "exact" && o->algo != "iso" &&
+          o->algo != "approx" && o->algo != "fast") {
+        *error = "unknown algo (use exact|approx|fast|iso)";
+        return false;
+      }
     } else if (const char* v = value_of("--semantics")) {
       if (std::string(v) == "sim") {
         o->semantics = MatchSemantics::kSimulation;
@@ -91,17 +176,16 @@ bool ParseArgs(int argc, char** argv, Options* o, std::string* error) {
         return false;
       }
     } else if (const char* v = value_of("--entities")) {
-      std::stringstream ss(v);
-      std::string tok;
-      while (std::getline(ss, tok, ',')) {
-        o->entities.push_back(
-            static_cast<NodeId>(std::strtoul(tok.c_str(), nullptr, 10)));
-      }
+      if (!ParseEntityList(v, &o->entities, error)) return false;
     } else if (a.rfind("--", 0) == 0) {
       *error = "unknown flag " + a;
       return false;
     } else {
       o->positional.push_back(a);
+    }
+    if (!ok) {
+      *error = "bad value in " + a;
+      return false;
     }
   }
   return true;
@@ -311,6 +395,159 @@ int CmdWhySoMany(const Options& o) {
   return r.found ? 0 : 2;
 }
 
+// Reads the raw text of a query file, memoizing by path so a batch that
+// asks many questions about the same query parses/prepares it once (the
+// service caches prepared artifacts by canonical query text).
+const std::string* QueryTextOf(const std::string& path,
+                               std::map<std::string, std::string>* texts) {
+  auto it = texts->find(path);
+  if (it != texts->end()) return &it->second;
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "whyq: cannot open %s\n", path.c_str());
+    return nullptr;
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+  return &texts->emplace(path, buf.str()).first->second;
+}
+
+// Parses one questions-file line into a request; empty lines and `#`
+// comments yield no request (ok=true, has=false).
+bool ParseQuestionLine(const std::string& line, const Options& o,
+                       std::map<std::string, std::string>* texts,
+                       ServiceRequest* req, bool* has, std::string* error) {
+  *has = false;
+  std::stringstream ss(line);
+  std::string kind;
+  if (!(ss >> kind) || kind[0] == '#') return true;
+  std::string queryfile;
+  if (!(ss >> queryfile)) {
+    *error = "missing query file";
+    return false;
+  }
+  const std::string* text = QueryTextOf(queryfile, texts);
+  if (text == nullptr) {
+    *error = "cannot open " + queryfile;
+    return false;
+  }
+  req->query_text = *text;
+  req->config = MakeConfig(o);
+  req->deadline_ms = o.deadline_ms;
+  if (o.algo == "exact") {
+    req->algo = AlgoChoice::kExact;
+  } else if (o.algo == "iso") {
+    req->algo = AlgoChoice::kIso;
+  } else {
+    req->algo = AlgoChoice::kAuto;
+  }
+  std::string rest;
+  ss >> rest;
+  if (kind == "why" || kind == "whynot") {
+    req->kind = kind == "why" ? RequestKind::kWhy : RequestKind::kWhyNot;
+    if (rest.empty()) {
+      *error = "missing entity list";
+      return false;
+    }
+    req->entities.clear();
+    if (!ParseEntityList(rest, &req->entities, error)) return false;
+  } else if (kind == "whyempty") {
+    req->kind = RequestKind::kWhyEmpty;
+  } else if (kind == "whysomany") {
+    req->kind = RequestKind::kWhySoMany;
+    size_t k = o.target;
+    if (!rest.empty() && !ParseSize(rest.c_str(), &k)) {
+      *error = "bad target '" + rest + "'";
+      return false;
+    }
+    req->target_k = k;
+  } else {
+    *error = "unknown question kind '" + kind + "'";
+    return false;
+  }
+  *has = true;
+  return true;
+}
+
+// serve-batch: run a file of questions through the concurrent service.
+// One line per question; all questions share the graph, the worker pool,
+// and the prepared-question cache. Prints one result row per question in
+// input order, then the service stats table. Exit 0 only when every line
+// parsed and every response came back kOk.
+int CmdServeBatch(const Options& o) {
+  if (o.positional.size() < 2) {
+    return Fail("serve-batch needs GRAPH QUESTIONSFILE");
+  }
+  std::optional<Graph> g = LoadGraph(o.positional[0]);
+  if (!g.has_value()) return 1;
+  std::ifstream qs(o.positional[1]);
+  if (!qs) return Fail("cannot open " + o.positional[1]);
+
+  ServiceConfig sc;
+  sc.workers = o.workers;
+  sc.queue_capacity = o.queue;
+  sc.cache_capacity = o.cache;
+  WhyqService service(std::move(*g), sc);
+
+  std::map<std::string, std::string> texts;
+  std::vector<std::future<ServiceResponse>> futures;
+  std::vector<std::string> labels;
+  std::string line;
+  size_t lineno = 0;
+  int rc = 0;
+  while (std::getline(qs, line)) {
+    ++lineno;
+    ServiceRequest req;
+    bool has = false;
+    std::string err;
+    if (!ParseQuestionLine(line, o, &texts, &req, &has, &err)) {
+      std::fprintf(stderr, "whyq: %s:%zu: %s\n", o.positional[1].c_str(),
+                   lineno, err.c_str());
+      rc = 1;
+      continue;
+    }
+    if (!has) continue;
+    labels.push_back(std::string(RequestKindName(req.kind)) + " line " +
+                     std::to_string(lineno));
+    // Backpressure: a full queue rejects; retry until the pool drains.
+    for (;;) {
+      std::optional<std::future<ServiceResponse>> f =
+          service.Submit(std::move(req));
+      if (f.has_value()) {
+        futures.push_back(std::move(*f));
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const Graph& graph = service.graph();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ServiceResponse r = futures[i].get();
+    if (r.status != ResponseStatus::kOk) {
+      std::printf("%-22s %s %s\n", labels[i].c_str(),
+                  ResponseStatusName(r.status), r.error.c_str());
+      rc = 1;
+      continue;
+    }
+    std::string detail;
+    if (r.answer.found) {
+      detail = r.answer.Explain(graph);
+    } else if (r.why_empty.found) {
+      detail = "repaired at cost " + std::to_string(r.why_empty.cost);
+    } else if (r.why_so_many.found) {
+      detail = std::to_string(r.why_so_many.before) + " -> " +
+               std::to_string(r.why_so_many.after) + " answers";
+    } else {
+      detail = "no rewrite found";
+    }
+    std::printf("%-22s ok %7.1fms%s%s  %s\n", labels[i].c_str(), r.latency_ms,
+                r.truncated ? " truncated" : "",
+                r.cache_hit ? " cached" : "", detail.c_str());
+  }
+  std::printf("\n%s\n", service.Stats().ToString().c_str());
+  return rc;
+}
+
 // Self-contained smoke flow on the paper's Fig. 1 example; exits nonzero
 // on any unexpected outcome (used as a ctest entry).
 int CmdDemo() {
@@ -340,7 +577,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: whyq_cli "
                  "generate|import|dot|stats|query|why|whynot|whyempty|"
-                 "whysomany|demo "
+                 "whysomany|serve-batch|demo "
                  "...\n");
     return 1;
   }
@@ -357,6 +594,7 @@ int Main(int argc, char** argv) {
   if (cmd == "whynot") return CmdWhy(o, /*why_not=*/true);
   if (cmd == "whyempty") return CmdWhyEmpty(o);
   if (cmd == "whysomany") return CmdWhySoMany(o);
+  if (cmd == "serve-batch") return CmdServeBatch(o);
   if (cmd == "demo") return CmdDemo();
   return Fail("unknown command " + cmd);
 }
