@@ -64,16 +64,18 @@ WhyqService::WhyqService(Graph&& graph, ServiceConfig cfg)
 WhyqService::~WhyqService() { Stop(); }
 
 void WhyqService::Stop() {
+  // Claim the worker handles under the mutex so concurrent Stop() callers
+  // never join the same std::thread; late callers take an empty vector.
+  std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ && workers_.empty()) return;
     stopping_ = true;
+    workers.swap(workers_);
   }
   cv_.notify_all();
-  for (std::thread& t : workers_) {
+  for (std::thread& t : workers) {
     if (t.joinable()) t.join();
   }
-  workers_.clear();
 }
 
 std::optional<std::future<ServiceResponse>> WhyqService::Submit(
@@ -96,9 +98,12 @@ std::optional<std::future<ServiceResponse>> WhyqService::Submit(
       stats_.RecordRejected();
       return std::nullopt;
     }
+    // Count before the push, still locked: a worker may finish the job the
+    // moment the lock drops, and received >= completed must hold in every
+    // Snapshot().
+    stats_.RecordReceived();
     queue_.push_back(std::move(job));
   }
-  stats_.RecordReceived();
   cv_.notify_one();
   return future;
 }
@@ -123,7 +128,25 @@ void WhyqService::WorkerLoop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job->promise.set_value(Run(job->request, &job->token, job->timer));
+    // Contain per-request failures: an exception escaping a worker thread
+    // would std::terminate the whole service.
+    try {
+      job->promise.set_value(Run(job->request, &job->token, job->timer));
+    } catch (const std::exception& e) {
+      ServiceResponse r;
+      r.status = ResponseStatus::kBadRequest;
+      r.error = std::string("internal error: ") + e.what();
+      r.latency_ms = job->timer.ElapsedMillis();
+      stats_.RecordBadRequest();
+      job->promise.set_value(std::move(r));
+    } catch (...) {
+      ServiceResponse r;
+      r.status = ResponseStatus::kBadRequest;
+      r.error = "internal error: unknown exception";
+      r.latency_ms = job->timer.ElapsedMillis();
+      stats_.RecordBadRequest();
+      job->promise.set_value(std::move(r));
+    }
   }
 }
 

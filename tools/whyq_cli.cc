@@ -510,9 +510,10 @@ int CmdServeBatch(const Options& o) {
     labels.push_back(std::string(RequestKindName(req.kind)) + " line " +
                      std::to_string(lineno));
     // Backpressure: a full queue rejects; retry until the pool drains.
+    // Submit consumes its argument, so each attempt gets its own copy —
+    // moving here would leave retries submitting a hollowed-out request.
     for (;;) {
-      std::optional<std::future<ServiceResponse>> f =
-          service.Submit(std::move(req));
+      std::optional<std::future<ServiceResponse>> f = service.Submit(req);
       if (f.has_value()) {
         futures.push_back(std::move(*f));
         break;
