@@ -4,6 +4,9 @@
 //           a mixed why/whynot workload (same batch each row).
 //   part b: prepared-question cache on vs off — repeated questions over a
 //           small query pool amortize the MatchOutput + PathIndex build.
+//   part c: fixed core budget of 8 split between inter-question workers and
+//           intra-question threads (ServiceConfig::intra_threads) — where
+//           should a deployment spend its cores?
 //
 // EXPERIMENTS.md records the shapes: >1x scaling 1 -> 4 workers and a
 // visible cache-hit speedup.
@@ -11,6 +14,7 @@
 #include <future>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -127,6 +131,40 @@ void PartCache(const Flags& flags,
               mean[1] > 0 ? mean[0] / mean[1] : 0.0);
 }
 
+// Same batch, same 8-core budget, different split. Requests leave
+// AnswerConfig::threads at 0 so each service substitutes its own
+// intra_threads; throughput favors many workers (no fork/join overhead,
+// per-question work is embarrassingly independent) while wide intra
+// helps tail latency of single heavy questions — the table makes the
+// throughput side of that trade-off concrete.
+void PartCoreBudget(const Flags& flags,
+                    const std::shared_ptr<const Graph>& graph,
+                    const std::vector<ServiceRequest>& reqs) {
+  TextTable t({"workers", "intra_threads", "batch_ms", "req_per_s",
+               "speedup_vs_8x1"});
+  double base_ms = 0.0;
+  for (auto [workers, intra] :
+       {std::pair<size_t, size_t>{8, 1}, {4, 2}, {2, 4}, {1, 8}}) {
+    ServiceConfig sc;
+    sc.workers = workers;
+    sc.intra_threads = intra;
+    sc.queue_capacity = 64;
+    sc.cache_capacity = 64;
+    WhyqService service(graph, sc);
+    double ms = RunBatch(&service, reqs);
+    if (workers == 8) base_ms = ms;
+    t.AddRow({std::to_string(workers), std::to_string(intra),
+              TextTable::Num(ms, 1),
+              TextTable::Num(1000.0 * static_cast<double>(reqs.size()) / ms,
+                             1),
+              TextTable::Num(base_ms / ms)});
+  }
+  std::printf(
+      "%s\n",
+      t.ToString("Part c: fixed 8-core budget, workers x intra_threads")
+          .c_str());
+}
+
 int Main(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv);
   BsbmConfig bc;
@@ -149,6 +187,7 @@ int Main(int argc, char** argv) {
 
   if (RunPart(flags, "a")) PartScaling(flags, graph, reqs);
   if (RunPart(flags, "b")) PartCache(flags, graph, w);
+  if (RunPart(flags, "c")) PartCoreBudget(flags, graph, reqs);
   return 0;
 }
 

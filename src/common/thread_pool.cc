@@ -1,0 +1,153 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace whyq {
+
+namespace {
+
+// Set for the lifetime of a pool worker thread: ParallelFor called from a
+// body that is already running on a pool worker degrades to inline serial
+// execution instead of enqueueing (and possibly waiting on) more tasks.
+thread_local bool tl_pool_worker = false;
+
+}  // namespace
+
+/// Shared bookkeeping of one ParallelFor call. Helpers that are dequeued
+/// only after the call completed find `next` exhausted and return without
+/// touching `body` — the state outlives the call via shared_ptr, the
+/// caller's stack does not need to.
+struct ThreadPool::ForState {
+  size_t n = 0;
+  std::function<void(size_t, size_t)> body;
+
+  std::atomic<size_t> next{0};     // next unclaimed index
+  std::atomic<bool> abort{false};  // first exception stops further claims
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t executing = 0;  // helpers currently inside RunSlot
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(size_t workers) {
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  tl_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ && drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+size_t ThreadPool::queued_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+void ThreadPool::RunSlot(ForState& state, size_t slot) {
+  for (;;) {
+    if (state.abort.load()) return;
+    size_t i = state.next.fetch_add(1);
+    if (i >= state.n) return;
+    try {
+      state.body(i, slot);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (!state.error) state.error = std::current_exception();
+      state.abort.store(true);
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t width,
+    const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  size_t helpers = width > 1 ? width - 1 : 0;
+  helpers = std::min(helpers, workers_.size());
+  helpers = std::min(helpers, n - 1);
+  if (helpers == 0 || tl_pool_worker) {
+    // Serial reference path (also taken for nested calls from pool
+    // workers): a plain ascending loop, exceptions propagate naturally.
+    for (size_t i = 0; i < n; ++i) body(i, 0);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->body = body;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      for (size_t s = 1; s <= helpers; ++s) {
+        tasks_.emplace_back([state, s] {
+          {
+            std::lock_guard<std::mutex> slock(state->mu);
+            ++state->executing;
+          }
+          RunSlot(*state, s);
+          {
+            std::lock_guard<std::mutex> slock(state->mu);
+            --state->executing;
+          }
+          state->cv.notify_all();
+        });
+      }
+    }
+  }
+  cv_.notify_all();
+
+  RunSlot(*state, 0);  // the caller is executor slot 0
+
+  // The caller's loop only returns once every index was claimed; wait for
+  // helpers that are still running a claimed body. Helpers dequeued later
+  // find the counter exhausted and never touch `body` again.
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->executing == 0; });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool([] {
+    size_t hw = std::thread::hardware_concurrency();
+    return std::max<size_t>(hw, 4) - 1;
+  }());
+  return pool;
+}
+
+size_t ResolveParallelWidth(size_t threads) {
+  if (threads <= 1) return 1;
+  return std::min(threads, ThreadPool::Shared().worker_count() + 1);
+}
+
+}  // namespace whyq

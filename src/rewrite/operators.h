@@ -11,6 +11,13 @@
 
 namespace whyq {
 
+// Everything in this header is a value type or a pure function of const
+// inputs (ApplyOperators copies q; nothing mutates shared state), so all
+// of it is safe to use concurrently — the parallel batch verification in
+// why/exact_search.h applies operators from many pool slots at once.
+// Complexity: OpsConflict is O(1); BuildConflicts O(|ops|^2);
+// ApplyOperators O(|Q| + |O|).
+
 /// The six primitive query-editing operator classes (Section III-B).
 enum class OpKind : uint8_t {
   kRxL,   // relax a literal's constant/op

@@ -18,11 +18,12 @@ std::shared_ptr<const PreparedQuery> PrepareQuery(const Graph& g, Query q,
                                                   MatchSemantics semantics,
                                                   size_t max_paths,
                                                   const CancelToken* cancel,
-                                                  bool* complete) {
+                                                  bool* complete,
+                                                  size_t threads) {
   auto prepared =
       std::make_shared<PreparedQuery>(std::move(q), semantics, max_paths);
   prepared->output_candidates =
-      Candidates(g, prepared->query, prepared->query.output());
+      Candidates(g, prepared->query, prepared->query.output(), threads);
   std::unique_ptr<MatchEngine> engine = MakeMatchEngine(g, semantics);
   engine->SetCancelToken(cancel);
   prepared->answers = engine->MatchOutput(prepared->query);

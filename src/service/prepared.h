@@ -45,11 +45,15 @@ std::string PreparedQueryKey(const Query& q, const Graph& g,
 /// Builds the artifacts. `cancel` (nullable) clips the answer match; a
 /// clipped build is still usable for its own request (best-so-far) but must
 /// NOT be cached — `complete` reports whether the build ran to the end.
+/// `threads` > 1 filters the output-node candidate bucket in parallel on
+/// ThreadPool::Shared() (same result, see matcher/candidates.h); the answer
+/// match itself stays on the calling worker.
 std::shared_ptr<const PreparedQuery> PrepareQuery(const Graph& g, Query q,
                                                   MatchSemantics semantics,
                                                   size_t max_paths,
                                                   const CancelToken* cancel,
-                                                  bool* complete);
+                                                  bool* complete,
+                                                  size_t threads = 1);
 
 /// Thread-safe LRU map key -> shared_ptr<const PreparedQuery>. Eviction
 /// only drops the cache's reference; in-flight requests keep theirs.

@@ -183,6 +183,7 @@ ServiceResponse WhyqService::Run(const ServiceRequest& req,
   // Prepared artifacts: canonical-form LRU lookup, build on miss. A build
   // clipped by the deadline stays request-local (never cached).
   AnswerConfig cfg = req.config;
+  if (cfg.threads == 0) cfg.threads = cfg_.intra_threads;
   std::string key =
       PreparedQueryKey(*parsed, g, cfg.semantics, cfg.path_index_paths);
   std::shared_ptr<const PreparedQuery> prepared = cache_.Get(key);
@@ -190,7 +191,8 @@ ServiceResponse WhyqService::Run(const ServiceRequest& req,
   if (prepared == nullptr) {
     bool complete = false;
     prepared = PrepareQuery(g, std::move(*parsed), cfg.semantics,
-                            cfg.path_index_paths, token, &complete);
+                            cfg.path_index_paths, token, &complete,
+                            cfg.threads);
     if (complete) cache_.Put(key, prepared);
   }
 

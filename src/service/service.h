@@ -21,10 +21,17 @@ namespace whyq {
 
 /// Tuning for one WhyqService instance.
 struct ServiceConfig {
-  size_t workers = 4;          // fixed-size pool
+  size_t workers = 4;          // fixed-size pool (inter-request parallelism)
   size_t queue_capacity = 256; // bounded; Submit rejects when full
   size_t cache_capacity = 64;  // prepared-question LRU entries (0 disables)
   double default_deadline_ms = 0;  // applied when a request carries none
+
+  /// Intra-request parallel width substituted when a request leaves
+  /// AnswerConfig::threads at 0 (a request's own non-zero knob wins). The
+  /// effective core budget is ~workers x intra_threads: a latency-oriented
+  /// deployment splits a fixed budget toward intra_threads, a
+  /// throughput-oriented one toward workers (see EXPERIMENTS.md).
+  size_t intra_threads = 1;
 };
 
 /// A concurrent, deadline-aware explanation service over one immutable
@@ -43,6 +50,11 @@ struct ServiceConfig {
 /// Sharing rule: the Graph (and every cached PreparedQuery) is immutable
 /// after construction and shared across workers; all per-request state
 /// (engines, evaluators, matchers) is worker-local.
+///
+/// Thread-safety: every public method may be called concurrently from any
+/// thread — Submit/Execute/Stats/Stop synchronize internally. Destruction
+/// (or Stop) must not race with Submit from a thread that expects the
+/// request to be accepted; late Submits resolve with kShutdown.
 class WhyqService {
  public:
   /// The service shares ownership of the graph; callers may keep using it

@@ -24,6 +24,12 @@ namespace whyq {
 /// monotone, so this is sound); missing nodes not yet covered are screened
 /// with path tests, which over-approximate matching — the estimate can err
 /// in both directions, hence a heuristic (Section V-B).
+///
+/// Both estimators are pure functions of const inputs — O(|V_N| resp.
+/// |V_C| + guard scan) path-index probes, each probe O(paths * path
+/// length) — and are safe to call concurrently from any number of threads
+/// over one shared PathIndex; the parallel greedy rounds in
+/// why/why_algorithms.cc rely on exactly that.
 struct CloseEstimate {
   double closeness = 0.0;
   size_t guard = 0;

@@ -138,4 +138,31 @@ MbsStats EnumerateMaximalBoundedSets(
   return e.stats;
 }
 
+MbsStats EnumerateMaximalBoundedSetsBatched(
+    const std::vector<double>& costs,
+    const std::vector<std::vector<size_t>>& conflicts, double budget,
+    size_t max_sets, size_t batch_size,
+    const std::function<bool(const std::vector<std::vector<size_t>>& batch)>&
+        visit_batch,
+    const AdmitFn& admit, const std::function<bool()>& should_stop) {
+  batch_size = std::max<size_t>(batch_size, 1);
+  std::vector<std::vector<size_t>> batch;
+  batch.reserve(batch_size);
+  bool stopped_by_batch = false;
+  MbsStats stats = EnumerateMaximalBoundedSets(
+      costs, conflicts, budget, max_sets,
+      [&](const std::vector<size_t>& idx) {
+        batch.push_back(idx);
+        if (batch.size() < batch_size) return true;
+        bool keep_going = visit_batch(batch);
+        batch.clear();
+        stopped_by_batch = !keep_going;
+        return keep_going;
+      },
+      admit, should_stop);
+  // Flush the tail window (enumeration exhausted or a cap fired mid-batch).
+  if (!batch.empty() && !stopped_by_batch) visit_batch(batch);
+  return stats;
+}
+
 }  // namespace whyq

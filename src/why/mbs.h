@@ -40,11 +40,40 @@ using AdmitFn =
 /// nodes); returning true aborts enumeration with `truncated` set — the
 /// hook wall-clock limits sit behind, since admissibility checks can be
 /// expensive long before any set is emitted.
+///
+/// Complexity: worst-case exponential in |costs| (the DFS explores the
+/// subset lattice), bounded in practice by the budget, the conflict graph,
+/// `admit` pruning, and the max_sets/64x-leaf caps. Per emitted set the
+/// work is O(|costs|) for the maximality check plus one `visit` call.
+///
+/// Thread-safety: the enumeration itself is single-threaded and re-entrant
+/// (no shared state between calls); `visit`/`admit`/`should_stop` are
+/// invoked on the caller's thread only. Parallel *verification* of emitted
+/// sets is the caller's job — see the batched variant below.
 MbsStats EnumerateMaximalBoundedSets(
     const std::vector<double>& costs,
     const std::vector<std::vector<size_t>>& conflicts, double budget,
     size_t max_sets,
     const std::function<bool(const std::vector<size_t>&)>& visit,
+    const AdmitFn& admit = nullptr,
+    const std::function<bool()>& should_stop = nullptr);
+
+/// Batched enumeration for parallel verification (the intra-question
+/// parallelism of ExactWhy/ExactWhyNot): identical DFS, emission order, and
+/// caps as EnumerateMaximalBoundedSets, but sets are buffered and handed to
+/// `visit_batch` in groups of at most `batch_size` (the final group may be
+/// smaller; with batch_size == 1 this is exactly the unbatched call). A
+/// batch is a contiguous window over the serial emission stream, so a
+/// caller that evaluates a batch in parallel and then *reduces it in index
+/// order* observes the same visit sequence as the serial enumeration —
+/// which is how the parallel exact algorithms stay bit-identical to their
+/// serial reference. Returning false from `visit_batch` stops enumeration.
+MbsStats EnumerateMaximalBoundedSetsBatched(
+    const std::vector<double>& costs,
+    const std::vector<std::vector<size_t>>& conflicts, double budget,
+    size_t max_sets, size_t batch_size,
+    const std::function<bool(const std::vector<std::vector<size_t>>& batch)>&
+        visit_batch,
     const AdmitFn& admit = nullptr,
     const std::function<bool()>& should_stop = nullptr);
 

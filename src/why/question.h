@@ -74,6 +74,15 @@ struct AnswerConfig {
   size_t est_guard_scan = 2000;    // candidate scan cap for estimated guards
   bool minimize_cost = true;       // exact post-processing (minimal MBS)
 
+  /// Intra-question parallelism width. 0 = unset (the host decides: the CLI
+  /// and plain library calls stay serial, the service substitutes its
+  /// ServiceConfig::intra_threads); 1 = explicitly serial; N > 1 = verify
+  /// MBS candidates / score greedy gains on up to N executors of
+  /// ThreadPool::Shared() (capped at its worker count + 1). Parallel runs
+  /// produce byte-identical answers to threads == 1 — see
+  /// why/exact_search.h for the determinism contract.
+  size_t threads = 0;
+
   /// Cooperative cancellation/deadline (not owned; may be null). Polled in
   /// the matcher search, the MBS enumeration, and the greedy selection
   /// loops; an expired token makes the algorithms return their best-so-far

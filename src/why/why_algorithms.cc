@@ -1,15 +1,19 @@
 #include "why/why_algorithms.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <sstream>
 
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "matcher/path_index.h"
 #include "rewrite/cost_model.h"
 #include "why/est_match.h"
+#include "why/exact_search.h"
 #include "why/mbs.h"
 #include "why/picky.h"
 
@@ -18,14 +22,6 @@ namespace whyq {
 namespace {
 
 constexpr double kEps = 1e-9;
-
-OperatorSet Select(const std::vector<EditOp>& ops,
-                   const std::vector<size_t>& idx) {
-  OperatorSet out;
-  out.reserve(idx.size());
-  for (size_t i : idx) out.push_back(ops[i]);
-  return out;
-}
 
 // Shared exact post-processing: greedily drop operators while the exact
 // closeness does not decrease and the guard stays valid ("minimal MBS").
@@ -95,61 +91,22 @@ RewriteAnswer ExactWhy(const Graph& g, const Query& q,
   }
   out.picky_count = usable.size();
 
-  double best_cl = -1.0;
-  double best_cost = std::numeric_limits<double>::infinity();
-  OperatorSet best_ops;
-  EvalResult best_eval;
-  size_t verified = 0;
-  Timer exact_timer;
-  bool timed_out = false;
-
-
+  // Enumerate + verify (guard-admissible MBS search, possibly parallel —
+  // see why/exact_search.h for why the parallel path stays bit-identical).
   // Admissibility: the guard is monotone under refinement, so enumerating
   // the maximal elements of {cost <= B, conflict-free, guard <= m} is exact.
-  AdmitFn admit = [&](const std::vector<size_t>& cur, size_t next) {
-    OperatorSet ops = Select(usable, cur);
-    ops.push_back(usable[next]);
-    return eval.GuardOk(ApplyOperators(q, ops));
-  };
-  MbsStats stats;
-  {
-    stats = EnumerateMaximalBoundedSets(
-      costs, BuildConflicts(usable), cfg.budget, cfg.max_mbs,
-      [&](const std::vector<size_t>& idx) {
-        ++verified;
-        OperatorSet ops = Select(usable, idx);
-        Query rewritten = ApplyOperators(q, ops);
-        EvalResult r = eval.Evaluate(rewritten);
-        if (!r.guard_ok) return true;
-        double c = cost.Cost(ops);
-        if (r.closeness > best_cl + kEps ||
-            (r.closeness > best_cl - kEps && c < best_cost)) {
-          best_cl = r.closeness;
-          best_cost = c;
-          best_ops = std::move(ops);
-          best_eval = r;
-        }
-        if (CancelRequested(cfg.cancel) ||
-            (cfg.exact_time_limit_ms > 0 &&
-             exact_timer.ElapsedMillis() > cfg.exact_time_limit_ms)) {
-          timed_out = true;
-          return false;
-        }
-        return best_cl < 1.0 - kEps;  // early termination at closeness 1
-      },
-      admit,
-      [&]() {
-        if (CancelRequested(cfg.cancel) ||
-            (cfg.exact_time_limit_ms > 0 &&
-             exact_timer.ElapsedMillis() > cfg.exact_time_limit_ms)) {
-          timed_out = true;
-          return true;
-        }
-        return false;
-      });
-  }
-  out.sets_verified = verified;
-  out.exhaustive = !stats.truncated && !timed_out;
+  internal::ExactSearchOutcome search =
+      internal::ExactMbsSearch<WhyEvaluator>(
+          q, usable, costs, cost, cfg, eval, [&] {
+            return std::make_unique<WhyEvaluator>(
+                g, answers, w, cfg.guard_m, cfg.semantics, cfg.cancel);
+          });
+  double best_cl = search.best_cl;
+  double best_cost = search.best_cost;
+  OperatorSet best_ops = std::move(search.best_ops);
+  EvalResult best_eval = search.best_eval;
+  out.sets_verified = search.verified;
+  out.exhaustive = !search.stats.truncated && !search.timed_out;
 
   // Fallback when the capped enumeration missed a solution the greedy can
   // still reach: the greedy set is a valid bounded set, so adopting it
@@ -207,6 +164,18 @@ RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
     if (!eval.IsUnexpected(v)) desired.push_back(v);
   }
 
+  // Intra-question parallelism: evaluators own a stateful MatchEngine, so
+  // each concurrent executor slot gets its own clone (slot 0 reuses `eval`).
+  const size_t width = ResolveParallelWidth(cfg.threads);
+  std::vector<std::unique_ptr<WhyEvaluator>> slot_evals;  // slots 1..width-1
+  for (size_t s = 1; s < width; ++s) {
+    slot_evals.push_back(std::make_unique<WhyEvaluator>(
+        g, answers, w, cfg.guard_m, cfg.semantics, cfg.cancel));
+  }
+  auto eval_at = [&](size_t slot) -> const WhyEvaluator& {
+    return slot == 0 ? eval : *slot_evals[slot - 1];
+  };
+
   std::vector<EditOp> picky =
       GenPickyWhy(g, q, answers, eval.unexpected(), cfg);
   struct Cand {
@@ -216,32 +185,49 @@ RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
     double single_cl = 0.0;
     size_t single_guard = 0;
   };
+  // Budget screen (cheap, serial) fixes the candidate indexing; the
+  // per-candidate exact Aff(o) sweeps — the expensive part of prep — then
+  // run on the pool, one evaluator per executor slot.
   std::vector<Cand> cands;
   for (EditOp& op : picky) {
-    if (CancelRequested(cfg.cancel)) {
-      out.exhaustive = false;
-      break;  // score the candidates verified so far
-    }
     double c = cost.Cost(op);
     if (c > cfg.budget + kEps) continue;
     Cand cand;
     cand.op = std::move(op);
     cand.cost = c;
-    Query single = ApplyOperators(q, {cand.op});
-    cand.affected = eval.AffectedAnswers(single);
-    size_t excl = 0;
-    for (NodeId v : cand.affected) {
-      if (eval.IsUnexpected(v)) {
-        ++excl;
-      } else {
-        ++cand.single_guard;
-      }
-    }
-    if (!eval.unexpected().empty()) {
-      cand.single_cl = static_cast<double>(excl) /
-                       static_cast<double>(eval.unexpected().size());
-    }
     cands.push_back(std::move(cand));
+  }
+  std::vector<uint8_t> prepped(cands.size(), 0);
+  ThreadPool::Shared().ParallelFor(
+      cands.size(), width, [&](size_t i, size_t slot) {
+        if (CancelRequested(cfg.cancel)) return;  // prefix-kept below
+        const WhyEvaluator& ev = eval_at(slot);
+        Cand& cand = cands[i];
+        Query single = ApplyOperators(q, {cand.op});
+        cand.affected = ev.AffectedAnswers(single);
+        size_t excl = 0;
+        for (NodeId v : cand.affected) {
+          if (ev.IsUnexpected(v)) {
+            ++excl;
+          } else {
+            ++cand.single_guard;
+          }
+        }
+        if (!ev.unexpected().empty()) {
+          cand.single_cl = static_cast<double>(excl) /
+                           static_cast<double>(ev.unexpected().size());
+        }
+        prepped[i] = 1;
+      });
+  // Cancellation mid-prep: keep the longest fully-scored prefix — exactly
+  // the candidates a serial run would have kept before breaking out.
+  size_t scored_prefix = 0;
+  while (scored_prefix < cands.size() && prepped[scored_prefix]) {
+    ++scored_prefix;
+  }
+  if (scored_prefix < cands.size()) {
+    out.exhaustive = false;
+    cands.resize(scored_prefix);
   }
   out.picky_count = cands.size();
 
@@ -277,11 +263,11 @@ RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
   size_t pool = cands.size();
 
   auto estimate = [&](const std::vector<size_t>& idx, const NodeSet& aff,
-                      const Query& rw) -> CloseEstimate {
+                      const Query& rw, size_t slot) -> CloseEstimate {
     if (exact) {
       (void)idx;
       (void)aff;
-      EvalResult r = eval.Evaluate(rw);
+      EvalResult r = eval_at(slot).Evaluate(rw);
       CloseEstimate e;
       e.closeness = r.closeness;
       e.guard = r.guard;
@@ -314,28 +300,47 @@ RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
       break;  // keep the greedy prefix selected so far
     }
     ++out.sets_verified;
+    // Score every pool candidate (parallel across executor slots), then
+    // pick the winner serially in ascending candidate order — the same
+    // argmax and tie-break (ratio must beat the incumbent by kEps) as the
+    // serial scan, so parallel rounds select identical operators.
+    std::vector<size_t> pool_idx;
+    pool_idx.reserve(pool);
+    for (size_t i = 0; i < cands.size(); ++i) {
+      if (in_pool[i]) pool_idx.push_back(i);
+    }
+    struct Score {
+      double ratio = -1.0;
+      double gain = 0.0;
+      double soft_gain = 0.0;
+    };
+    std::vector<Score> scores(pool_idx.size());
+    ThreadPool::Shared().ParallelFor(
+        pool_idx.size(), width, [&](size_t k, size_t slot) {
+          size_t i = pool_idx[k];
+          std::vector<size_t> trial = selected;
+          trial.push_back(i);
+          NodeSet aff = aff_union;
+          for (NodeId v : cands[i].affected) aff.Insert(v);
+          OperatorSet trial_ops;
+          for (size_t j : trial) trial_ops.push_back(cands[j].op);
+          Query rw = ApplyOperators(q, trial_ops);
+          CloseEstimate est = estimate(trial, aff, rw, slot);
+          Score& s = scores[k];
+          s.gain = est.closeness - current_cl;
+          s.soft_gain = soft_score(aff, rw) - current_soft;
+          s.ratio = (s.gain + 1e-3 * s.soft_gain) / cands[i].cost;
+        });
     long best = -1;
     double best_ratio = -1.0;
     double best_gain = 0.0;
     double best_soft_gain = 0.0;
-    for (size_t i = 0; i < cands.size(); ++i) {
-      if (!in_pool[i]) continue;
-      std::vector<size_t> trial = selected;
-      trial.push_back(i);
-      NodeSet aff = aff_union;
-      for (NodeId v : cands[i].affected) aff.Insert(v);
-      OperatorSet trial_ops;
-      for (size_t j : trial) trial_ops.push_back(cands[j].op);
-      Query rw = ApplyOperators(q, trial_ops);
-      CloseEstimate est = estimate(trial, aff, rw);
-      double gain = est.closeness - current_cl;
-      double soft_gain = soft_score(aff, rw) - current_soft;
-      double ratio = (gain + 1e-3 * soft_gain) / cands[i].cost;
-      if (ratio > best_ratio + kEps) {
-        best_ratio = ratio;
-        best = static_cast<long>(i);
-        best_gain = gain;
-        best_soft_gain = soft_gain;
+    for (size_t k = 0; k < pool_idx.size(); ++k) {
+      if (scores[k].ratio > best_ratio + kEps) {
+        best_ratio = scores[k].ratio;
+        best = static_cast<long>(pool_idx[k]);
+        best_gain = scores[k].gain;
+        best_soft_gain = scores[k].soft_gain;
       }
     }
     if (best < 0) break;
@@ -354,7 +359,7 @@ RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
     OperatorSet trial_ops;
     for (size_t j : trial) trial_ops.push_back(cands[j].op);
     Query rw = ApplyOperators(q, trial_ops);
-    CloseEstimate est = estimate(trial, aff, rw);
+    CloseEstimate est = estimate(trial, aff, rw, 0);
     if (!est.guard_ok) continue;
     for (size_t j : conflicts[b]) {
       if (in_pool[j]) {
@@ -384,7 +389,7 @@ RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
         for (NodeId v : cands[j].affected) aff.Insert(v);
       }
       Query rw = ApplyOperators(q, trial_ops);
-      CloseEstimate est = estimate(trial, aff, rw);
+      CloseEstimate est = estimate(trial, aff, rw, 0);
       if (est.guard_ok && est.closeness >= current_cl - kEps) {
         selected = std::move(trial);
         current_cl = est.closeness;

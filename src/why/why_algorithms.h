@@ -12,6 +12,15 @@
 
 namespace whyq {
 
+// Thread-safety contract (all six algorithm entry points, both headers):
+// every call builds its own evaluators/match state, reading only const
+// inputs, so concurrent calls over one shared Graph are safe. Within a
+// call, cfg.threads > 1 fans the MBS verification (exact) or the
+// marginal-gain scans (greedy) out over ThreadPool::Shared(); results are
+// byte-identical to cfg.threads == 1 whenever truncation is deterministic
+// (cfg.exact_time_limit_ms == 0) — see why/exact_search.h and
+// docs/ARCHITECTURE.md "Intra-question parallelism".
+
 /// The outcome of answering a Why/Why-not question: the chosen operator set
 /// O, the induced rewrite Q' = Q ⊕ O, its editing cost, and its *exact*
 /// evaluation (closeness + guard), regardless of whether the algorithm
@@ -35,6 +44,11 @@ struct RewriteAnswer {
 /// picky set, verifies each with the incremental Match, early-terminates at
 /// closeness 1, and (optionally, cfg.minimize_cost) post-processes the
 /// winner into a cost-minimal subset preserving its closeness.
+/// Worst-case exponential in |O_s| (one Match per maximal bounded set);
+/// bounded in practice by cfg.max_mbs / cfg.exact_time_limit_ms, reported
+/// via RewriteAnswer::exhaustive. When enumeration was truncated, seeds
+/// the result with ApproxWhy's answer if that is closer (or as close but
+/// cheaper).
 RewriteAnswer ExactWhy(const Graph& g, const Query& q,
                        const std::vector<NodeId>& answers,
                        const WhyQuestion& w, const AnswerConfig& cfg);
@@ -42,7 +56,8 @@ RewriteAnswer ExactWhy(const Graph& g, const Query& q,
 /// ApproxWhy (Fig. 4): budgeted-submodular greedy over estimated marginal
 /// gains (EstMatch), with the paper's (1/2)(1-1/e) - 6B*eps guarantee.
 /// Verifies each picky operator exactly once; all set-level closenesses are
-/// estimated via per-operator affected sets + path tests.
+/// estimated via per-operator affected sets + path tests. O(|O_s|) Match
+/// calls up front, then O(|O_s|^2) cheap path-index probes across rounds.
 RewriteAnswer ApproxWhy(const Graph& g, const Query& q,
                         const std::vector<NodeId>& answers,
                         const WhyQuestion& w, const AnswerConfig& cfg);

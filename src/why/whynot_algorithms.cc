@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <optional>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "matcher/path_index.h"
 #include "rewrite/cost_model.h"
 #include "rewrite/evaluation.h"
 #include "why/est_match.h"
+#include "why/exact_search.h"
 #include "why/mbs.h"
 #include "why/picky.h"
 
@@ -17,14 +20,6 @@ namespace whyq {
 namespace {
 
 constexpr double kEps = 1e-9;
-
-OperatorSet Select(const std::vector<EditOp>& ops,
-                   const std::vector<size_t>& idx) {
-  OperatorSet out;
-  out.reserve(idx.size());
-  for (size_t i : idx) out.push_back(ops[i]);
-  return out;
-}
 
 void MinimizeCostWhyNot(const Query& q, const WhyNotEvaluator& eval,
                         const CostModel& cost, OperatorSet& ops,
@@ -77,59 +72,20 @@ RewriteAnswer ExactWhyNot(const Graph& g, const Query& q,
   }
   out.picky_count = usable.size();
 
-  double best_cl = -1.0;
-  double best_cost = std::numeric_limits<double>::infinity();
-  OperatorSet best_ops;
-  EvalResult best_eval;
-  size_t verified = 0;
-  Timer exact_timer;
-  bool timed_out = false;
-
-
-  AdmitFn admit = [&](const std::vector<size_t>& cur, size_t next) {
-    OperatorSet ops = Select(usable, cur);
-    ops.push_back(usable[next]);
-    return eval.GuardOk(ApplyOperators(q, ops));
-  };
-  MbsStats stats;
-  {
-    stats = EnumerateMaximalBoundedSets(
-      costs, BuildConflicts(usable), cfg.budget, cfg.max_mbs,
-      [&](const std::vector<size_t>& idx) {
-        ++verified;
-        OperatorSet ops = Select(usable, idx);
-        Query rewritten = ApplyOperators(q, ops);
-        EvalResult r = eval.Evaluate(rewritten);
-        if (!r.guard_ok) return true;
-        double c = cost.Cost(ops);
-        if (r.closeness > best_cl + kEps ||
-            (r.closeness > best_cl - kEps && c < best_cost)) {
-          best_cl = r.closeness;
-          best_cost = c;
-          best_ops = std::move(ops);
-          best_eval = r;
-        }
-        if (CancelRequested(cfg.cancel) ||
-            (cfg.exact_time_limit_ms > 0 &&
-             exact_timer.ElapsedMillis() > cfg.exact_time_limit_ms)) {
-          timed_out = true;
-          return false;
-        }
-        return best_cl < 1.0 - kEps;
-      },
-      admit,
-      [&]() {
-        if (CancelRequested(cfg.cancel) ||
-            (cfg.exact_time_limit_ms > 0 &&
-             exact_timer.ElapsedMillis() > cfg.exact_time_limit_ms)) {
-          timed_out = true;
-          return true;
-        }
-        return false;
-      });
-  }
-  out.sets_verified = verified;
-  out.exhaustive = !stats.truncated && !timed_out;
+  // Guard-admissible MBS search shared with ExactWhy; possibly parallel,
+  // bit-identical to serial either way (see why/exact_search.h).
+  internal::ExactSearchOutcome search =
+      internal::ExactMbsSearch<WhyNotEvaluator>(
+          q, usable, costs, cost, cfg, eval, [&] {
+            return std::make_unique<WhyNotEvaluator>(
+                g, answers, w, cfg.guard_m, cfg.semantics, cfg.cancel);
+          });
+  double best_cl = search.best_cl;
+  double best_cost = search.best_cost;
+  OperatorSet best_ops = std::move(search.best_ops);
+  EvalResult best_eval = search.best_eval;
+  out.sets_verified = search.verified;
+  out.exhaustive = !search.stats.truncated && !search.timed_out;
 
   // Fallback under truncation (see ExactWhy): never worse than the fast
   // heuristic. Skipped once the request itself is cancelled/past deadline.
@@ -181,32 +137,61 @@ RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
 
   const NodeSet& protected_set = eval.protected_set();
 
+  // Intra-question parallelism: evaluators own a stateful MatchEngine, so
+  // each concurrent executor slot gets its own clone (slot 0 reuses `eval`).
+  const size_t width = ResolveParallelWidth(cfg.threads);
+  std::vector<std::unique_ptr<WhyNotEvaluator>> slot_evals;  // 1..width-1
+  for (size_t s = 1; s < width; ++s) {
+    slot_evals.push_back(std::make_unique<WhyNotEvaluator>(
+        g, answers, w, cfg.guard_m, cfg.semantics, cfg.cancel));
+  }
+  auto eval_at = [&](size_t slot) -> const WhyNotEvaluator& {
+    return slot == 0 ? eval : *slot_evals[slot - 1];
+  };
+
   std::vector<EditOp> picky = GenPickyWhyNot(g, q, eval.missing(), cfg);
   struct Cand {
     EditOp op;
     double cost = 0.0;
     std::vector<NodeId> covered;  // estimated (or exact) new matches in V_C
   };
+  // Budget screen (cheap, serial) fixes the candidate indexing; the
+  // per-candidate coverage probes — exact NewMatches or PathIndex tests —
+  // then run on the pool, one evaluator per executor slot.
   std::vector<Cand> cands;
   for (EditOp& op : picky) {
-    if (CancelRequested(cfg.cancel)) {
-      out.exhaustive = false;
-      break;  // score the candidates verified so far
-    }
     double c = cost.Cost(op);
     if (c > cfg.budget + kEps) continue;
     Cand cand;
     cand.op = std::move(op);
     cand.cost = c;
-    Query single = ApplyOperators(q, {cand.op});
-    if (exact) {
-      cand.covered = eval.NewMatches(single);
-    } else {
-      for (NodeId v : eval.missing()) {
-        if (pidx.Passes(g, single, v)) cand.covered.push_back(v);
-      }
-    }
     cands.push_back(std::move(cand));
+  }
+  std::vector<uint8_t> prepped(cands.size(), 0);
+  ThreadPool::Shared().ParallelFor(
+      cands.size(), width, [&](size_t i, size_t slot) {
+        if (CancelRequested(cfg.cancel)) return;  // prefix-kept below
+        const WhyNotEvaluator& ev = eval_at(slot);
+        Cand& cand = cands[i];
+        Query single = ApplyOperators(q, {cand.op});
+        if (exact) {
+          cand.covered = ev.NewMatches(single);
+        } else {
+          for (NodeId v : ev.missing()) {
+            if (pidx.Passes(g, single, v)) cand.covered.push_back(v);
+          }
+        }
+        prepped[i] = 1;
+      });
+  // Cancellation mid-prep: keep the longest fully-scored prefix — exactly
+  // the candidates a serial run would have kept before breaking out.
+  size_t scored_prefix = 0;
+  while (scored_prefix < cands.size() && prepped[scored_prefix]) {
+    ++scored_prefix;
+  }
+  if (scored_prefix < cands.size()) {
+    out.exhaustive = false;
+    cands.resize(scored_prefix);
   }
   out.picky_count = cands.size();
 
@@ -217,11 +202,11 @@ RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
   for (const auto& c : cands) cand_ops.push_back(c.op);
   std::vector<std::vector<size_t>> conflicts = BuildConflicts(cand_ops);
 
-  auto estimate = [&](const NodeSet& covered_union,
-                      const Query& rw) -> CloseEstimate {
+  auto estimate = [&](const NodeSet& covered_union, const Query& rw,
+                      size_t slot) -> CloseEstimate {
     if (exact) {
       (void)covered_union;
-      EvalResult r = eval.Evaluate(rw);
+      EvalResult r = eval_at(slot).Evaluate(rw);
       CloseEstimate e;
       e.closeness = r.closeness;
       e.guard = r.guard;
@@ -260,28 +245,47 @@ RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
       break;  // keep the greedy prefix selected so far
     }
     ++out.sets_verified;
+    // Score every pool candidate (parallel across executor slots), then
+    // pick the winner serially in ascending candidate order — the same
+    // argmax and tie-break (ratio must beat the incumbent by kEps) as the
+    // serial scan, so parallel rounds select identical operators.
+    std::vector<size_t> pool_idx;
+    pool_idx.reserve(pool);
+    for (size_t i = 0; i < cands.size(); ++i) {
+      if (in_pool[i]) pool_idx.push_back(i);
+    }
+    struct Score {
+      double ratio = -1.0;
+      double gain = 0.0;
+      double soft_gain = 0.0;
+    };
+    std::vector<Score> scores(pool_idx.size());
+    ThreadPool::Shared().ParallelFor(
+        pool_idx.size(), width, [&](size_t k, size_t slot) {
+          size_t i = pool_idx[k];
+          NodeSet cov = covered;
+          for (NodeId v : cands[i].covered) cov.Insert(v);
+          OperatorSet trial_ops;
+          for (size_t j : selected) trial_ops.push_back(cands[j].op);
+          trial_ops.push_back(cands[i].op);
+          Query rw = ApplyOperators(q, trial_ops);
+          CloseEstimate est = estimate(cov, rw, slot);
+          Score& s = scores[k];
+          s.gain = est.closeness - current_cl;
+          // Hard gains dominate; soft gains break zero-gain ties.
+          s.soft_gain = soft_score(cov, rw) - current_soft;
+          s.ratio = (s.gain + 1e-3 * s.soft_gain) / cands[i].cost;
+        });
     long best = -1;
     double best_ratio = -1.0;
     double best_gain = 0.0;
     double best_soft_gain = 0.0;
-    for (size_t i = 0; i < cands.size(); ++i) {
-      if (!in_pool[i]) continue;
-      NodeSet cov = covered;
-      for (NodeId v : cands[i].covered) cov.Insert(v);
-      OperatorSet trial_ops;
-      for (size_t j : selected) trial_ops.push_back(cands[j].op);
-      trial_ops.push_back(cands[i].op);
-      Query rw = ApplyOperators(q, trial_ops);
-      CloseEstimate est = estimate(cov, rw);
-      double gain = est.closeness - current_cl;
-      double soft_gain = soft_score(cov, rw) - current_soft;
-      // Hard gains dominate; soft gains break zero-gain ties.
-      double ratio = (gain + 1e-3 * soft_gain) / cands[i].cost;
-      if (ratio > best_ratio + kEps) {
-        best_ratio = ratio;
-        best = static_cast<long>(i);
-        best_gain = gain;
-        best_soft_gain = soft_gain;
+    for (size_t k = 0; k < pool_idx.size(); ++k) {
+      if (scores[k].ratio > best_ratio + kEps) {
+        best_ratio = scores[k].ratio;
+        best = static_cast<long>(pool_idx[k]);
+        best_gain = scores[k].gain;
+        best_soft_gain = scores[k].soft_gain;
       }
     }
     if (best < 0) break;
@@ -296,7 +300,7 @@ RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
     for (size_t j : selected) trial_ops.push_back(cands[j].op);
     trial_ops.push_back(cands[b].op);
     Query rw = ApplyOperators(q, trial_ops);
-    CloseEstimate est = estimate(cov, rw);
+    CloseEstimate est = estimate(cov, rw, 0);
     if (!est.guard_ok) continue;
     for (size_t j : conflicts[b]) {
       if (in_pool[j]) {
@@ -330,7 +334,7 @@ RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
         for (NodeId v : cands[j].covered) cov.Insert(v);
       }
       Query rw = ApplyOperators(q, trial_ops);
-      CloseEstimate est = estimate(cov, rw);
+      CloseEstimate est = estimate(cov, rw, 0);
       if (est.guard_ok && est.closeness >= current_cl - kEps) {
         selected = std::move(trial);
         current_cl = est.closeness;

@@ -10,10 +10,16 @@
 
 namespace whyq {
 
+// Thread-safety and cfg.threads semantics are shared with the Why side —
+// see the contract note at the top of why/why_algorithms.h.
+
 /// ExactWhyNot (Section V-A): the Why-side exact scheme with relaxation
 /// picky operators (Lemma 7) — MBS enumeration, incremental verification of
 /// V_C inclusion, early-terminating guard counting, early break at
-/// closeness 1, optional cost-minimizing post-processing.
+/// closeness 1, optional cost-minimizing post-processing. Worst-case
+/// exponential in |O_s| (one Match per maximal bounded set), bounded by
+/// cfg.max_mbs / cfg.exact_time_limit_ms; seeds from FastWhyNot when
+/// enumeration was truncated.
 RewriteAnswer ExactWhyNot(const Graph& g, const Query& q,
                           const std::vector<NodeId>& answers,
                           const WhyNotQuestion& w, const AnswerConfig& cfg);
@@ -22,7 +28,8 @@ RewriteAnswer ExactWhyNot(const Graph& g, const Query& q,
 /// new matches — per-operator coverage and set-level screening both use the
 /// sampled path index, so the selection loop performs no subgraph
 /// isomorphism test at all (the returned answer is still evaluated exactly
-/// for reporting).
+/// for reporting). O(|V_C| * |O_s|) path-index probes up front, then
+/// O(|O_s|^2) probe-based rounds — no Match until the final evaluation.
 RewriteAnswer FastWhyNot(const Graph& g, const Query& q,
                          const std::vector<NodeId>& answers,
                          const WhyNotQuestion& w, const AnswerConfig& cfg);

@@ -1,0 +1,75 @@
+#!/bin/sh
+# Documentation consistency checks, run by the CI docs job and the
+# docs_check ctest entry:
+#   1. every relative markdown link in *.md / docs/*.md resolves to a file
+#      or directory in the repo;
+#   2. every subcommand dispatched by tools/whyq_cli.cc appears in the
+#      usage comment at the top of that file AND in README.md;
+#   3. every --flag the CLI parses appears in README.md (and vice versa:
+#      every --flag README claims must be parsed by the CLI).
+# Pure grep/sed — no dependencies beyond POSIX sh.
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+fail=0
+
+err() {
+  echo "check_docs: $1" >&2
+  fail=1
+}
+
+# --- 1. relative markdown links -------------------------------------------
+md_files="$(ls ./*.md 2>/dev/null; ls docs/*.md 2>/dev/null)"
+for f in $md_files; do
+  case "$f" in
+    # Scraped reference material (arXiv extracts) keeps its original
+    # image/figure links; only repo-authored docs must resolve.
+    ./PAPERS.md|./SNIPPETS.md) continue ;;
+  esac
+  dir=$(dirname "$f")
+  # Extract (text](target) pairs; keep the target, drop URLs and anchors.
+  grep -o ']([^)]*)' "$f" | sed 's/^](//; s/)$//' | while read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "check_docs: $f: broken relative link '$target'" >&2
+      echo broken > .check_docs_failed
+    fi
+  done
+done
+if [ -f .check_docs_failed ]; then
+  rm -f .check_docs_failed
+  fail=1
+fi
+
+# --- 2. CLI subcommands documented ----------------------------------------
+cli=tools/whyq_cli.cc
+subcommands=$(sed -n 's/^  if (cmd == "\([a-z-]*\)").*/\1/p' "$cli")
+[ -n "$subcommands" ] || err "no subcommands extracted from $cli"
+for cmd in $subcommands; do
+  grep -q "whyq_cli $cmd" "$cli" ||
+    err "$cli: subcommand '$cmd' missing from the usage comment"
+  grep -q "$cmd" README.md ||
+    err "README.md: subcommand '$cmd' undocumented"
+done
+
+# --- 3. CLI flags <-> README ----------------------------------------------
+cli_flags=$(sed -n 's/.*value_of("\(--[a-z-]*\)").*/\1/p' "$cli" | sort -u)
+[ -n "$cli_flags" ] || err "no flags extracted from $cli"
+for flag in $cli_flags; do
+  grep -q -- "\\$flag" README.md ||
+    err "README.md: flag '$flag' undocumented"
+done
+readme_flags=$(grep -o -- '--[a-z][a-z-]*=' README.md | sed 's/=$//' | sort -u)
+for flag in $readme_flags; do
+  echo "$cli_flags" | grep -qx -- "$flag" ||
+    err "README.md documents '$flag' but $cli does not parse it"
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_docs: OK (links, subcommands, flags in sync)"
+fi
+exit "$fail"

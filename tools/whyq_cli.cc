@@ -17,8 +17,11 @@
 //   whyq_cli serve-batch GRAPH QUESTIONSFILE [--workers=N] [--queue=N]
 //                        [--cache=N] [--deadline-ms=D] [common]
 //   whyq_cli demo
-// Common flags: --budget=B --guard=M --semantics=iso|sim
+// Common flags: --budget=B --guard=M --semantics=iso|sim --threads=N
 // Algorithms: exact | approx/fast | iso (default approx/fast).
+// --threads=N (default 1) runs each question's MBS verification and greedy
+// gain scans on up to N executors; answers are identical to --threads=1.
+// Under serve-batch it is the per-request width on top of --workers.
 //
 // serve-batch reads one question per line and executes the batch on a
 // WhyqService worker pool, printing one result row per question plus the
@@ -68,6 +71,7 @@ struct Options {
   size_t queue = 256;
   size_t cache = 64;
   double deadline_ms = 0;
+  size_t threads = 1;
   std::vector<std::string> positional;
 };
 
@@ -159,6 +163,8 @@ bool ParseArgs(int argc, char** argv, Options* o, std::string* error) {
       ok = ParseSize(v, &o->cache);
     } else if (const char* v = value_of("--deadline-ms")) {
       ok = ParseDouble(v, &o->deadline_ms);
+    } else if (const char* v = value_of("--threads")) {
+      ok = ParseSize(v, &o->threads) && o->threads > 0;
     } else if (const char* v = value_of("--algo")) {
       o->algo = v;
       if (o->algo != "auto" && o->algo != "exact" && o->algo != "iso" &&
@@ -223,6 +229,7 @@ AnswerConfig MakeConfig(const Options& o) {
   cfg.guard_m = o.guard;
   cfg.semantics = o.semantics;
   cfg.exact_time_limit_ms = 30000;
+  cfg.threads = o.threads;
   return cfg;
 }
 
@@ -487,6 +494,7 @@ int CmdServeBatch(const Options& o) {
   sc.workers = o.workers;
   sc.queue_capacity = o.queue;
   sc.cache_capacity = o.cache;
+  sc.intra_threads = o.threads;
   WhyqService service(std::move(*g), sc);
 
   std::map<std::string, std::string> texts;
