@@ -68,7 +68,15 @@ double RunBatch(WhyqService* service,
 void PartScaling(const Flags& flags,
                  const std::shared_ptr<const Graph>& graph,
                  const std::vector<ServiceRequest>& reqs) {
-  TextTable t({"workers", "batch_ms", "req_per_s", "speedup_vs_1", "hits"});
+  TextTable t({"workers", "batch_ms", "req_per_s", "speedup_vs_1", "hits",
+               "why_p95_ms", "whynot_p95_ms"});
+  // Per-class streaming-histogram p95 (whole batch, not a sample): shows
+  // tail latency growing with queueing as the worker count shrinks.
+  auto p95 = [](const StatsSnapshot& s, const char* klass) {
+    auto it = s.latency.find(klass);
+    if (it == s.latency.end() || it->second.count == 0) return std::string("-");
+    return TextTable::Num(it->second.p95_ms, 2);
+  };
   double base_ms = 0.0;
   for (size_t workers : {1u, 2u, 4u, 8u}) {
     ServiceConfig sc;
@@ -82,7 +90,8 @@ void PartScaling(const Flags& flags,
     t.AddRow({std::to_string(workers), TextTable::Num(ms, 1),
               TextTable::Num(1000.0 * static_cast<double>(reqs.size()) / ms,
                              1),
-              TextTable::Num(base_ms / ms), std::to_string(s.cache_hits)});
+              TextTable::Num(base_ms / ms), std::to_string(s.cache_hits),
+              p95(s, "why/auto"), p95(s, "whynot/auto")});
   }
   std::printf(
       "%s\n",

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/cancel.h"
+#include "common/timer.h"
 #include "matcher/candidates.h"
 #include "query/query_parser.h"
 
@@ -19,14 +20,27 @@ std::shared_ptr<const PreparedQuery> PrepareQuery(const Graph& g, Query q,
                                                   size_t max_paths,
                                                   const CancelToken* cancel,
                                                   bool* complete,
-                                                  size_t threads) {
+                                                  size_t threads,
+                                                  RequestTrace* trace) {
+  Timer stage;
+  // The PreparedQuery constructor samples the PathIndex.
   auto prepared =
       std::make_shared<PreparedQuery>(std::move(q), semantics, max_paths);
+  if (trace != nullptr) {
+    trace->path_index_ms = stage.ElapsedMillis();
+    stage.Reset();
+  }
   prepared->output_candidates =
       Candidates(g, prepared->query, prepared->query.output(), threads);
+  if (trace != nullptr) {
+    trace->candidates_ms = stage.ElapsedMillis();
+    trace->matcher_candidates = prepared->output_candidates.size();
+    stage.Reset();
+  }
   std::unique_ptr<MatchEngine> engine = MakeMatchEngine(g, semantics);
   engine->SetCancelToken(cancel);
   prepared->answers = engine->MatchOutput(prepared->query);
+  if (trace != nullptr) trace->answer_match_ms = stage.ElapsedMillis();
   // A build whose answer match was clipped would poison every later hit;
   // the caller keeps it request-local instead of caching it.
   if (complete != nullptr) *complete = !CancelRequested(cancel);

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "matcher/match_engine.h"
 #include "matcher/path_index.h"
 #include "query/query.h"
@@ -47,13 +48,16 @@ std::string PreparedQueryKey(const Query& q, const Graph& g,
 /// NOT be cached — `complete` reports whether the build ran to the end.
 /// `threads` > 1 filters the output-node candidate bucket in parallel on
 /// ThreadPool::Shared() (same result, see matcher/candidates.h); the answer
-/// match itself stays on the calling worker.
+/// match itself stays on the calling worker. `trace` (nullable) receives
+/// the build's sub-stage timings (path_index_ms / candidates_ms /
+/// answer_match_ms) and the output-candidate count.
 std::shared_ptr<const PreparedQuery> PrepareQuery(const Graph& g, Query q,
                                                   MatchSemantics semantics,
                                                   size_t max_paths,
                                                   const CancelToken* cancel,
                                                   bool* complete,
-                                                  size_t threads = 1);
+                                                  size_t threads = 1,
+                                                  RequestTrace* trace = nullptr);
 
 /// Thread-safe LRU map key -> shared_ptr<const PreparedQuery>. Eviction
 /// only drops the cache's reference; in-flight requests keep theirs.

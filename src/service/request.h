@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "graph/graph.h"
 #include "why/extensions.h"
 #include "why/question.h"
@@ -69,6 +70,10 @@ struct ServiceResponse {
   bool truncated = false;  // deadline/cancellation clipped the search
   bool cache_hit = false;  // prepared artifacts were reused
   double latency_ms = 0;   // submission -> completion (includes queue wait)
+
+  /// Per-stage breakdown of latency_ms plus hot-loop work counters; filled
+  /// for every executed request (bad requests keep the stages reached).
+  RequestTrace trace;
 
   std::vector<NodeId> base_answers;  // Q(u_o, G) the question ran against
 

@@ -52,6 +52,12 @@ WhyqService::WhyqService(std::shared_ptr<const Graph> graph,
     : graph_(std::move(graph)),
       cfg_(cfg),
       cache_(cfg.cache_capacity) {
+  // Clamp degenerate configs (see the constructor contract in service.h):
+  // queue_capacity 0 would make every Submit() reject with no diagnostic,
+  // workers 0 would leave accepted futures unresolved forever.
+  if (cfg_.queue_capacity == 0) cfg_.queue_capacity = 1;
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  stats_.ConfigureSlowLog(cfg_.slow_query_ms, cfg_.slow_log_capacity);
   workers_.reserve(cfg_.workers);
   for (size_t i = 0; i < cfg_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -89,6 +95,7 @@ std::optional<std::future<ServiceResponse>> WhyqService::Submit(
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
+      stats_.RecordShutdown();
       ServiceResponse r;
       r.status = ResponseStatus::kShutdown;
       job->promise.set_value(std::move(r));
@@ -115,7 +122,35 @@ ServiceResponse WhyqService::Execute(const ServiceRequest& req) {
       req.deadline_ms > 0 ? req.deadline_ms : cfg_.default_deadline_ms;
   token.SetDeadlineAfterMillis(deadline);
   Timer timer;
-  return Run(req, &token, timer);
+  return RunContained(req, &token, timer, /*queue_ms=*/0.0);
+}
+
+ServiceResponse WhyqService::RunContained(const ServiceRequest& req,
+                                          const CancelToken* token,
+                                          const Timer& timer,
+                                          double queue_ms) {
+  // Contain per-request failures: an exception escaping a worker thread
+  // would std::terminate the whole service, and one escaping Execute()
+  // would report the same workload differently than the pooled path.
+  try {
+    return Run(req, token, timer, queue_ms);
+  } catch (const std::exception& e) {
+    ServiceResponse r;
+    r.status = ResponseStatus::kBadRequest;
+    r.error = std::string("internal error: ") + e.what();
+    r.latency_ms = timer.ElapsedMillis();
+    r.trace.queue_ms = queue_ms;
+    stats_.RecordBadRequest();
+    return r;
+  } catch (...) {
+    ServiceResponse r;
+    r.status = ResponseStatus::kBadRequest;
+    r.error = "internal error: unknown exception";
+    r.latency_ms = timer.ElapsedMillis();
+    r.trace.queue_ms = queue_ms;
+    stats_.RecordBadRequest();
+    return r;
+  }
 }
 
 void WhyqService::WorkerLoop() {
@@ -128,39 +163,28 @@ void WhyqService::WorkerLoop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    // Contain per-request failures: an exception escaping a worker thread
-    // would std::terminate the whole service.
-    try {
-      job->promise.set_value(Run(job->request, &job->token, job->timer));
-    } catch (const std::exception& e) {
-      ServiceResponse r;
-      r.status = ResponseStatus::kBadRequest;
-      r.error = std::string("internal error: ") + e.what();
-      r.latency_ms = job->timer.ElapsedMillis();
-      stats_.RecordBadRequest();
-      job->promise.set_value(std::move(r));
-    } catch (...) {
-      ServiceResponse r;
-      r.status = ResponseStatus::kBadRequest;
-      r.error = "internal error: unknown exception";
-      r.latency_ms = job->timer.ElapsedMillis();
-      stats_.RecordBadRequest();
-      job->promise.set_value(std::move(r));
-    }
+    double queue_ms = job->timer.ElapsedMillis();
+    job->promise.set_value(
+        RunContained(job->request, &job->token, job->timer, queue_ms));
   }
 }
 
 ServiceResponse WhyqService::Run(const ServiceRequest& req,
                                  const CancelToken* token,
-                                 const Timer& timer) {
+                                 const Timer& timer, double queue_ms) {
   const Graph& g = *graph_;
   ServiceResponse resp;
+  resp.trace.queue_ms = queue_ms;
+  // Stage clock, restarted at each boundary. The three stages below plus
+  // queue_ms partition latency_ms (validation counts toward parse).
+  Timer stage;
   std::string klass = std::string(RequestKindName(req.kind)) + "/" +
                       AlgoChoiceName(req.algo);
 
   auto fail = [&](const std::string& msg) {
     resp.status = ResponseStatus::kBadRequest;
     resp.error = msg;
+    resp.trace.parse_ms = stage.ElapsedMillis();  // all failures pre-parse
     resp.latency_ms = timer.ElapsedMillis();
     stats_.RecordBadRequest();
     return resp;
@@ -179,6 +203,8 @@ ServiceResponse WhyqService::Run(const ServiceRequest& req,
   std::string parse_error;
   std::optional<Query> parsed = ParseQuery(req.query_text, g, &parse_error);
   if (!parsed.has_value()) return fail("query parse error: " + parse_error);
+  resp.trace.parse_ms = stage.ElapsedMillis();
+  stage.Reset();
 
   // Prepared artifacts: canonical-form LRU lookup, build on miss. A build
   // clipped by the deadline stays request-local (never cached).
@@ -192,9 +218,12 @@ ServiceResponse WhyqService::Run(const ServiceRequest& req,
     bool complete = false;
     prepared = PrepareQuery(g, std::move(*parsed), cfg.semantics,
                             cfg.path_index_paths, token, &complete,
-                            cfg.threads);
+                            cfg.threads, &resp.trace);
     if (complete) cache_.Put(key, prepared);
   }
+  resp.trace.prepare_ms = stage.ElapsedMillis();
+  resp.trace.matcher_candidates = prepared->output_candidates.size();
+  stage.Reset();
 
   cfg.cancel = token;
   cfg.path_index = &prepared->path_index;
@@ -236,13 +265,23 @@ ServiceResponse WhyqService::Run(const ServiceRequest& req,
       resp.why_so_many = AnswerWhySoMany(g, q, answers, req.target_k, cfg);
       break;
   }
+  if (req.kind == RequestKind::kWhy || req.kind == RequestKind::kWhyNot) {
+    if (req.algo == AlgoChoice::kExact) {
+      resp.trace.mbs_enumerated = resp.answer.sets_enumerated;
+      resp.trace.mbs_verified = resp.answer.sets_verified;
+    } else {
+      // Greedy variants verify one candidate set per round.
+      resp.trace.greedy_rounds = resp.answer.sets_verified;
+    }
+  }
+  resp.trace.search_ms = stage.ElapsedMillis();
   // Deadline expiry anywhere in the pipeline (including the prepare step)
   // marks the response truncated, whatever the algorithm reported.
   resp.truncated = resp.truncated || CancelRequested(token);
   resp.status = ResponseStatus::kOk;
   resp.latency_ms = timer.ElapsedMillis();
   stats_.RecordCompleted(klass, resp.latency_ms, resp.truncated,
-                         resp.cache_hit);
+                         resp.cache_hit, resp.trace);
   return resp;
 }
 

@@ -32,6 +32,12 @@ struct ServiceConfig {
   /// deployment splits a fixed budget toward intra_threads, a
   /// throughput-oriented one toward workers (see EXPERIMENTS.md).
   size_t intra_threads = 1;
+
+  /// Slow-query log: completed requests with latency >= slow_query_ms are
+  /// retained (the newest slow_log_capacity of them, with their full
+  /// per-stage RequestTrace) and surfaced by Stats(). 0 disables the log.
+  double slow_query_ms = 0;
+  size_t slow_log_capacity = 32;
 };
 
 /// A concurrent, deadline-aware explanation service over one immutable
@@ -58,7 +64,10 @@ struct ServiceConfig {
 class WhyqService {
  public:
   /// The service shares ownership of the graph; callers may keep using it
-  /// concurrently for reads.
+  /// concurrently for reads. Degenerate config values are clamped rather
+  /// than silently wedging the service: workers and queue_capacity of 0
+  /// become 1 (a zero-capacity queue would reject every Submit with no
+  /// diagnostic; a zero-worker pool would never resolve a future).
   explicit WhyqService(std::shared_ptr<const Graph> graph,
                        ServiceConfig cfg = ServiceConfig());
 
@@ -100,7 +109,14 @@ class WhyqService {
   };
 
   ServiceResponse Run(const ServiceRequest& req, const CancelToken* token,
-                      const Timer& timer);
+                      const Timer& timer, double queue_ms);
+  /// Run() with per-request failures contained as kBadRequest responses —
+  /// the one execution path shared by WorkerLoop() and Execute(), so an
+  /// exception escaping an algorithm is reported (and counted) the same
+  /// way whether the request was pooled or inline.
+  ServiceResponse RunContained(const ServiceRequest& req,
+                               const CancelToken* token, const Timer& timer,
+                               double queue_ms);
   void WorkerLoop();
 
   std::shared_ptr<const Graph> graph_;

@@ -1,62 +1,174 @@
 #include "service/stats.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "common/table.h"
 
 namespace whyq {
 
-void ServiceStats::RecordReceived() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.received;
+namespace {
+
+// Minimal JSON emission helpers (the snapshot's strings are request-class
+// labels and never exotic, but escape defensively anyway).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
-void ServiceStats::RecordRejected() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.rejected;
+std::string JsonNum(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
 }
 
-void ServiceStats::RecordBadRequest() {
+void AppendStages(std::ostringstream& os, const StageTotals& s) {
+  os << "{\"queue\":" << JsonNum(s.queue_ms)
+     << ",\"parse\":" << JsonNum(s.parse_ms)
+     << ",\"prepare\":" << JsonNum(s.prepare_ms)
+     << ",\"candidates\":" << JsonNum(s.candidates_ms)
+     << ",\"answer_match\":" << JsonNum(s.answer_match_ms)
+     << ",\"path_index\":" << JsonNum(s.path_index_ms)
+     << ",\"search\":" << JsonNum(s.search_ms)
+     << ",\"latency\":" << JsonNum(s.latency_ms) << "}";
+}
+
+void AppendWork(std::ostringstream& os, const WorkTotals& w) {
+  os << "{\"matcher_candidates\":" << w.matcher_candidates
+     << ",\"mbs_enumerated\":" << w.mbs_enumerated
+     << ",\"mbs_verified\":" << w.mbs_verified
+     << ",\"greedy_rounds\":" << w.greedy_rounds << "}";
+}
+
+StageTotals TraceStages(const RequestTrace& t, double latency_ms) {
+  StageTotals s;
+  s.queue_ms = t.queue_ms;
+  s.parse_ms = t.parse_ms;
+  s.prepare_ms = t.prepare_ms;
+  s.candidates_ms = t.candidates_ms;
+  s.answer_match_ms = t.answer_match_ms;
+  s.path_index_ms = t.path_index_ms;
+  s.search_ms = t.search_ms;
+  s.latency_ms = latency_ms;
+  return s;
+}
+
+}  // namespace
+
+void ServiceStats::ConfigureSlowLog(double threshold_ms, size_t capacity) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.bad_requests;
+  slow_threshold_ms_ = threshold_ms > 0 ? threshold_ms : 0.0;
+  slow_capacity_ = slow_threshold_ms_ > 0 ? std::max<size_t>(capacity, 1) : 0;
+  while (slow_.size() > slow_capacity_) slow_.pop_front();
 }
 
 void ServiceStats::RecordCompleted(const std::string& klass,
                                    double latency_ms, bool truncated,
-                                   bool cache_hit) {
+                                   bool cache_hit,
+                                   const RequestTrace& trace) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.completed;
-  if (truncated) ++counters_.truncated;
+  ++completed_;
+  if (truncated) ++truncated_;
   if (cache_hit) {
-    ++counters_.cache_hits;
+    ++cache_hits_;
   } else {
-    ++counters_.cache_misses;
+    ++cache_misses_;
   }
-  std::vector<double>& samples = samples_[klass];
-  if (samples.size() < kMaxSamples) samples.push_back(latency_ms);
+  latency_[klass].Record(latency_ms);
+  stages_.queue_ms += trace.queue_ms;
+  stages_.parse_ms += trace.parse_ms;
+  stages_.prepare_ms += trace.prepare_ms;
+  stages_.candidates_ms += trace.candidates_ms;
+  stages_.answer_match_ms += trace.answer_match_ms;
+  stages_.path_index_ms += trace.path_index_ms;
+  stages_.search_ms += trace.search_ms;
+  stages_.latency_ms += latency_ms;
+  work_.matcher_candidates += trace.matcher_candidates;
+  work_.mbs_enumerated += trace.mbs_enumerated;
+  work_.mbs_verified += trace.mbs_verified;
+  work_.greedy_rounds += trace.greedy_rounds;
+  if (slow_threshold_ms_ > 0 && latency_ms >= slow_threshold_ms_) {
+    SlowQueryEntry e;
+    e.seq = completed_;
+    e.klass = klass;
+    e.latency_ms = latency_ms;
+    e.truncated = truncated;
+    e.cache_hit = cache_hit;
+    e.trace = trace;
+    slow_.push_back(std::move(e));
+    while (slow_.size() > slow_capacity_) slow_.pop_front();
+  }
 }
 
 StatsSnapshot ServiceStats::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  StatsSnapshot out = counters_;
-  for (const auto& [klass, raw] : samples_) {
-    if (raw.empty()) continue;
-    std::vector<double> sorted = raw;
-    std::sort(sorted.begin(), sorted.end());
-    LatencySummary s;
-    s.count = sorted.size();
-    s.min_ms = sorted.front();
-    s.max_ms = sorted.back();
-    double sum = 0.0;
-    for (double x : sorted) sum += x;
-    s.mean_ms = sum / static_cast<double>(sorted.size());
-    // Nearest-rank p95 (1-based rank ceil(0.95 n)).
-    size_t rank = (sorted.size() * 95 + 99) / 100;
-    if (rank == 0) rank = 1;
-    s.p95_ms = sorted[std::min(rank, sorted.size()) - 1];
-    out.latency[klass] = s;
+  StatsSnapshot out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.completed = completed_;
+    out.truncated = truncated_;
+    out.cache_hits = cache_hits_;
+    out.cache_misses = cache_misses_;
+    out.stages = stages_;
+    out.work = work_;
+    out.slow_threshold_ms = slow_threshold_ms_;
+    out.slow.assign(slow_.begin(), slow_.end());
+    for (const auto& [klass, hist] : latency_) {
+      if (hist.count() == 0) continue;
+      LatencySummary s;
+      s.count = hist.count();
+      s.min_ms = hist.min();
+      s.mean_ms = hist.mean();
+      s.p50_ms = hist.Quantile(0.50);
+      s.p95_ms = hist.Quantile(0.95);
+      s.p99_ms = hist.Quantile(0.99);
+      s.max_ms = hist.max();
+      for (size_t i = 0; i < StreamingHistogram::kBucketCount; ++i) {
+        if (hist.BucketCount(i) > 0) {
+          s.buckets.emplace_back(StreamingHistogram::BucketLowerBound(i),
+                                 hist.BucketCount(i));
+        }
+      }
+      out.latency[klass] = std::move(s);
+    }
   }
+  // Read the submission-side counters *after* the terminal counts so
+  // received >= completed + bad_requests in every snapshot (each
+  // completion's RecordReceived happened strictly before it).
+  out.bad_requests = bad_requests_.Value();
+  out.rejected = rejected_.Value();
+  out.shutdown = shutdown_.Value();
+  out.received = received_.Value();
   return out;
 }
 
@@ -64,7 +176,7 @@ std::string StatsSnapshot::ToString() const {
   std::ostringstream os;
   os << "requests: received=" << received << " rejected=" << rejected
      << " completed=" << completed << " truncated=" << truncated
-     << " bad=" << bad_requests << "\n";
+     << " bad=" << bad_requests << " shutdown=" << shutdown << "\n";
   os << "prepared cache: hits=" << cache_hits << " misses=" << cache_misses;
   uint64_t looked_up = cache_hits + cache_misses;
   if (looked_up > 0) {
@@ -77,10 +189,93 @@ std::string StatsSnapshot::ToString() const {
   for (const auto& [klass, s] : latency) {
     os << "  " << klass << ": n=" << s.count << " min="
        << TextTable::Num(s.min_ms, 2) << "ms mean="
-       << TextTable::Num(s.mean_ms, 2) << "ms p95="
-       << TextTable::Num(s.p95_ms, 2) << "ms max="
+       << TextTable::Num(s.mean_ms, 2) << "ms p50="
+       << TextTable::Num(s.p50_ms, 2) << "ms p95="
+       << TextTable::Num(s.p95_ms, 2) << "ms p99="
+       << TextTable::Num(s.p99_ms, 2) << "ms max="
        << TextTable::Num(s.max_ms, 2) << "ms\n";
   }
+  if (completed > 0) {
+    os << "stage totals: queue=" << TextTable::Num(stages.queue_ms, 1)
+       << "ms parse=" << TextTable::Num(stages.parse_ms, 1)
+       << "ms prepare=" << TextTable::Num(stages.prepare_ms, 1)
+       << "ms (candidates=" << TextTable::Num(stages.candidates_ms, 1)
+       << "ms match=" << TextTable::Num(stages.answer_match_ms, 1)
+       << "ms path-index=" << TextTable::Num(stages.path_index_ms, 1)
+       << "ms) search=" << TextTable::Num(stages.search_ms, 1)
+       << "ms | latency=" << TextTable::Num(stages.latency_ms, 1) << "ms\n";
+    os << "work totals: candidates=" << work.matcher_candidates
+       << " mbs-enumerated=" << work.mbs_enumerated
+       << " mbs-verified=" << work.mbs_verified
+       << " greedy-rounds=" << work.greedy_rounds << "\n";
+  }
+  if (slow_threshold_ms > 0) {
+    os << "slow queries (>= " << TextTable::Num(slow_threshold_ms, 1)
+       << "ms): " << slow.size() << " retained\n";
+    for (const SlowQueryEntry& e : slow) {
+      os << "  #" << e.seq << " " << e.klass << " "
+         << TextTable::Num(e.latency_ms, 2) << "ms"
+         << (e.truncated ? " truncated" : "")
+         << (e.cache_hit ? " cached" : "") << "\n";
+      std::istringstream lines(e.trace.ToString());
+      std::string line;
+      while (std::getline(lines, line)) os << "    " << line << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string StatsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\":{\"received\":" << received
+     << ",\"rejected\":" << rejected << ",\"shutdown\":" << shutdown
+     << ",\"completed\":" << completed << ",\"truncated\":" << truncated
+     << ",\"bad_requests\":" << bad_requests
+     << ",\"cache_hits\":" << cache_hits
+     << ",\"cache_misses\":" << cache_misses << "}";
+  os << ",\"latency_ms\":{";
+  bool first = true;
+  for (const auto& [klass, s] : latency) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(klass) << "\":{\"count\":" << s.count
+       << ",\"min\":" << JsonNum(s.min_ms) << ",\"mean\":" << JsonNum(s.mean_ms)
+       << ",\"p50\":" << JsonNum(s.p50_ms) << ",\"p95\":" << JsonNum(s.p95_ms)
+       << ",\"p99\":" << JsonNum(s.p99_ms) << ",\"max\":" << JsonNum(s.max_ms)
+       << ",\"buckets\":[";
+    for (size_t i = 0; i < s.buckets.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "[" << JsonNum(s.buckets[i].first) << "," << s.buckets[i].second
+         << "]";
+    }
+    os << "]}";
+  }
+  os << "}";
+  os << ",\"stage_totals_ms\":";
+  AppendStages(os, stages);
+  os << ",\"work\":";
+  AppendWork(os, work);
+  os << ",\"slow_queries\":{\"threshold_ms\":" << JsonNum(slow_threshold_ms)
+     << ",\"entries\":[";
+  for (size_t i = 0; i < slow.size(); ++i) {
+    const SlowQueryEntry& e = slow[i];
+    if (i > 0) os << ",";
+    os << "{\"seq\":" << e.seq << ",\"class\":\"" << JsonEscape(e.klass)
+       << "\",\"latency_ms\":" << JsonNum(e.latency_ms)
+       << ",\"truncated\":" << (e.truncated ? "true" : "false")
+       << ",\"cache_hit\":" << (e.cache_hit ? "true" : "false")
+       << ",\"stages_ms\":";
+    AppendStages(os, TraceStages(e.trace, e.latency_ms));
+    os << ",\"work\":";
+    WorkTotals w;
+    w.matcher_candidates = e.trace.matcher_candidates;
+    w.mbs_enumerated = e.trace.mbs_enumerated;
+    w.mbs_verified = e.trace.mbs_verified;
+    w.greedy_rounds = e.trace.greedy_rounds;
+    AppendWork(os, w);
+    os << "}";
+  }
+  os << "]}}";
   return os.str();
 }
 

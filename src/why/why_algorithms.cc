@@ -105,6 +105,7 @@ RewriteAnswer ExactWhy(const Graph& g, const Query& q,
   double best_cost = search.best_cost;
   OperatorSet best_ops = std::move(search.best_ops);
   EvalResult best_eval = search.best_eval;
+  out.sets_enumerated = search.stats.emitted;
   out.sets_verified = search.verified;
   out.exhaustive = !search.stats.truncated && !search.timed_out;
 

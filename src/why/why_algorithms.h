@@ -33,6 +33,7 @@ struct RewriteAnswer {
   EvalResult eval;                    // exact closeness/guard of `rewritten`
   double estimated_closeness = 0.0;   // the optimizer's own view (approx/fast)
   size_t picky_count = 0;             // |O_s|
+  size_t sets_enumerated = 0;         // MBS emitted by the DFS (exact only)
   size_t sets_verified = 0;           // MBS verified / greedy steps taken
   bool exhaustive = false;            // exact enumeration was not truncated
 

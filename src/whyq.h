@@ -17,6 +17,7 @@
 
 #include "common/cancel.h"
 #include "common/dictionary.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/timer.h"

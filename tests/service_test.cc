@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <future>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/timer.h"
@@ -361,6 +363,192 @@ TEST_F(ServiceTest, CancelTokenBasics) {
   EXPECT_TRUE(c.Expired());
   EXPECT_TRUE(CancelRequested(&c));
   EXPECT_FALSE(CancelRequested(nullptr));
+}
+
+// Regression for the frozen-percentile bug: the old implementation kept
+// only the first 65536 latency samples per class, so after warmup a latency
+// regression never moved min/mean/p95/max. The histogram covers the whole
+// stream: a mid-run shift after more than that many samples must show up.
+TEST_F(ServiceTest, PercentilesTrackTrafficPastOldSampleBuffer) {
+  ServiceStats stats;
+  constexpr int kOldBufferSize = 65536;
+  for (int i = 0; i < kOldBufferSize + 5000; ++i) {
+    stats.RecordReceived();
+    stats.RecordCompleted("why/auto", 1.0, false, true);
+  }
+  EXPECT_NEAR(stats.Snapshot().latency.at("why/auto").p95_ms, 1.0, 0.2);
+  // Deliberate mid-run latency shift, entirely past the old buffer.
+  for (int i = 0; i < 3 * kOldBufferSize; ++i) {
+    stats.RecordReceived();
+    stats.RecordCompleted("why/auto", 50.0, false, true);
+  }
+  const LatencySummary l = stats.Snapshot().latency.at("why/auto");
+  EXPECT_GT(l.p95_ms, 40.0);  // old code: frozen at ~1.0
+  EXPECT_DOUBLE_EQ(l.max_ms, 50.0);
+  EXPECT_DOUBLE_EQ(l.min_ms, 1.0);
+  EXPECT_EQ(l.count, static_cast<uint64_t>(4 * kOldBufferSize + 5000));
+}
+
+TEST_F(ServiceTest, DegenerateConfigIsClamped) {
+  // queue_capacity 0 used to make every Submit reject with no diagnostic;
+  // workers 0 would leave accepted futures unresolved forever.
+  WhyqService service(graph_, ServiceConfig{0, 0, 4, 0});
+  EXPECT_EQ(service.config().workers, 1u);
+  EXPECT_EQ(service.config().queue_capacity, 1u);
+  std::optional<std::future<ServiceResponse>> f =
+      service.Submit(Why({a5_, s5_}));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->get().status, ResponseStatus::kOk);
+}
+
+TEST_F(ServiceTest, ShutdownSubmitsAreCounted) {
+  WhyqService service(graph_, ServiceConfig{1, 4, 4, 0});
+  ServiceResponse ok = service.Execute(Why({a5_, s5_}));
+  EXPECT_EQ(ok.status, ResponseStatus::kOk);
+  service.Stop();
+  std::optional<std::future<ServiceResponse>> f = service.Submit(Why({a5_}));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->get().status, ResponseStatus::kShutdown);
+  StatsSnapshot s = service.Stats();
+  EXPECT_EQ(s.shutdown, 1u);
+  // A shutdown-resolved submit is not "received": totals reconcile.
+  EXPECT_EQ(s.received, 1u);
+  EXPECT_EQ(s.received, s.completed + s.bad_requests);
+  EXPECT_EQ(s.completed, s.cache_hits + s.cache_misses);
+}
+
+// Exception containment must be identical on the inline and pooled paths:
+// both report kBadRequest and count it, neither lets the exception escape
+// (a worker-thread escape would std::terminate the process).
+TEST_F(ServiceTest, ExecuteContainsFailuresLikeWorkers) {
+  WhyqService service(graph_, ServiceConfig{1, 4, 4, 0});
+  ServiceRequest bad = Why({a5_});
+  bad.query_text = "node a\nedge oops";
+  ServiceResponse inline_r = service.Execute(bad);
+  std::optional<std::future<ServiceResponse>> f = service.Submit(bad);
+  ASSERT_TRUE(f.has_value());
+  ServiceResponse pooled_r = f->get();
+  EXPECT_EQ(inline_r.status, ResponseStatus::kBadRequest);
+  EXPECT_EQ(pooled_r.status, ResponseStatus::kBadRequest);
+  EXPECT_EQ(inline_r.error, pooled_r.error);
+  StatsSnapshot s = service.Stats();
+  EXPECT_EQ(s.bad_requests, 2u);
+  EXPECT_EQ(s.received, 2u);
+  EXPECT_EQ(s.received, s.completed + s.bad_requests);
+}
+
+TEST_F(ServiceTest, TraceDecomposesLatency) {
+  WhyqService service(graph_, ServiceConfig{1, 4, 4, 0});
+  ServiceRequest req = Why({a5_, s5_});
+  ServiceResponse cold = service.Execute(req);
+  ASSERT_EQ(cold.status, ResponseStatus::kOk);
+  // Stage sum accounts for (nearly) all of the wall clock; timer residue
+  // stays within 5% or a small absolute epsilon for tiny latencies.
+  double slack = std::max(0.05 * cold.latency_ms, 0.2);
+  EXPECT_LE(cold.trace.StagesTotalMs(), cold.latency_ms + slack);
+  EXPECT_GE(cold.trace.StagesTotalMs(), cold.latency_ms - slack);
+  EXPECT_GT(cold.trace.matcher_candidates, 0u);
+  // The prepare sub-stages only run on a miss.
+  ServiceResponse warm = service.Execute(req);
+  ASSERT_TRUE(warm.cache_hit);
+  EXPECT_DOUBLE_EQ(warm.trace.candidates_ms, 0.0);
+  EXPECT_DOUBLE_EQ(warm.trace.answer_match_ms, 0.0);
+  EXPECT_DOUBLE_EQ(warm.trace.path_index_ms, 0.0);
+  EXPECT_EQ(warm.trace.matcher_candidates, cold.trace.matcher_candidates);
+  // Greedy why reports its selection rounds.
+  EXPECT_GT(warm.trace.greedy_rounds, 0u);
+  // The stats roll the traces up.
+  StatsSnapshot s = service.Stats();
+  EXPECT_GT(s.stages.search_ms, 0.0);
+  EXPECT_GT(s.stages.latency_ms, 0.0);
+  EXPECT_EQ(s.work.matcher_candidates,
+            cold.trace.matcher_candidates + warm.trace.matcher_candidates);
+}
+
+TEST_F(ServiceTest, SlowQueryLogRetainsNewestWithTraces) {
+  ServiceStats stats;
+  stats.ConfigureSlowLog(10.0, 2);
+  RequestTrace t;
+  t.search_ms = 11.0;
+  stats.RecordCompleted("why/auto", 5.0, false, false, t);   // fast: dropped
+  stats.RecordCompleted("why/auto", 11.0, false, false, t);  // slow #2
+  stats.RecordCompleted("why/auto", 12.0, false, true, t);   // slow #3
+  stats.RecordCompleted("why/auto", 13.0, true, false, t);   // slow #4
+  StatsSnapshot s = stats.Snapshot();
+  EXPECT_DOUBLE_EQ(s.slow_threshold_ms, 10.0);
+  ASSERT_EQ(s.slow.size(), 2u);  // bounded: newest two retained
+  EXPECT_DOUBLE_EQ(s.slow[0].latency_ms, 12.0);
+  EXPECT_DOUBLE_EQ(s.slow[1].latency_ms, 13.0);
+  EXPECT_EQ(s.slow[0].seq, 3u);
+  EXPECT_TRUE(s.slow[1].truncated);
+  EXPECT_DOUBLE_EQ(s.slow[1].trace.search_ms, 11.0);
+  EXPECT_NE(s.ToString().find("slow queries"), std::string::npos);
+  EXPECT_NE(s.ToJson().find("\"slow_queries\""), std::string::npos);
+}
+
+TEST_F(ServiceTest, PreparedCacheCapacityZeroIsInert) {
+  PreparedQueryCache cache(0);
+  bool complete = true;
+  std::optional<Query> q = ParseQuery(query_text_, *graph_, nullptr);
+  ASSERT_TRUE(q.has_value());
+  cache.Put("k", PrepareQuery(*graph_, std::move(*q),
+                              MatchSemantics::kIsomorphism, 4, nullptr,
+                              &complete));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get("k"), nullptr);
+}
+
+TEST_F(ServiceTest, PreparedCachePutRefreshesRecency) {
+  PreparedQueryCache cache(2);
+  auto put = [&](const std::string& key) {
+    bool complete = true;
+    std::optional<Query> q = ParseQuery(query_text_, *graph_, nullptr);
+    ASSERT_TRUE(q.has_value());
+    cache.Put(key, PrepareQuery(*graph_, std::move(*q),
+                                MatchSemantics::kIsomorphism, 4, nullptr,
+                                &complete));
+  };
+  put("a");
+  put("b");
+  put("a");  // refresh via Put, not Get: "b" becomes LRU
+  put("c");
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// Eviction racing lookups on a capacity-1 cache; run under TSan with the
+// rest of the service tests. Entries returned by Get must stay valid after
+// eviction (shared_ptr keeps them alive).
+TEST_F(ServiceTest, PreparedCacheConcurrentGetPut) {
+  PreparedQueryCache cache(1);
+  std::optional<Query> base = ParseQuery(query_text_, *graph_, nullptr);
+  ASSERT_TRUE(base.has_value());
+  bool complete = true;
+  std::shared_ptr<const PreparedQuery> value =
+      PrepareQuery(*graph_, std::move(*base), MatchSemantics::kIsomorphism,
+                   4, nullptr, &complete);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        std::string key = "k" + std::to_string((t + i) % 3);
+        if (i % 2 == 0) {
+          cache.Put(key, value);
+        } else {
+          std::shared_ptr<const PreparedQuery> got = cache.Get(key);
+          if (got != nullptr) {
+            EXPECT_EQ(got->answers.size(), value->answers.size());
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(cache.size(), 1u);
 }
 
 TEST_F(ServiceTest, StatsSnapshotRendersLatencies) {

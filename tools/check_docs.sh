@@ -47,7 +47,7 @@ fi
 
 # --- 2. CLI subcommands documented ----------------------------------------
 cli=tools/whyq_cli.cc
-subcommands=$(sed -n 's/^  if (cmd == "\([a-z-]*\)").*/\1/p' "$cli")
+subcommands=$(sed -n 's/^  if (cmd == "\([a-z0-9-]*\)").*/\1/p' "$cli")
 [ -n "$subcommands" ] || err "no subcommands extracted from $cli"
 for cmd in $subcommands; do
   grep -q "whyq_cli $cmd" "$cli" ||

@@ -1,0 +1,88 @@
+#!/bin/sh
+# End-to-end check of `serve-batch --stats-json`, run by CI and the
+# stats_json_check ctest entry: drives the paper's Fig. 1 example through
+# the service and validates the exported snapshot with python3 —
+#   1. the file parses as JSON;
+#   2. the counters reconcile: received == completed + bad_requests,
+#      cache_hits + cache_misses == completed, histogram counts sum to
+#      completed, per-class bucket counts sum to the class count;
+#   3. percentiles are ordered (min <= p50 <= p95 <= p99 <= max);
+#   4. per-stage time totals (queue+parse+prepare+search) sum to the
+#      latency total within 5% (or a 0.5ms absolute epsilon for the
+#      sub-millisecond latencies of the toy example).
+# Usage: check_stats_json.sh PATH_TO_WHYQ_CLI [WORKDIR]
+set -u
+
+cli="${1:?usage: check_stats_json.sh PATH_TO_WHYQ_CLI [WORKDIR]}"
+cd "${2:-.}" || exit 1
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "check_stats_json: python3 not found, skipping" >&2
+  exit 0
+fi
+
+ids=$("$cli" figure1 --out=sj_f1 | sed -n 's/^ids: //p')
+[ -n "$ids" ] || { echo "check_stats_json: figure1 printed no ids" >&2; exit 1; }
+# The line is "a5=N s5=N s8=N s9=N" — our own output, safe to eval.
+eval "$ids"
+
+cat > sj_f1.questions <<EOF
+# Fig. 1 questions: Why {a5,s5}, Why-not {s8,s9}, plus the extensions.
+why sj_f1.query $a5,$s5
+whynot sj_f1.query $s8,$s9
+whyempty sj_f1.query
+whysomany sj_f1.query 1
+why sj_f1.query $a5,$s5
+whynot sj_f1.query $s8,$s9
+EOF
+
+"$cli" serve-batch sj_f1.graph sj_f1.questions --workers=2 \
+  --slow-ms=0.001 --stats-json=sj_f1.stats.json > /dev/null ||
+  { echo "check_stats_json: serve-batch failed" >&2; exit 1; }
+
+python3 - <<'EOF'
+import json, sys
+
+d = json.load(open("sj_f1.stats.json"))
+c = d["counters"]
+
+def check(cond, msg):
+    if not cond:
+        print("check_stats_json: FAIL:", msg, file=sys.stderr)
+        sys.exit(1)
+
+check(c["received"] == c["completed"] + c["bad_requests"],
+      f"received {c['received']} != completed {c['completed']} + bad {c['bad_requests']}")
+check(c["cache_hits"] + c["cache_misses"] == c["completed"],
+      f"hits {c['cache_hits']} + misses {c['cache_misses']} != completed {c['completed']}")
+check(c["rejected"] == 0 and c["shutdown"] == 0,
+      "unexpected rejected/shutdown on an uncontended batch")
+check(c["completed"] == 6, f"expected 6 completed, got {c['completed']}")
+
+hist_total = 0
+for klass, h in d["latency_ms"].items():
+    hist_total += h["count"]
+    check(h["min"] <= h["p50"] <= h["p95"] <= h["p99"] <= h["max"] + 1e-9,
+          f"{klass}: percentiles out of order: {h}")
+    check(sum(b[1] for b in h["buckets"]) == h["count"],
+          f"{klass}: bucket counts do not sum to count")
+check(hist_total == c["completed"],
+      f"histogram counts {hist_total} != completed {c['completed']}")
+
+st = d["stage_totals_ms"]
+stages = st["queue"] + st["parse"] + st["prepare"] + st["search"]
+check(abs(stages - st["latency"]) <= max(0.05 * st["latency"], 0.5),
+      f"stage sum {stages} vs latency {st['latency']} beyond tolerance")
+check(st["candidates"] + st["answer_match"] + st["path_index"]
+      <= st["prepare"] + 0.5, "prepare sub-stages exceed prepare total")
+
+slow = d["slow_queries"]
+check(slow["threshold_ms"] > 0, "slow-query threshold missing")
+check(len(slow["entries"]) >= 1, "no slow-query entries retained")
+for e in slow["entries"]:
+    check(e["latency_ms"] >= slow["threshold_ms"],
+          f"slow entry below threshold: {e}")
+
+print("check_stats_json: OK (counters reconcile, percentiles ordered, "
+      f"stage sum {stages:.3f}ms ~ latency {st['latency']:.3f}ms)")
+EOF

@@ -15,9 +15,21 @@
 //   whyq_cli whyempty GRAPH QUERYFILE [common]
 //   whyq_cli whysomany GRAPH QUERYFILE --target=K [common]
 //   whyq_cli serve-batch GRAPH QUESTIONSFILE [--workers=N] [--queue=N]
-//                        [--cache=N] [--deadline-ms=D] [common]
+//                        [--cache=N] [--deadline-ms=D] [--stats-json=FILE]
+//                        [--slow-ms=D] [common]
+//   whyq_cli figure1 --out=PREFIX
 //   whyq_cli demo
 // Common flags: --budget=B --guard=M --semantics=iso|sim --threads=N
+//               --trace
+// --trace prints the per-request stage breakdown (queue/parse/prepare/
+// search) and hot-loop work counters after each why/whynot/whyempty/
+// whysomany answer, and per-request under serve-batch.
+// serve-batch --stats-json=FILE writes the full stats snapshot (counters,
+// per-class latency histograms with p50/p95/p99, per-stage time totals,
+// slow-query log) as JSON; --slow-ms=D retains traces of requests slower
+// than D ms in the stats block and the JSON.
+// figure1 writes the paper's Fig. 1 example as PREFIX.graph/PREFIX.query
+// and prints the node ids the paper's questions use.
 // Algorithms: exact | approx/fast | iso (default approx/fast).
 // --threads=N (default 1) runs each question's MBS verification and greedy
 // gain scans on up to N executors; answers are identical to --threads=1.
@@ -72,6 +84,9 @@ struct Options {
   size_t cache = 64;
   double deadline_ms = 0;
   size_t threads = 1;
+  std::string stats_json;
+  double slow_ms = 0;
+  bool trace = false;
   std::vector<std::string> positional;
 };
 
@@ -183,6 +198,12 @@ bool ParseArgs(int argc, char** argv, Options* o, std::string* error) {
       }
     } else if (const char* v = value_of("--entities")) {
       if (!ParseEntityList(v, &o->entities, error)) return false;
+    } else if (const char* v = value_of("--stats-json")) {
+      o->stats_json = v;
+    } else if (const char* v = value_of("--slow-ms")) {
+      ok = ParseDouble(v, &o->slow_ms);
+    } else if (a == "--trace") {
+      o->trace = true;
     } else if (a.rfind("--", 0) == 0) {
       *error = "unknown flag " + a;
       return false;
@@ -334,10 +355,17 @@ int CmdWhy(const Options& o, bool why_not) {
   if (o.entities.empty()) return Fail("needs --entities=ID,ID,...");
   std::optional<Graph> g = LoadGraph(o.positional[0]);
   if (!g.has_value()) return 1;
+  RequestTrace trace;
+  Timer stage;
   std::optional<Query> q = LoadQuery(o.positional[1], *g);
   if (!q.has_value()) return 1;
+  trace.parse_ms = stage.ElapsedMillis();
+  stage.Reset();
   std::unique_ptr<MatchEngine> engine = MakeMatchEngine(*g, o.semantics);
   std::vector<NodeId> answers = engine->MatchOutput(*q);
+  trace.answer_match_ms = stage.ElapsedMillis();
+  trace.prepare_ms = trace.answer_match_ms;
+  stage.Reset();
   AnswerConfig cfg = MakeConfig(o);
   RewriteAnswer a;
   if (why_not) {
@@ -360,7 +388,15 @@ int CmdWhy(const Options& o, bool why_not) {
       a = ApproxWhy(*g, *q, answers, w, cfg);
     }
   }
+  trace.search_ms = stage.ElapsedMillis();
+  if (o.algo == "exact") {
+    trace.mbs_enumerated = a.sets_enumerated;
+    trace.mbs_verified = a.sets_verified;
+  } else {
+    trace.greedy_rounds = a.sets_verified;
+  }
   PrintAnswer(*g, *q, a);
+  if (o.trace) std::printf("%s", trace.ToString().c_str());
   return a.found ? 0 : 2;
 }
 
@@ -368,9 +404,15 @@ int CmdWhyEmpty(const Options& o) {
   if (o.positional.size() < 2) return Fail("needs GRAPH QUERYFILE");
   std::optional<Graph> g = LoadGraph(o.positional[0]);
   if (!g.has_value()) return 1;
+  RequestTrace trace;
+  Timer stage;
   std::optional<Query> q = LoadQuery(o.positional[1], *g);
   if (!q.has_value()) return 1;
+  trace.parse_ms = stage.ElapsedMillis();
+  stage.Reset();
   WhyEmptyResult r = AnswerWhyEmpty(*g, *q, MakeConfig(o));
+  trace.search_ms = stage.ElapsedMillis();
+  if (o.trace) std::printf("%s", trace.ToString().c_str());
   if (!r.found) {
     std::printf("not repairable within budget %.1f\n", o.budget);
     return 2;
@@ -390,15 +432,24 @@ int CmdWhySoMany(const Options& o) {
   if (o.positional.size() < 2) return Fail("needs GRAPH QUERYFILE");
   std::optional<Graph> g = LoadGraph(o.positional[0]);
   if (!g.has_value()) return 1;
+  RequestTrace trace;
+  Timer stage;
   std::optional<Query> q = LoadQuery(o.positional[1], *g);
   if (!q.has_value()) return 1;
+  trace.parse_ms = stage.ElapsedMillis();
+  stage.Reset();
   Matcher matcher(*g);
   std::vector<NodeId> answers = matcher.MatchOutput(*q);
+  trace.answer_match_ms = stage.ElapsedMillis();
+  trace.prepare_ms = trace.answer_match_ms;
+  stage.Reset();
   WhySoManyResult r =
       AnswerWhySoMany(*g, *q, answers, o.target, MakeConfig(o));
+  trace.search_ms = stage.ElapsedMillis();
   std::printf("%zu -> %zu answers via { %s }\n", r.before, r.after,
               DescribeOperators(r.ops, *g).c_str());
   std::printf("%s", ExplainRewrite(*g, *q, r.ops).ToString().c_str());
+  if (o.trace) std::printf("%s", trace.ToString().c_str());
   return r.found ? 0 : 2;
 }
 
@@ -495,6 +546,7 @@ int CmdServeBatch(const Options& o) {
   sc.queue_capacity = o.queue;
   sc.cache_capacity = o.cache;
   sc.intra_threads = o.threads;
+  sc.slow_query_ms = o.slow_ms;
   WhyqService service(std::move(*g), sc);
 
   std::map<std::string, std::string> texts;
@@ -552,9 +604,39 @@ int CmdServeBatch(const Options& o) {
     std::printf("%-22s ok %7.1fms%s%s  %s\n", labels[i].c_str(), r.latency_ms,
                 r.truncated ? " truncated" : "",
                 r.cache_hit ? " cached" : "", detail.c_str());
+    if (o.trace) std::printf("%s", r.trace.ToString().c_str());
   }
-  std::printf("\n%s\n", service.Stats().ToString().c_str());
+  StatsSnapshot snap = service.Stats();
+  std::printf("\n%s\n", snap.ToString().c_str());
+  if (!o.stats_json.empty()) {
+    std::ofstream js(o.stats_json);
+    if (!js) return Fail("cannot write " + o.stats_json);
+    js << snap.ToJson() << "\n";
+    if (!js) return Fail("cannot write " + o.stats_json);
+    std::printf("stats json written to %s\n", o.stats_json.c_str());
+  }
   return rc;
+}
+
+// Writes the paper's running example (Fig. 1) to PREFIX.graph and
+// PREFIX.query and prints the node ids its Why/Why-not questions use, so
+// scripts (tools/check_stats_json.sh) can drive file-based subcommands
+// against the canonical fixture without hand-building a graph.
+int CmdFigure1(const Options& o) {
+  if (o.out.empty()) return Fail("figure1 needs --out=PREFIX");
+  Figure1 f = MakeFigure1();
+  std::string graph_path = o.out + ".graph";
+  std::string query_path = o.out + ".query";
+  if (!WriteGraphToFile(f.graph, graph_path)) {
+    return Fail("cannot write " + graph_path);
+  }
+  std::ofstream qf(query_path);
+  if (!qf) return Fail("cannot write " + query_path);
+  qf << WriteQuery(f.query, f.graph);
+  if (!qf) return Fail("cannot write " + query_path);
+  std::printf("wrote %s and %s\n", graph_path.c_str(), query_path.c_str());
+  std::printf("ids: a5=%u s5=%u s8=%u s9=%u\n", f.a5, f.s5, f.s8, f.s9);
+  return 0;
 }
 
 // Self-contained smoke flow on the paper's Fig. 1 example; exits nonzero
@@ -586,7 +668,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: whyq_cli "
                  "generate|import|dot|stats|query|why|whynot|whyempty|"
-                 "whysomany|serve-batch|demo "
+                 "whysomany|serve-batch|figure1|demo "
                  "...\n");
     return 1;
   }
@@ -604,6 +686,7 @@ int Main(int argc, char** argv) {
   if (cmd == "whyempty") return CmdWhyEmpty(o);
   if (cmd == "whysomany") return CmdWhySoMany(o);
   if (cmd == "serve-batch") return CmdServeBatch(o);
+  if (cmd == "figure1") return CmdFigure1(o);
   if (cmd == "demo") return CmdDemo();
   return Fail("unknown command " + cmd);
 }
