@@ -159,6 +159,131 @@ void BM_PathIndexTest(benchmark::State& state) {
 }
 BENCHMARK(BM_PathIndexTest);
 
+// --- MBS-verification-shaped workload: the tentpole case for the -------
+// request-scoped MatchContext. One "request" verifies a sweep of rewrites
+// Q ⊕ O of a single Why question's query — exactly what ExactWhy's
+// evaluator does per maximal bounded set: a capped guard count plus a
+// batched answer test per rewrite. Refinement operators (AddE/AddL/RfL)
+// exercise the delta path: each rewrite's literal set only tightens the
+// base query's, so the context filters the memoized parent bitmap instead
+// of rescanning the label bucket. The ContextFree/Context pair isolates
+// what that plus O(1) bitmap probes buy.
+
+struct MbsFixture {
+  Graph g;
+  Query query;
+  std::vector<NodeId> answers;
+  std::vector<Query> rewrites;  // the verification sweep
+  std::vector<NodeId> probes;   // the "missing entities" answer test
+  bool ok = false;
+};
+
+const MbsFixture& SharedMbsFixture() {
+  static MbsFixture* f = [] {
+    auto* fx = new MbsFixture();
+    BsbmConfig bc;
+    bc.products = 2000;  // ~11k nodes, deterministic
+    bc.seed = 9;
+    fx->g = GenerateBsbm(bc);
+    Rng rng(41);
+    QueryGenConfig cfg;
+    cfg.edges = 4;
+    cfg.literals_per_node = 2;
+    cfg.min_answers = 2;
+    for (int attempt = 0; attempt < 12 && !fx->ok; ++attempt) {
+      std::optional<GeneratedQuery> gq = GenerateQuery(fx->g, cfg, rng);
+      if (!gq.has_value()) continue;
+      fx->query = gq->query;
+      fx->answers = gq->answers;
+      fx->ok = true;
+    }
+    if (!fx->ok) return fx;
+    // Rewrite sweep: refinement picky operators for a Why question that
+    // asks to drop one unexpected answer, applied singly and in
+    // non-conflicting adjacent pairs — the set shapes an MBS enumeration
+    // actually verifies.
+    AnswerConfig acfg;
+    std::vector<NodeId> unexpected(fx->answers.begin(),
+                                   fx->answers.begin() + 1);
+    std::vector<EditOp> ops =
+        GenPickyWhy(fx->g, fx->query, fx->answers, unexpected, acfg);
+    if (ops.size() > 48) ops.resize(48);
+    for (const EditOp& op : ops) {
+      fx->rewrites.push_back(ApplyOperators(fx->query, {op}));
+    }
+    for (size_t i = 0; i + 1 < ops.size(); i += 2) {
+      if (OpsConflict(ops[i], ops[i + 1])) continue;
+      fx->rewrites.push_back(
+          ApplyOperators(fx->query, {ops[i], ops[i + 1]}));
+    }
+    // Probes: the original answers (the batched "which answers survive this
+    // refinement" test the Why evaluator issues) plus same-label decoys.
+    fx->probes = fx->answers;
+    const std::vector<NodeId>& bucket =
+        fx->g.NodesWithLabel(fx->query.node(fx->query.output()).label);
+    for (size_t i = 0; i < bucket.size() && i < 16; ++i) {
+      fx->probes.push_back(bucket[i]);
+    }
+    fx->ok = !fx->rewrites.empty();
+    return fx;
+  }();
+  return *f;
+}
+
+// One full verification sweep; returns the matcher counters.
+MatcherStats VerifySweep(const MbsFixture& f, MatchContext* ctx) {
+  Matcher m(f.g);
+  m.set_context(ctx);
+  NodeSet exclude(f.answers, f.g.node_count());
+  for (const Query& rw : f.rewrites) {
+    benchmark::DoNotOptimize(m.CountAnswersNotIn(rw, exclude, 2));
+    benchmark::DoNotOptimize(m.TestAnswers(rw, f.probes));
+  }
+  return m.stats();
+}
+
+void BM_MbsVerificationContextFree(benchmark::State& state) {
+  const MbsFixture& f = SharedMbsFixture();
+  if (!f.ok) {
+    state.SkipWithError("no fixture");
+    return;
+  }
+  MatcherStats s;
+  for (auto _ : state) {
+    s = VerifySweep(f, nullptr);
+  }
+  state.counters["rewrites"] = static_cast<double>(f.rewrites.size());
+  state.counters["embeddings_tried"] = static_cast<double>(s.embeddings_tried);
+  state.counters["iso_tests"] = static_cast<double>(s.iso_tests);
+}
+BENCHMARK(BM_MbsVerificationContextFree);
+
+void BM_MbsVerificationContext(benchmark::State& state) {
+  const MbsFixture& f = SharedMbsFixture();
+  if (!f.ok) {
+    state.SkipWithError("no fixture");
+    return;
+  }
+  MatcherStats s;
+  for (auto _ : state) {
+    // Request-scoped: one fresh context per sweep, shared by every rewrite
+    // in it — the lifetime the service/evaluators give it.
+    MatchContext ctx(f.g);
+    s = VerifySweep(f, &ctx);
+  }
+  state.counters["rewrites"] = static_cast<double>(f.rewrites.size());
+  state.counters["embeddings_tried"] = static_cast<double>(s.embeddings_tried);
+  state.counters["iso_tests"] = static_cast<double>(s.iso_tests);
+  uint64_t lookups = s.ctx_hits + s.ctx_misses + s.ctx_delta_builds;
+  state.counters["ctx_hit_rate"] =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(s.ctx_hits) /
+                         static_cast<double>(lookups);
+  state.counters["ctx_delta_builds"] = static_cast<double>(s.ctx_delta_builds);
+  state.counters["ctx_pruned"] = static_cast<double>(s.ctx_pruned);
+}
+BENCHMARK(BM_MbsVerificationContext);
+
 }  // namespace
 }  // namespace whyq
 

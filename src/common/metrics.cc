@@ -82,6 +82,9 @@ std::string RequestTrace::ToString() const {
      << " mbs-enumerated=" << mbs_enumerated
      << " mbs-verified=" << mbs_verified
      << " greedy-rounds=" << greedy_rounds << "\n";
+  os << "ctx: hits=" << ctx_hits << " misses=" << ctx_misses
+     << " delta-builds=" << ctx_delta_builds << " pruned=" << ctx_pruned
+     << "\n";
   return os.str();
 }
 

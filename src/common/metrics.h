@@ -105,6 +105,15 @@ struct RequestTrace {
   uint64_t mbs_verified = 0;        // ... of which verified (exact)
   uint64_t greedy_rounds = 0;       // selection rounds (greedy algorithms)
 
+  // Candidate-memo (MatchContext) counters summed over every context the
+  // request used (prepare-stage context + all evaluator/slot contexts).
+  // Zero under simulation semantics. See docs/ARCHITECTURE.md
+  // "Stats glossary".
+  uint64_t ctx_hits = 0;          // memoized candidate-set lookups served
+  uint64_t ctx_misses = 0;        // sets built by scanning a label bucket
+  uint64_t ctx_delta_builds = 0;  // sets built by filtering a cached parent
+  uint64_t ctx_pruned = 0;        // match attempts skipped via bitmaps
+
   /// Sum of the four top-level stages (the accounted share of latency).
   double StagesTotalMs() const {
     return queue_ms + parse_ms + prepare_ms + search_ms;

@@ -31,6 +31,27 @@ bool Graph::HasEdge(NodeId u, NodeId v, SymbolId label) const {
   return std::binary_search(adj.begin(), adj.end(), probe, HalfEdgeLess);
 }
 
+NodeSpan Graph::LabeledSlice(const std::vector<NodeId>& nbrs,
+                             const std::vector<LabelSlice>& slices,
+                             const std::vector<size_t>& range, NodeId v,
+                             SymbolId label) {
+  auto begin = slices.begin() + static_cast<long>(range[v]);
+  auto end = slices.begin() + static_cast<long>(range[v + 1]);
+  auto it = std::lower_bound(
+      begin, end, label,
+      [](const LabelSlice& s, SymbolId l) { return s.label < l; });
+  if (it == end || it->label != label) return NodeSpan{};
+  return NodeSpan{nbrs.data() + it->begin, it->end - it->begin};
+}
+
+NodeSpan Graph::LabeledOutNeighbors(NodeId v, SymbolId label) const {
+  return LabeledSlice(out_nbrs_, out_slices_, out_slice_range_, v, label);
+}
+
+NodeSpan Graph::LabeledInNeighbors(NodeId v, SymbolId label) const {
+  return LabeledSlice(in_nbrs_, in_slices_, in_slice_range_, v, label);
+}
+
 const std::vector<NodeId>& Graph::NodesWithLabel(SymbolId label) const {
   auto it = nodes_by_label_.find(label);
   if (it == nodes_by_label_.end()) return kEmptyNodeList;
@@ -99,6 +120,34 @@ void GraphBuilder::AddEdgeById(NodeId u, NodeId v, SymbolId label) {
 Graph GraphBuilder::Build() {
   size_t n = g_.node_label_.size();
   size_t edges = 0;
+  // Label-partitioned mirrors of the adjacency, appended node by node. A
+  // stable sort by label over the (other, label)-sorted lists keeps each
+  // label's run in ascending-NodeId order, so a label slice enumerates the
+  // same neighbors in the same order as a filtered full-adjacency scan.
+  std::vector<HalfEdge> by_label;
+  auto partition = [&by_label](const std::vector<HalfEdge>& adj,
+                               std::vector<NodeId>& nbrs,
+                               std::vector<Graph::LabelSlice>& slices,
+                               std::vector<size_t>& range) {
+    by_label.assign(adj.begin(), adj.end());
+    std::stable_sort(by_label.begin(), by_label.end(),
+                     [](const HalfEdge& a, const HalfEdge& b) {
+                       return a.label < b.label;
+                     });
+    for (size_t i = 0; i < by_label.size();) {
+      Graph::LabelSlice s;
+      s.label = by_label[i].label;
+      s.begin = nbrs.size();
+      for (; i < by_label.size() && by_label[i].label == s.label; ++i) {
+        nbrs.push_back(by_label[i].other);
+      }
+      s.end = nbrs.size();
+      slices.push_back(s);
+    }
+    range.push_back(slices.size());
+  };
+  g_.out_slice_range_.assign(1, 0);
+  g_.in_slice_range_.assign(1, 0);
   for (size_t v = 0; v < n; ++v) {
     auto dedupe = [](std::vector<HalfEdge>& adj) {
       std::sort(adj.begin(), adj.end(), HalfEdgeLess);
@@ -108,6 +157,8 @@ Graph GraphBuilder::Build() {
     dedupe(g_.out_[v]);
     dedupe(g_.in_[v]);
     edges += g_.out_[v].size();
+    partition(g_.out_[v], g_.out_nbrs_, g_.out_slices_, g_.out_slice_range_);
+    partition(g_.in_[v], g_.in_nbrs_, g_.in_slices_, g_.in_slice_range_);
 
     std::vector<AttrEntry>& tuple = g_.attrs_[v];
     std::sort(tuple.begin(), tuple.end(),

@@ -34,6 +34,17 @@ struct HalfEdge {
   }
 };
 
+/// A borrowed contiguous run of node ids (e.g. one label's slice of a
+/// node's adjacency). Valid as long as the owning Graph lives.
+struct NodeSpan {
+  const NodeId* data = nullptr;
+  size_t size = 0;
+
+  const NodeId* begin() const { return data; }
+  const NodeId* end() const { return data + size; }
+  bool empty() const { return size == 0; }
+};
+
 /// Numeric span of an attribute's active domain D(A) over the whole graph;
 /// range(D(A)) = max - min feeds the weighted edit-cost model.
 struct AttrRange {
@@ -81,6 +92,16 @@ class Graph {
   /// True iff edge (u -> v) with label `label` exists.
   bool HasEdge(NodeId u, NodeId v, SymbolId label) const;
 
+  /// Label-partitioned adjacency (CSR-style, finalized in Build()): the out-
+  /// (resp. in-) neighbors of v reachable through edges labeled `label`, in
+  /// ascending NodeId order — the same neighbors, in the same order, that a
+  /// full out_edges(v)/in_edges(v) scan filtered on `label` would yield.
+  /// O(log k) in the number of distinct labels on v's adjacency; empty span
+  /// for labels absent there. Lets the matcher's Extend() touch exactly the
+  /// anchor-label slice instead of skipping over every other label.
+  NodeSpan LabeledOutNeighbors(NodeId v, SymbolId label) const;
+  NodeSpan LabeledInNeighbors(NodeId v, SymbolId label) const;
+
   /// All nodes with label `label` (empty vector for unused labels).
   const std::vector<NodeId>& NodesWithLabel(SymbolId label) const;
 
@@ -101,11 +122,36 @@ class Graph {
  private:
   friend class GraphBuilder;
 
+  // One label's run inside a node's slice of the partitioned neighbor
+  // array; per-node runs are sorted by label (binary-searched on lookup).
+  struct LabelSlice {
+    SymbolId label = kInvalidSymbol;
+    size_t begin = 0;
+    size_t end = 0;
+  };
+
+  // Shared lookup for LabeledOutNeighbors / LabeledInNeighbors.
+  static NodeSpan LabeledSlice(const std::vector<NodeId>& nbrs,
+                               const std::vector<LabelSlice>& slices,
+                               const std::vector<size_t>& range, NodeId v,
+                               SymbolId label);
+
   std::vector<SymbolId> node_label_;
   std::vector<std::vector<AttrEntry>> attrs_;
   std::vector<std::vector<HalfEdge>> out_;
   std::vector<std::vector<HalfEdge>> in_;
   size_t edge_count_ = 0;
+
+  // Label-partitioned adjacency: per direction, all neighbors concatenated
+  // grouped by (node, label) with ascending ids within a group; `*_slices_`
+  // holds each node's label runs and `*_slice_range_` (n + 1 entries) each
+  // node's run window. Built in Build(); adds ~4 bytes per half-edge.
+  std::vector<NodeId> out_nbrs_;
+  std::vector<NodeId> in_nbrs_;
+  std::vector<LabelSlice> out_slices_;
+  std::vector<LabelSlice> in_slices_;
+  std::vector<size_t> out_slice_range_;
+  std::vector<size_t> in_slice_range_;
 
   std::unordered_map<SymbolId, std::vector<NodeId>> nodes_by_label_;
   std::unordered_map<SymbolId, AttrRange> attr_ranges_;

@@ -1,0 +1,182 @@
+#include "matcher/match_context.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "matcher/candidates.h"
+
+namespace whyq {
+
+namespace {
+
+// Canonical, injective-enough encoding of one literal. Two literals with
+// equal keys filter identically (same attr, op, and constant encoding);
+// distinct Values that render to distinct keys at worst create a duplicate
+// cache entry, never a wrong one. Doubles use %.17g (round-trip exact).
+std::string LiteralKey(const Literal& l) {
+  std::string k = std::to_string(l.attr);
+  k.push_back('\x01');
+  k.push_back(static_cast<char>('0' + static_cast<int>(l.op)));
+  k.push_back('\x01');
+  const Value& v = l.constant;
+  if (v.is_int()) {
+    k.push_back('i');
+    k += std::to_string(v.as_int());
+  } else if (v.is_double()) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "d%.17g", v.as_double());
+    k += buf;
+  } else {
+    k.push_back('s');
+    k += v.as_string();
+  }
+  return k;
+}
+
+// Canonical signature: label, then the length-prefixed sorted literal keys
+// (length prefixes make the concatenation unambiguous even when string
+// constants contain the separator bytes). Fills `keys`/`lits` sorted and
+// aligned.
+std::string BuildSignature(const QueryNode& qn,
+                           std::vector<std::string>* keys,
+                           std::vector<Literal>* lits) {
+  std::vector<std::pair<std::string, size_t>> order;
+  order.reserve(qn.literals.size());
+  for (size_t i = 0; i < qn.literals.size(); ++i) {
+    order.emplace_back(LiteralKey(qn.literals[i]), i);
+  }
+  std::sort(order.begin(), order.end());
+  std::string sig = std::to_string(qn.label);
+  sig.push_back('\n');
+  keys->clear();
+  lits->clear();
+  keys->reserve(order.size());
+  lits->reserve(order.size());
+  for (auto& [key, i] : order) {
+    sig += std::to_string(key.size());
+    sig.push_back(':');
+    sig += key;
+    keys->push_back(std::move(key));
+    lits->push_back(qn.literals[i]);
+  }
+  return sig;
+}
+
+}  // namespace
+
+MatchContext::MatchContext(const Graph& g)
+    : g_(g), words_((g.node_count() + 63) / 64) {}
+
+void MatchContext::FillBits(CandidateSet& c) const {
+  c.bits.assign(words_, 0);
+  for (NodeId v : c.nodes) {
+    c.bits[v >> 6] |= uint64_t{1} << (v & 63);
+  }
+}
+
+const MatchContext::CandidateSet& MatchContext::Lookup(const QueryNode& qn) {
+  std::vector<std::string> keys;
+  std::vector<Literal> lits;
+  std::string sig = BuildSignature(qn, &keys, &lits);
+  auto it = index_.find(sig);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    return *entries_[it->second].cand;
+  }
+  return Insert(sig, qn.label, std::move(keys), std::move(lits));
+}
+
+const MatchContext::CandidateSet& MatchContext::Insert(
+    const std::string& sig, SymbolId label,
+    std::vector<std::string> lit_keys, std::vector<Literal> lits) {
+  auto cand = std::make_unique<CandidateSet>();
+
+  // Delta reuse: the largest cached strict-subset constraint on the same
+  // label (ties: earliest insertion). Its node list already survived the
+  // shared literals, so only the extras need re-checking — this is the
+  // Lemma 1 monotonicity of refinement applied to the cache.
+  const Entry* parent = nullptr;
+  for (const Entry& e : entries_) {
+    if (e.label != label || e.lit_keys.size() >= lit_keys.size()) continue;
+    if (parent != nullptr &&
+        e.lit_keys.size() <= parent->lit_keys.size()) {
+      continue;
+    }
+    if (std::includes(lit_keys.begin(), lit_keys.end(), e.lit_keys.begin(),
+                      e.lit_keys.end())) {
+      parent = &e;
+    }
+  }
+
+  if (parent != nullptr) {
+    ++stats_.delta_builds;
+    // Multiset difference over the sorted key arrays: child keys without a
+    // matching parent key are the extra literals to filter with.
+    std::vector<const Literal*> extras;
+    size_t pi = 0;
+    for (size_t ci = 0; ci < lit_keys.size(); ++ci) {
+      if (pi < parent->lit_keys.size() &&
+          parent->lit_keys[pi] == lit_keys[ci]) {
+        ++pi;
+        continue;
+      }
+      extras.push_back(&lits[ci]);
+    }
+    for (NodeId v : parent->cand->nodes) {
+      bool ok = true;
+      for (const Literal* l : extras) {
+        if (!SatisfiesLiteral(g_, v, *l)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) cand->nodes.push_back(v);
+    }
+  } else {
+    ++stats_.misses;
+    QueryNode qn;
+    qn.label = label;
+    qn.literals = lits;
+    for (NodeId v : g_.NodesWithLabel(label)) {
+      if (IsCandidate(g_, v, qn)) cand->nodes.push_back(v);
+    }
+  }
+  FillBits(*cand);
+
+  Entry e;
+  e.label = label;
+  e.lit_keys = std::move(lit_keys);
+  e.lits = std::move(lits);
+  e.cand = std::move(cand);
+  index_[sig] = entries_.size();
+  entries_.push_back(std::move(e));
+  return *entries_.back().cand;
+}
+
+void MatchContext::Prime(const Query& q) {
+  for (QNodeId u = 0; u < q.node_count(); ++u) {
+    Lookup(q.node(u));
+  }
+}
+
+void MatchContext::Seed(const QueryNode& qn,
+                        const std::vector<NodeId>& nodes) {
+  std::vector<std::string> keys;
+  std::vector<Literal> lits;
+  std::string sig = BuildSignature(qn, &keys, &lits);
+  if (index_.count(sig) > 0) return;
+  ++stats_.misses;  // the full scan happened, just outside the context
+  auto cand = std::make_unique<CandidateSet>();
+  cand->nodes = nodes;
+  FillBits(*cand);
+  Entry e;
+  e.label = qn.label;
+  e.lit_keys = std::move(keys);
+  e.lits = std::move(lits);
+  e.cand = std::move(cand);
+  index_[sig] = entries_.size();
+  entries_.push_back(std::move(e));
+}
+
+}  // namespace whyq

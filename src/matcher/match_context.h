@@ -1,0 +1,128 @@
+#ifndef WHYQ_MATCHER_MATCH_CONTEXT_H_
+#define WHYQ_MATCHER_MATCH_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/query.h"
+
+namespace whyq {
+
+/// Per-request memo of candidate sets, shared by every matching primitive
+/// that runs while answering one Why/Why-not question.
+///
+/// One question verifies thousands of rewrites Q ⊕ O that differ from Q by
+/// a handful of operators, so most query nodes keep their (label, literals)
+/// constraint across the whole MBS sweep / greedy gain scan. The context
+/// keys each candidate set by a canonical signature of that constraint —
+/// label plus the *sorted* literal multiset, so literal order never splits
+/// entries — and materializes it once as an ascending NodeId list plus a
+/// bitmap over V. Matching then replaces per-attempt IsCandidate calls
+/// (attr binary search + literal predicates) with one O(1) bitmap probe,
+/// and root enumeration iterates the memoized list instead of the label
+/// bucket.
+///
+/// Refinement deltas: RfL/AddL only shrink cand(u) (Lemma 1), so when a
+/// fresh signature's literals are a strict superset of a cached entry with
+/// the same label, the new set is built by filtering that parent's node
+/// list with only the extra literals — never by rescanning the label
+/// bucket. Entries are never evicted; a context lives for one request and
+/// the distinct signatures per request are bounded by the picky-operator
+/// universe.
+///
+/// Thread-safety: none. A MatchContext is mutable per-lookup state and must
+/// be confined to one thread/request, exactly like the Matcher and
+/// evaluators that borrow it (each parallel executor slot owns its own
+/// context via its own evaluator). The Graph it borrows is shared and
+/// immutable.
+class MatchContext {
+ public:
+  /// One memoized candidate set: the candidates in ascending NodeId order
+  /// (for enumeration) and a bitmap over all of V (for O(1) membership).
+  /// Addresses are stable for the lifetime of the context, so plan steps
+  /// may cache pointers across recursive search calls.
+  struct CandidateSet {
+    std::vector<NodeId> nodes;
+    std::vector<uint64_t> bits;
+
+    bool Test(NodeId v) const {
+      return (bits[v >> 6] >> (v & 63)) & uint64_t{1};
+    }
+  };
+
+  /// Cache effectiveness counters, surfaced through MatcherStats and
+  /// RequestTrace (see docs/ARCHITECTURE.md "Stats glossary").
+  struct Stats {
+    uint64_t hits = 0;          // signature already memoized
+    uint64_t misses = 0;        // built by scanning the label bucket
+    uint64_t delta_builds = 0;  // built by filtering a cached parent set
+    uint64_t pruned = 0;        // match attempts skipped via bitmap/list
+
+    void Add(const Stats& o) {
+      hits += o.hits;
+      misses += o.misses;
+      delta_builds += o.delta_builds;
+      pruned += o.pruned;
+    }
+  };
+
+  explicit MatchContext(const Graph& g);
+
+  MatchContext(const MatchContext&) = delete;
+  MatchContext& operator=(const MatchContext&) = delete;
+
+  /// The memoized candidate set of `qn`, built on first use (bucket scan or
+  /// delta filter — see class comment). The reference stays valid for the
+  /// context's lifetime.
+  const CandidateSet& Lookup(const QueryNode& qn);
+
+  /// Memoizes every node of `q` up front (e.g. right after parsing, while
+  /// a request is still in its prepare stage).
+  void Prime(const Query& q);
+
+  /// Installs an externally computed candidate list for `qn` (must be the
+  /// exact ascending IsCandidate filter of the label bucket — e.g. the
+  /// parallel Candidates() result). Counted as a miss: the scan happened,
+  /// just not here. No-op when the signature is already memoized.
+  void Seed(const QueryNode& qn, const std::vector<NodeId>& nodes);
+
+  /// Adds to the pruned-attempts counter (called by the matcher when the
+  /// bitmap or the memoized root list skips work the context-free path
+  /// would have attempted).
+  void CountPruned(uint64_t n) { stats_.pruned += n; }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  const Graph& graph() const { return g_; }
+  size_t entry_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    SymbolId label = kInvalidSymbol;
+    std::vector<std::string> lit_keys;  // sorted literal encodings
+    std::vector<Literal> lits;          // aligned with lit_keys
+    std::unique_ptr<CandidateSet> cand;
+  };
+
+  // Builds (and memoizes) the set for a signature not seen before.
+  const CandidateSet& Insert(const std::string& sig, SymbolId label,
+                             std::vector<std::string> lit_keys,
+                             std::vector<Literal> lits);
+
+  void FillBits(CandidateSet& c) const;
+
+  const Graph& g_;
+  size_t words_ = 0;  // bitmap words per set: ceil(|V| / 64)
+  std::vector<Entry> entries_;  // insertion order (delta tie-break)
+  std::unordered_map<std::string, size_t> index_;  // signature -> entry
+  Stats stats_;
+};
+
+}  // namespace whyq
+
+#endif  // WHYQ_MATCHER_MATCH_CONTEXT_H_

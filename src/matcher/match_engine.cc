@@ -12,7 +12,10 @@ namespace {
 
 class IsoMatchEngine : public MatchEngine {
  public:
-  explicit IsoMatchEngine(const Graph& g) : matcher_(g) {}
+  explicit IsoMatchEngine(const Graph& g, MatchContext* ctx = nullptr)
+      : matcher_(g) {
+    matcher_.set_context(ctx);
+  }
 
   void SetCancelToken(const CancelToken* t) override {
     matcher_.set_cancel_token(t);
@@ -104,10 +107,11 @@ const char* MatchSemanticsName(MatchSemantics s) {
 }
 
 std::unique_ptr<MatchEngine> MakeMatchEngine(const Graph& g,
-                                             MatchSemantics semantics) {
+                                             MatchSemantics semantics,
+                                             MatchContext* ctx) {
   switch (semantics) {
     case MatchSemantics::kIsomorphism:
-      return std::make_unique<IsoMatchEngine>(g);
+      return std::make_unique<IsoMatchEngine>(g, ctx);
     case MatchSemantics::kSimulation:
       return std::make_unique<SimMatchEngine>(g);
   }

@@ -7,6 +7,7 @@
 #include "common/cancel.h"
 #include "graph/graph.h"
 #include "graph/neighborhood.h"
+#include "matcher/match_context.h"
 #include "query/query.h"
 
 namespace whyq {
@@ -64,8 +65,15 @@ class MatchEngine {
 };
 
 /// Factory. The returned engine borrows `g` (must outlive the engine).
+/// `ctx` (optional, not owned, must outlive the engine) attaches a
+/// per-request MatchContext: the isomorphism engine then memoizes
+/// candidate sets across calls (byte-identical answers, see
+/// matcher/match_context.h); the simulation engine ignores it (its
+/// fixpoint has its own one-entry answer cache). Like the engine itself,
+/// the context is single-thread state.
 std::unique_ptr<MatchEngine> MakeMatchEngine(const Graph& g,
-                                             MatchSemantics semantics);
+                                             MatchSemantics semantics,
+                                             MatchContext* ctx = nullptr);
 
 }  // namespace whyq
 

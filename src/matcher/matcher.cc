@@ -86,7 +86,28 @@ std::vector<Matcher::PlanStep> Matcher::BuildPlan(const Query& q,
       step.checks.push_back(PlanStep::Check{other, e.label, forward});
     }
   }
+  // With a context, resolve each step's memoized candidate set once per
+  // plan; the recursive search then probes bitmaps instead of running
+  // IsCandidate per attempt. Lookup addresses are stable.
+  if (ctx_ != nullptr) {
+    for (PlanStep& step : plan) {
+      step.cand = &ctx_->Lookup(q.node(step.u));
+    }
+  }
   return plan;
+}
+
+const std::vector<NodeId>& Matcher::RootCandidates(
+    const Query& q, const std::vector<PlanStep>& plan) const {
+  const std::vector<NodeId>& bucket =
+      g_.NodesWithLabel(q.node(plan[0].u).label);
+  if (ctx_ == nullptr) return bucket;
+  // Enumerate the memoized candidate list directly — same nodes, same
+  // ascending order the bucket scan would have kept, minus the ones
+  // IsCandidate would have rejected (accounted as pruned).
+  const MatchContext::CandidateSet& cand = *plan[0].cand;
+  ctx_->CountPruned(bucket.size() - cand.nodes.size());
+  return cand.nodes;
 }
 
 bool Matcher::Extend(const Query& q, const std::vector<PlanStep>& plan,
@@ -98,7 +119,8 @@ bool Matcher::Extend(const Query& q, const std::vector<PlanStep>& plan,
   auto try_node = [&](NodeId v) -> bool {
     ++stats_.embeddings_tried;
     if (CancelledNow()) return false;  // unwind; caller reports truncation
-    if (!IsCandidate(g_, v, qn)) return false;
+    // With a context the caller already probed the candidate bitmap.
+    if (ctx_ == nullptr && !IsCandidate(g_, v, qn)) return false;
     // Injectivity.
     for (size_t i = 0; i < pos; ++i) {
       if (assignment[i] == v) return false;
@@ -118,11 +140,24 @@ bool Matcher::Extend(const Query& q, const std::vector<PlanStep>& plan,
 
   WHYQ_CHECK(step.anchor_pos != SIZE_MAX);  // root is handled by SearchFrom
   NodeId anchor = assignment[step.anchor_pos];
-  const std::vector<HalfEdge>& adj =
-      step.anchor_forward ? g_.out_edges(anchor) : g_.in_edges(anchor);
-  for (const HalfEdge& e : adj) {
-    if (e.label != step.anchor_label) continue;
-    if (try_node(e.other)) return true;
+  // Exactly the anchor-label slice of the adjacency — same neighbors, same
+  // ascending order a full scan filtered on the label would visit.
+  NodeSpan span = step.anchor_forward
+                      ? g_.LabeledOutNeighbors(anchor, step.anchor_label)
+                      : g_.LabeledInNeighbors(anchor, step.anchor_label);
+  if (ctx_ != nullptr) {
+    const MatchContext::CandidateSet& cand = *step.cand;
+    for (NodeId v : span) {
+      if (!cand.Test(v)) {
+        ctx_->CountPruned(1);  // the free path would have attempted v
+        continue;
+      }
+      if (try_node(v)) return true;
+    }
+  } else {
+    for (NodeId v : span) {
+      if (try_node(v)) return true;
+    }
   }
   return false;
 }
@@ -131,7 +166,9 @@ bool Matcher::SearchFrom(const Query& q, const std::vector<PlanStep>& plan,
                          NodeId v) const {
   ++stats_.iso_tests;
   const PlanStep& root = plan[0];
-  if (!IsCandidate(g_, v, q.node(root.u))) return false;
+  bool root_ok = ctx_ != nullptr ? root.cand->Test(v)
+                                 : IsCandidate(g_, v, q.node(root.u));
+  if (!root_ok) return false;
   for (const PlanStep::Check& c : root.checks) {
     // Only self-loop checks can appear on the root.
     NodeId w = v;
@@ -139,15 +176,15 @@ bool Matcher::SearchFrom(const Query& q, const std::vector<PlanStep>& plan,
                         : g_.HasEdge(w, v, c.label);
     if (!ok) return false;
   }
-  std::vector<NodeId> assignment(plan.size(), kInvalidNode);
-  assignment[0] = v;
-  return Extend(q, plan, 1, assignment);
+  assignment_.assign(plan.size(), kInvalidNode);
+  assignment_[0] = v;
+  return Extend(q, plan, 1, assignment_);
 }
 
 std::vector<NodeId> Matcher::MatchOutput(const Query& q) const {
   std::vector<NodeId> answers;
   std::vector<PlanStep> plan = BuildPlan(q, q.output());
-  for (NodeId v : g_.NodesWithLabel(q.node(q.output()).label)) {
+  for (NodeId v : RootCandidates(q, plan)) {
     if (cancel_ != nullptr && (cancel_hit_ || cancel_->Expired())) {
       cancel_hit_ = true;
       break;  // best-so-far answer prefix
@@ -178,7 +215,7 @@ std::vector<uint8_t> Matcher::TestAnswers(
 
 bool Matcher::HasAnyMatch(const Query& q) const {
   std::vector<PlanStep> plan = BuildPlan(q, q.output());
-  for (NodeId v : g_.NodesWithLabel(q.node(q.output()).label)) {
+  for (NodeId v : RootCandidates(q, plan)) {
     if (cancel_ != nullptr && (cancel_hit_ || cancel_->Expired())) {
       cancel_hit_ = true;
       return false;  // unknown; caller sees truncation via cancelled()
@@ -192,7 +229,7 @@ size_t Matcher::CountAnswersNotIn(const Query& q, const NodeSet& exclude,
                                   size_t limit) const {
   std::vector<PlanStep> plan = BuildPlan(q, q.output());
   size_t count = 0;
-  for (NodeId v : g_.NodesWithLabel(q.node(q.output()).label)) {
+  for (NodeId v : RootCandidates(q, plan)) {
     if (cancel_ != nullptr && (cancel_hit_ || cancel_->Expired())) {
       cancel_hit_ = true;
       break;  // undercount; guard checks treat the partial count as-is
@@ -213,12 +250,28 @@ std::vector<std::vector<NodeId>> Matcher::MatchAllOutputs(
   for (QNodeId u : q.outputs()) {
     std::vector<PlanStep> plan = BuildPlan(q, u);
     std::vector<NodeId> answers;
-    for (NodeId v : g_.NodesWithLabel(q.node(u).label)) {
+    for (NodeId v : RootCandidates(q, plan)) {
+      if (cancel_ != nullptr && (cancel_hit_ || cancel_->Expired())) {
+        cancel_hit_ = true;
+        break;  // truncate this output; later outputs break immediately
+      }
       if (SearchFrom(q, plan, v)) answers.push_back(v);
     }
     out.push_back(std::move(answers));
   }
   return out;
+}
+
+MatcherStats Matcher::stats() const {
+  MatcherStats s = stats_;
+  if (ctx_ != nullptr) {
+    const MatchContext::Stats& c = ctx_->stats();
+    s.ctx_hits = c.hits;
+    s.ctx_misses = c.misses;
+    s.ctx_delta_builds = c.delta_builds;
+    s.ctx_pruned = c.pruned;
+  }
+  return s;
 }
 
 }  // namespace whyq

@@ -7,14 +7,21 @@
 #include "common/cancel.h"
 #include "graph/graph.h"
 #include "graph/neighborhood.h"
+#include "matcher/match_context.h"
 #include "query/query.h"
 
 namespace whyq {
 
 /// Cumulative matcher counters, exposed for the efficiency experiments.
+/// The ctx_* fields mirror the attached MatchContext's cache counters
+/// (zero when the matcher runs context-free).
 struct MatcherStats {
   uint64_t embeddings_tried = 0;  // backtracking extensions attempted
   uint64_t iso_tests = 0;         // IsAnswer-style verifications performed
+  uint64_t ctx_hits = 0;          // candidate-set lookups served from cache
+  uint64_t ctx_misses = 0;        // candidate sets built by bucket scan
+  uint64_t ctx_delta_builds = 0;  // candidate sets built by delta filter
+  uint64_t ctx_pruned = 0;        // attempts skipped via candidate bitmaps
 };
 
 /// Subgraph-isomorphism engine over one data graph.
@@ -54,6 +61,16 @@ class Matcher {
   /// the caller's signal that results are partial.
   bool cancelled() const { return cancel_hit_; }
 
+  /// Attaches a per-request candidate memo (not owned; null detaches).
+  /// With a context, candidate generation and per-attempt IsCandidate
+  /// checks become memoized-list iterations and O(1) bitmap probes; the
+  /// answers of every public API are byte-identical either way (same
+  /// candidates, same ascending order — the context only skips nodes
+  /// IsCandidate would have rejected). The context must outlive its use
+  /// and, like the Matcher, is single-thread state.
+  void set_context(MatchContext* ctx) { ctx_ = ctx; }
+  MatchContext* context() const { return ctx_; }
+
   /// Computes the full answer Q(u_o, G).
   std::vector<NodeId> MatchOutput(const Query& q) const;
 
@@ -78,9 +95,16 @@ class Matcher {
                            size_t limit) const;
 
   /// Multi-output extension: the answer set of each node in q.outputs().
+  /// Polls the armed cancel token like every other enumeration loop; on
+  /// expiry the current output's answer list is truncated and the
+  /// remaining outputs come back empty (the result always has one list
+  /// per output node), with cancelled() reporting the truncation.
   std::vector<std::vector<NodeId>> MatchAllOutputs(const Query& q) const;
 
-  const MatcherStats& stats() const { return stats_; }
+  /// Snapshot of the work counters. ctx_* fields reflect the attached
+  /// context's whole lifetime (a context may serve several matchers);
+  /// ResetStats clears only the matcher-local counters.
+  MatcherStats stats() const;
   void ResetStats() { stats_ = MatcherStats(); }
 
  private:
@@ -102,6 +126,9 @@ class Matcher {
       bool forward;  // true: u -> other; false: other -> u
     };
     std::vector<Check> checks;
+    // Memoized candidate set of `u` (null when running context-free).
+    // Stable address for the context's lifetime.
+    const MatchContext::CandidateSet* cand = nullptr;
   };
 
   // Builds a matching order (BFS from `root`) over the root's component.
@@ -126,10 +153,21 @@ class Matcher {
     return cancel_hit_;
   }
 
+  // Root candidates of a plan: the memoized list with a context (prune
+  // accounting included), the label bucket without.
+  const std::vector<NodeId>& RootCandidates(
+      const Query& q, const std::vector<PlanStep>& plan) const;
+
   const Graph& g_;
   mutable MatcherStats stats_;
+  // Assignment scratch reused across SearchFrom calls (capacity persists,
+  // so per-root allocations vanish on the hot verification sweeps). Part
+  // of the per-instance mutable state covered by the thread-confinement
+  // contract above.
+  mutable std::vector<NodeId> assignment_;
   const CancelToken* cancel_ = nullptr;
   mutable bool cancel_hit_ = false;
+  MatchContext* ctx_ = nullptr;  // borrowed per-request memo (may be null)
 };
 
 }  // namespace whyq

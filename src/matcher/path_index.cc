@@ -89,7 +89,7 @@ PathIndex::PathIndex(const Query& q, size_t max_paths) {
 
 bool PathIndex::WalkMatches(const Graph& g, const Query& rewritten,
                             const std::vector<Step>& path, size_t pos,
-                            NodeId at) const {
+                            NodeId at, MatchContext* ctx) const {
   if (pos == path.size()) return true;
   const Step& s = path[pos];
   if (s.to >= rewritten.node_count() || !StepEdgePresent(rewritten, s)) {
@@ -97,32 +97,46 @@ bool PathIndex::WalkMatches(const Graph& g, const Query& rewritten,
     return true;
   }
   const QueryNode& target = rewritten.node(s.to);
-  const std::vector<HalfEdge>& adj =
-      s.forward ? g.out_edges(at) : g.in_edges(at);
-  for (const HalfEdge& e : adj) {
-    if (e.label != s.edge_label) continue;
-    if (!IsCandidate(g, e.other, target)) continue;
-    if (WalkMatches(g, rewritten, path, pos + 1, e.other)) return true;
+  // One candidate-set resolution per step, then O(1) probes per neighbor.
+  const MatchContext::CandidateSet* cand =
+      ctx != nullptr ? &ctx->Lookup(target) : nullptr;
+  // The label-partitioned slice visits exactly the step's edge label. The
+  // walk's outcome is existential, so the (per-label ascending) visit order
+  // cannot change the result.
+  NodeSpan span = s.forward ? g.LabeledOutNeighbors(at, s.edge_label)
+                            : g.LabeledInNeighbors(at, s.edge_label);
+  for (NodeId other : span) {
+    if (cand != nullptr ? !cand->Test(other)
+                        : !IsCandidate(g, other, target)) {
+      continue;
+    }
+    if (WalkMatches(g, rewritten, path, pos + 1, other, ctx)) return true;
   }
   return false;
 }
 
-bool PathIndex::Passes(const Graph& g, const Query& rewritten,
-                       NodeId v) const {
-  if (!IsCandidate(g, v, rewritten.node(rewritten.output()))) return false;
+bool PathIndex::Passes(const Graph& g, const Query& rewritten, NodeId v,
+                       MatchContext* ctx) const {
+  const QueryNode& output = rewritten.node(rewritten.output());
+  bool out_ok = ctx != nullptr ? ctx->Lookup(output).Test(v)
+                               : IsCandidate(g, v, output);
+  if (!out_ok) return false;
   for (const std::vector<Step>& path : paths_) {
-    if (!WalkMatches(g, rewritten, path, 0, v)) return false;
+    if (!WalkMatches(g, rewritten, path, 0, v, ctx)) return false;
   }
   return true;
 }
 
 double PathIndex::PassFraction(const Graph& g, const Query& rewritten,
-                               NodeId v) const {
+                               NodeId v, MatchContext* ctx) const {
   size_t total = 1 + paths_.size();
   size_t passed = 0;
-  if (IsCandidate(g, v, rewritten.node(rewritten.output()))) ++passed;
+  const QueryNode& output = rewritten.node(rewritten.output());
+  bool out_ok = ctx != nullptr ? ctx->Lookup(output).Test(v)
+                               : IsCandidate(g, v, output);
+  if (out_ok) ++passed;
   for (const std::vector<Step>& path : paths_) {
-    if (WalkMatches(g, rewritten, path, 0, v)) ++passed;
+    if (WalkMatches(g, rewritten, path, 0, v, ctx)) ++passed;
   }
   return static_cast<double>(passed) / static_cast<double>(total);
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "matcher/match_context.h"
 #include "query/query.h"
 
 namespace whyq {
@@ -30,7 +31,10 @@ namespace whyq {
 /// Thread-safety: immutable after construction, shared across workers.
 /// Passes()/PassFraction() are const, allocate only locals, and keep no
 /// per-call caches, so one index (e.g. from the service's prepared-question
-/// cache) may be probed by many workers concurrently.
+/// cache) may be probed by many workers concurrently. The optional
+/// MatchContext argument is the exception: a context is single-threaded
+/// request state, so concurrent probes must each pass their own (their
+/// executor slot's) context, or nullptr.
 class PathIndex {
  public:
   struct Step {
@@ -44,8 +48,12 @@ class PathIndex {
   /// enumerated deterministically (DFS over undirected query edges).
   PathIndex(const Query& q, size_t max_paths);
 
-  /// Path test of v against rewrite `rewritten` (see class comment).
-  bool Passes(const Graph& g, const Query& rewritten, NodeId v) const;
+  /// Path test of v against rewrite `rewritten` (see class comment). When
+  /// `ctx` is given, per-step node-candidacy tests probe the context's
+  /// memoized bitmaps (O(1) after the first build) instead of re-evaluating
+  /// literals; the boolean outcome is identical either way.
+  bool Passes(const Graph& g, const Query& rewritten, NodeId v,
+              MatchContext* ctx = nullptr) const;
 
   /// Partial credit: the fraction of checks v passes under `rewritten` —
   /// the output-node candidate test plus each indexed path, all weighted
@@ -53,8 +61,8 @@ class PathIndex {
   /// operators that make progress toward a match (or a non-match) even when
   /// no single operator flips the full test (zero-marginal-gain
   /// bootstrapping; see DESIGN.md).
-  double PassFraction(const Graph& g, const Query& rewritten,
-                      NodeId v) const;
+  double PassFraction(const Graph& g, const Query& rewritten, NodeId v,
+                      MatchContext* ctx = nullptr) const;
 
   size_t path_count() const { return paths_.size(); }
   const std::vector<std::vector<Step>>& paths() const { return paths_; }
@@ -64,8 +72,8 @@ class PathIndex {
 
  private:
   bool WalkMatches(const Graph& g, const Query& rewritten,
-                   const std::vector<Step>& path, size_t pos,
-                   NodeId at) const;
+                   const std::vector<Step>& path, size_t pos, NodeId at,
+                   MatchContext* ctx) const;
 
   std::vector<std::vector<Step>> paths_;
 };

@@ -19,7 +19,10 @@ WhyEvaluator::WhyEvaluator(const Graph& g, std::vector<NodeId> answers,
                            MatchSemantics semantics,
                            const CancelToken* cancel)
     : g_(g),
-      engine_(MakeMatchEngine(g, semantics)),
+      ctx_(semantics == MatchSemantics::kIsomorphism
+               ? std::make_unique<MatchContext>(g)
+               : nullptr),
+      engine_(MakeMatchEngine(g, semantics, ctx_.get())),
       answers_(std::move(answers)),
       unexpected_set_(std::vector<NodeId>{}, g.node_count()),
       guard_m_(guard_m) {
@@ -83,7 +86,10 @@ WhyNotEvaluator::WhyNotEvaluator(const Graph& g,
                                  MatchSemantics semantics,
                                  const CancelToken* cancel)
     : g_(g),
-      engine_(MakeMatchEngine(g, semantics)),
+      ctx_(semantics == MatchSemantics::kIsomorphism
+               ? std::make_unique<MatchContext>(g)
+               : nullptr),
+      engine_(MakeMatchEngine(g, semantics, ctx_.get())),
       answers_(std::move(answers)),
       protected_set_(answers_, g.node_count()),
       guard_m_(guard_m) {

@@ -24,9 +24,12 @@ struct EvalResult {
 /// recomputing Q'(u_o, G) from scratch, early-terminating per node on the
 /// first embedding and early-terminating the guard count beyond m.
 ///
-/// Evaluators are per-request objects (they own a stateful MatchEngine);
-/// `cancel` (not owned, may be null) is forwarded into the engine so
-/// verification sweeps stop mid-search once a deadline passes.
+/// Evaluators are per-request objects (they own a stateful MatchEngine and,
+/// under isomorphism semantics, a MatchContext that memoizes candidate
+/// sets across every rewrite the evaluator verifies — see
+/// matcher/match_context.h); `cancel` (not owned, may be null) is forwarded
+/// into the engine so verification sweeps stop mid-search once a deadline
+/// passes.
 class WhyEvaluator {
  public:
   WhyEvaluator(const Graph& g, std::vector<NodeId> answers,
@@ -52,10 +55,19 @@ class WhyEvaluator {
   const MatchEngine& engine() const { return *engine_; }
   const Graph& graph() const { return g_; }
 
+  /// The evaluator's candidate memo (null under simulation semantics).
+  /// Single-thread state, like the evaluator itself.
+  MatchContext* context() const { return ctx_.get(); }
+  /// Cache counters (zeros when context() is null).
+  MatchContext::Stats ContextStats() const {
+    return ctx_ ? ctx_->stats() : MatchContext::Stats();
+  }
+
   bool IsUnexpected(NodeId v) const { return unexpected_set_.Contains(v); }
 
  private:
   const Graph& g_;
+  std::unique_ptr<MatchContext> ctx_;  // declared before engine_ (init order)
   std::unique_ptr<MatchEngine> engine_;
   std::vector<NodeId> answers_;
   std::vector<NodeId> unexpected_;       // V_N (deduplicated, ⊆ answers)
@@ -94,8 +106,16 @@ class WhyNotEvaluator {
   const MatchEngine& engine() const { return *engine_; }
   const Graph& graph() const { return g_; }
 
+  /// The evaluator's candidate memo (null under simulation semantics).
+  MatchContext* context() const { return ctx_.get(); }
+  /// Cache counters (zeros when context() is null).
+  MatchContext::Stats ContextStats() const {
+    return ctx_ ? ctx_->stats() : MatchContext::Stats();
+  }
+
  private:
   const Graph& g_;
+  std::unique_ptr<MatchContext> ctx_;  // declared before engine_ (init order)
   std::unique_ptr<MatchEngine> engine_;
   std::vector<NodeId> answers_;
   std::vector<NodeId> missing_;  // filtered V_C

@@ -5,6 +5,7 @@
 #include "common/cancel.h"
 #include "common/timer.h"
 #include "matcher/candidates.h"
+#include "matcher/match_context.h"
 #include "query/query_parser.h"
 
 namespace whyq {
@@ -37,10 +38,31 @@ std::shared_ptr<const PreparedQuery> PrepareQuery(const Graph& g, Query q,
     trace->matcher_candidates = prepared->output_candidates.size();
     stage.Reset();
   }
-  std::unique_ptr<MatchEngine> engine = MakeMatchEngine(g, semantics);
+  // Request-scoped candidate memo for the answer match: the just-computed
+  // output-candidate set is seeded so the matcher never rescans the output
+  // label bucket, and every non-output query node's set is memoized across
+  // the root loop. Lives only for this build (the prepared artifacts it
+  // feeds are immutable and cacheable; the context is not).
+  MatchContext ctx(g);
+  MatchContext* ctx_ptr = nullptr;
+  if (semantics == MatchSemantics::kIsomorphism) {
+    ctx.Seed(prepared->query.node(prepared->query.output()),
+             prepared->output_candidates);
+    ctx_ptr = &ctx;
+  }
+  std::unique_ptr<MatchEngine> engine = MakeMatchEngine(g, semantics, ctx_ptr);
   engine->SetCancelToken(cancel);
   prepared->answers = engine->MatchOutput(prepared->query);
-  if (trace != nullptr) trace->answer_match_ms = stage.ElapsedMillis();
+  if (trace != nullptr) {
+    trace->answer_match_ms = stage.ElapsedMillis();
+    if (ctx_ptr != nullptr) {
+      const MatchContext::Stats& cs = ctx.stats();
+      trace->ctx_hits += cs.hits;
+      trace->ctx_misses += cs.misses;
+      trace->ctx_delta_builds += cs.delta_builds;
+      trace->ctx_pruned += cs.pruned;
+    }
+  }
   // A build whose answer match was clipped would poison every later hit;
   // the caller keeps it request-local instead of caching it.
   if (complete != nullptr) *complete = !CancelRequested(cancel);

@@ -273,6 +273,12 @@ ServiceResponse WhyqService::Run(const ServiceRequest& req,
       // Greedy variants verify one candidate set per round.
       resp.trace.greedy_rounds = resp.answer.sets_verified;
     }
+    // Candidate-memo counters: the search's contexts add onto whatever the
+    // prepare stage recorded (cache misses only).
+    resp.trace.ctx_hits += resp.answer.ctx_hits;
+    resp.trace.ctx_misses += resp.answer.ctx_misses;
+    resp.trace.ctx_delta_builds += resp.answer.ctx_delta_builds;
+    resp.trace.ctx_pruned += resp.answer.ctx_pruned;
   }
   resp.trace.search_ms = stage.ElapsedMillis();
   // Deadline expiry anywhere in the pipeline (including the prepare step)

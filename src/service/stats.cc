@@ -68,7 +68,10 @@ void AppendWork(std::ostringstream& os, const WorkTotals& w) {
   os << "{\"matcher_candidates\":" << w.matcher_candidates
      << ",\"mbs_enumerated\":" << w.mbs_enumerated
      << ",\"mbs_verified\":" << w.mbs_verified
-     << ",\"greedy_rounds\":" << w.greedy_rounds << "}";
+     << ",\"greedy_rounds\":" << w.greedy_rounds
+     << ",\"ctx_hits\":" << w.ctx_hits << ",\"ctx_misses\":" << w.ctx_misses
+     << ",\"ctx_delta_builds\":" << w.ctx_delta_builds
+     << ",\"ctx_pruned\":" << w.ctx_pruned << "}";
 }
 
 StageTotals TraceStages(const RequestTrace& t, double latency_ms) {
@@ -118,6 +121,10 @@ void ServiceStats::RecordCompleted(const std::string& klass,
   work_.mbs_enumerated += trace.mbs_enumerated;
   work_.mbs_verified += trace.mbs_verified;
   work_.greedy_rounds += trace.greedy_rounds;
+  work_.ctx_hits += trace.ctx_hits;
+  work_.ctx_misses += trace.ctx_misses;
+  work_.ctx_delta_builds += trace.ctx_delta_builds;
+  work_.ctx_pruned += trace.ctx_pruned;
   if (slow_threshold_ms_ > 0 && latency_ms >= slow_threshold_ms_) {
     SlowQueryEntry e;
     e.seq = completed_;
@@ -208,6 +215,18 @@ std::string StatsSnapshot::ToString() const {
        << " mbs-enumerated=" << work.mbs_enumerated
        << " mbs-verified=" << work.mbs_verified
        << " greedy-rounds=" << work.greedy_rounds << "\n";
+    os << "ctx totals: hits=" << work.ctx_hits
+       << " misses=" << work.ctx_misses
+       << " delta-builds=" << work.ctx_delta_builds
+       << " pruned=" << work.ctx_pruned;
+    uint64_t lookups = work.ctx_hits + work.ctx_misses + work.ctx_delta_builds;
+    if (lookups > 0) {
+      os << " (" << TextTable::Num(100.0 * static_cast<double>(work.ctx_hits) /
+                                       static_cast<double>(lookups),
+                                   1)
+         << "% hit rate)";
+    }
+    os << "\n";
   }
   if (slow_threshold_ms > 0) {
     os << "slow queries (>= " << TextTable::Num(slow_threshold_ms, 1)
@@ -272,6 +291,10 @@ std::string StatsSnapshot::ToJson() const {
     w.mbs_enumerated = e.trace.mbs_enumerated;
     w.mbs_verified = e.trace.mbs_verified;
     w.greedy_rounds = e.trace.greedy_rounds;
+    w.ctx_hits = e.trace.ctx_hits;
+    w.ctx_misses = e.trace.ctx_misses;
+    w.ctx_delta_builds = e.trace.ctx_delta_builds;
+    w.ctx_pruned = e.trace.ctx_pruned;
     AppendWork(os, w);
     os << "}";
   }

@@ -51,6 +51,11 @@ struct WorkTotals {
   uint64_t mbs_enumerated = 0;
   uint64_t mbs_verified = 0;
   uint64_t greedy_rounds = 0;
+  // Candidate-memo (MatchContext) totals — see RequestTrace.
+  uint64_t ctx_hits = 0;
+  uint64_t ctx_misses = 0;
+  uint64_t ctx_delta_builds = 0;
+  uint64_t ctx_pruned = 0;
 };
 
 /// One slow request retained by the bounded slow-query log.

@@ -7,11 +7,11 @@ CloseEstimate EstimateWhy(const Graph& g, const Query& rewritten,
                           const NodeSet& excluded_union,
                           const std::vector<NodeId>& unexpected,
                           const std::vector<NodeId>& desired,
-                          size_t guard_m) {
+                          size_t guard_m, MatchContext* ctx) {
   CloseEstimate e;
   size_t excluded = 0;
   for (NodeId v : unexpected) {
-    if (excluded_union.Contains(v) || !pidx.Passes(g, rewritten, v)) {
+    if (excluded_union.Contains(v) || !pidx.Passes(g, rewritten, v, ctx)) {
       ++excluded;
     }
   }
@@ -36,11 +36,11 @@ CloseEstimate EstimateWhyNot(const Graph& g, const Query& rewritten,
                              const NodeSet& included_union,
                              const std::vector<NodeId>& missing,
                              const NodeSet& protected_set, size_t guard_m,
-                             size_t guard_scan_cap) {
+                             size_t guard_scan_cap, MatchContext* ctx) {
   CloseEstimate e;
   size_t included = 0;
   for (NodeId v : missing) {
-    if (included_union.Contains(v) || pidx.Passes(g, rewritten, v)) {
+    if (included_union.Contains(v) || pidx.Passes(g, rewritten, v, ctx)) {
       ++included;
     }
   }
@@ -53,7 +53,7 @@ CloseEstimate EstimateWhyNot(const Graph& g, const Query& rewritten,
   for (NodeId v : g.NodesWithLabel(out_label)) {
     if (protected_set.Contains(v)) continue;
     if (++scanned > guard_scan_cap) break;
-    if (pidx.Passes(g, rewritten, v)) {
+    if (pidx.Passes(g, rewritten, v, ctx)) {
       ++e.guard;
       if (e.guard > guard_m) {
         e.guard_ok = false;

@@ -5,6 +5,7 @@
 
 #include "graph/graph.h"
 #include "graph/neighborhood.h"
+#include "matcher/match_context.h"
 #include "matcher/path_index.h"
 #include "query/query.h"
 
@@ -38,12 +39,17 @@ struct CloseEstimate {
 
 /// Why-side estimate. `excluded_union` is the union of Aff(o) over the
 /// candidate set O; `rewritten` is Q ⊕ O for the path screening.
+///
+/// `ctx` (optional) is forwarded to the path-index probes, which then test
+/// node candidacy against the request's memoized bitmaps instead of
+/// re-evaluating literals per step. Pass the evaluator of the *calling
+/// executor slot* — contexts are single-threaded.
 CloseEstimate EstimateWhy(const Graph& g, const Query& rewritten,
                           const PathIndex& pidx,
                           const NodeSet& excluded_union,
                           const std::vector<NodeId>& unexpected,
                           const std::vector<NodeId>& desired,
-                          size_t guard_m);
+                          size_t guard_m, MatchContext* ctx = nullptr);
 
 /// Why-not-side estimate. `included_union` is the union of per-operator new
 /// matches within V_C; the guard scans output-label candidates outside
@@ -54,7 +60,8 @@ CloseEstimate EstimateWhyNot(const Graph& g, const Query& rewritten,
                              const NodeSet& included_union,
                              const std::vector<NodeId>& missing,
                              const NodeSet& protected_set, size_t guard_m,
-                             size_t guard_scan_cap);
+                             size_t guard_scan_cap,
+                             MatchContext* ctx = nullptr);
 
 }  // namespace whyq
 

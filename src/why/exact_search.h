@@ -10,6 +10,7 @@
 #include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "matcher/match_context.h"
 #include "query/query.h"
 #include "rewrite/cost_model.h"
 #include "rewrite/evaluation.h"
@@ -31,6 +32,9 @@ struct ExactSearchOutcome {
   size_t verified = 0;
   bool timed_out = false;
   MbsStats stats;
+  // Candidate-memo counters summed over the slot evaluators (they are
+  // destroyed inside the search; the caller adds its own evaluator's).
+  MatchContext::Stats ctx;
 };
 
 /// The exact search core (Fig. 3 / Section V-A): enumerate maximal bounded
@@ -131,6 +135,7 @@ ExactSearchOutcome ExactMbsSearch(
         }
         return false;
       });
+  for (const auto& se : slot_evals) out.ctx.Add(se->ContextStats());
   return out;
 }
 

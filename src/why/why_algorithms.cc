@@ -23,6 +23,14 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
+// Folds accumulated candidate-memo counters into the answer's ctx_* fields.
+void FillContextStats(RewriteAnswer& out, const MatchContext::Stats& s) {
+  out.ctx_hits = s.hits;
+  out.ctx_misses = s.misses;
+  out.ctx_delta_builds = s.delta_builds;
+  out.ctx_pruned = s.pruned;
+}
+
 // Shared exact post-processing: greedily drop operators while the exact
 // closeness does not decrease and the guard stays valid ("minimal MBS").
 template <typename Evaluator>
@@ -108,6 +116,7 @@ RewriteAnswer ExactWhy(const Graph& g, const Query& q,
   out.sets_enumerated = search.stats.emitted;
   out.sets_verified = search.verified;
   out.exhaustive = !search.stats.truncated && !search.timed_out;
+  MatchContext::Stats ctx_stats = search.ctx;  // slot evaluators' share
 
   // Fallback when the capped enumeration missed a solution the greedy can
   // still reach: the greedy set is a valid bounded set, so adopting it
@@ -115,6 +124,10 @@ RewriteAnswer ExactWhy(const Graph& g, const Query& q,
   // the request itself is cancelled/past deadline — return best-so-far now.
   if (!out.exhaustive && !CancelRequested(cfg.cancel)) {
     RewriteAnswer seed = ApproxWhy(g, q, answers, w, cfg);
+    ctx_stats.hits += seed.ctx_hits;  // the seeding work happened regardless
+    ctx_stats.misses += seed.ctx_misses;
+    ctx_stats.delta_builds += seed.ctx_delta_builds;
+    ctx_stats.pruned += seed.ctx_pruned;
     if (seed.found && seed.eval.guard_ok &&
         seed.cost <= cfg.budget + kEps &&
         (seed.eval.closeness > best_cl + kEps ||
@@ -129,6 +142,8 @@ RewriteAnswer ExactWhy(const Graph& g, const Query& q,
   if (best_cl < 0.0 || best_ops.empty()) {
     // No improving set: answer with the empty rewrite (Q itself).
     out.eval = eval.Evaluate(q);
+    ctx_stats.Add(eval.ContextStats());
+    FillContextStats(out, ctx_stats);
     return out;
   }
   out.found = best_eval.closeness > 0.0;
@@ -140,6 +155,8 @@ RewriteAnswer ExactWhy(const Graph& g, const Query& q,
   }
   out.cost = cost.Cost(out.ops);
   out.estimated_closeness = out.eval.closeness;
+  ctx_stats.Add(eval.ContextStats());
+  FillContextStats(out, ctx_stats);
   return out;
 }
 
@@ -175,6 +192,13 @@ RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
   }
   auto eval_at = [&](size_t slot) -> const WhyEvaluator& {
     return slot == 0 ? eval : *slot_evals[slot - 1];
+  };
+  // Sum of every evaluator's candidate-memo counters, folded into the
+  // answer at each exit.
+  auto finish_ctx = [&]() {
+    MatchContext::Stats c = eval.ContextStats();
+    for (const auto& se : slot_evals) c.Add(se->ContextStats());
+    FillContextStats(out, c);
   };
 
   std::vector<EditOp> picky =
@@ -276,24 +300,27 @@ RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
       return e;
     }
     return EstimateWhy(g, rw, pidx, aff, eval.unexpected(), desired,
-                       cfg.guard_m);
+                       cfg.guard_m, eval_at(slot).context());
   };
 
   // Soft (partial-credit) exclusion progress: a refinement can push an
   // unexpected entity toward failing the path tests without excluding it
   // outright; the soft score breaks zero-gain ties so such combinations
   // can bootstrap (see DESIGN.md).
-  auto soft_score = [&](const NodeSet& excluded_union, const Query& rw) {
+  // Runs on the scoring slots too, so the caller passes its slot's context.
+  auto soft_score = [&](const NodeSet& excluded_union, const Query& rw,
+                        MatchContext* ctx) {
     double s = 0.0;
     for (NodeId v : eval.unexpected()) {
-      s += excluded_union.Contains(v) ? 1.0
-                                      : 1.0 - pidx.PassFraction(g, rw, v);
+      s += excluded_union.Contains(v)
+               ? 1.0
+               : 1.0 - pidx.PassFraction(g, rw, v, ctx);
     }
     return eval.unexpected().empty()
                ? 0.0
                : s / static_cast<double>(eval.unexpected().size());
   };
-  double current_soft = soft_score(aff_union, q);
+  double current_soft = soft_score(aff_union, q, eval.context());
 
   while (pool > 0 && current_cl < 1.0 - kEps) {
     if (CancelRequested(cfg.cancel)) {
@@ -329,7 +356,8 @@ RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
           CloseEstimate est = estimate(trial, aff, rw, slot);
           Score& s = scores[k];
           s.gain = est.closeness - current_cl;
-          s.soft_gain = soft_score(aff, rw) - current_soft;
+          s.soft_gain =
+              soft_score(aff, rw, eval_at(slot).context()) - current_soft;
           s.ratio = (s.gain + 1e-3 * s.soft_gain) / cands[i].cost;
         });
     long best = -1;
@@ -372,7 +400,7 @@ RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
     aff_union = std::move(aff);
     spent += cands[b].cost;
     current_cl = est.closeness;
-    current_soft = soft_score(aff_union, rw);
+    current_soft = soft_score(aff_union, rw, eval.context());
   }
 
   // Drop bootstrap operators that never paid off (estimated closeness
@@ -407,6 +435,7 @@ RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
   }
   if (selected.empty()) {
     out.eval = eval.Evaluate(q);
+    finish_ctx();
     return out;
   }
   OperatorSet ops;
@@ -418,6 +447,7 @@ RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
   out.eval = eval.Evaluate(out.rewritten);
   out.estimated_closeness = current_cl;
   out.found = out.eval.guard_ok && out.eval.closeness > 0.0;
+  finish_ctx();
   return out;
 }
 

@@ -36,6 +36,13 @@ struct RewriteAnswer {
   size_t sets_enumerated = 0;         // MBS emitted by the DFS (exact only)
   size_t sets_verified = 0;           // MBS verified / greedy steps taken
   bool exhaustive = false;            // exact enumeration was not truncated
+  // Candidate-memo (MatchContext) counters summed over every evaluator the
+  // question used — the main evaluator plus all parallel executor slots.
+  // All zero under simulation semantics (no context there).
+  uint64_t ctx_hits = 0;          // memoized candidate-set lookups served
+  uint64_t ctx_misses = 0;        // sets built by scanning a label bucket
+  uint64_t ctx_delta_builds = 0;  // sets built by filtering a cached parent
+  uint64_t ctx_pruned = 0;        // match attempts skipped via bitmaps
 
   /// One-line explanation: the operators and the achieved closeness.
   std::string Explain(const Graph& g) const;

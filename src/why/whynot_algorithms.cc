@@ -21,6 +21,14 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
+// Folds accumulated candidate-memo counters into the answer's ctx_* fields.
+void FillContextStats(RewriteAnswer& out, const MatchContext::Stats& s) {
+  out.ctx_hits = s.hits;
+  out.ctx_misses = s.misses;
+  out.ctx_delta_builds = s.delta_builds;
+  out.ctx_pruned = s.pruned;
+}
+
 void MinimizeCostWhyNot(const Query& q, const WhyNotEvaluator& eval,
                         const CostModel& cost, OperatorSet& ops,
                         EvalResult& result, Query& rewritten) {
@@ -87,11 +95,16 @@ RewriteAnswer ExactWhyNot(const Graph& g, const Query& q,
   out.sets_enumerated = search.stats.emitted;
   out.sets_verified = search.verified;
   out.exhaustive = !search.stats.truncated && !search.timed_out;
+  MatchContext::Stats ctx_stats = search.ctx;  // slot evaluators' share
 
   // Fallback under truncation (see ExactWhy): never worse than the fast
   // heuristic. Skipped once the request itself is cancelled/past deadline.
   if (!out.exhaustive && !CancelRequested(cfg.cancel)) {
     RewriteAnswer seed = FastWhyNot(g, q, answers, w, cfg);
+    ctx_stats.hits += seed.ctx_hits;  // the seeding work happened regardless
+    ctx_stats.misses += seed.ctx_misses;
+    ctx_stats.delta_builds += seed.ctx_delta_builds;
+    ctx_stats.pruned += seed.ctx_pruned;
     if (seed.found && seed.eval.guard_ok &&
         seed.cost <= cfg.budget + kEps &&
         (seed.eval.closeness > best_cl + kEps ||
@@ -105,6 +118,8 @@ RewriteAnswer ExactWhyNot(const Graph& g, const Query& q,
 
   if (best_cl < 0.0 || best_ops.empty()) {
     out.eval = eval.Evaluate(q);
+    ctx_stats.Add(eval.ContextStats());
+    FillContextStats(out, ctx_stats);
     return out;
   }
   out.found = best_eval.closeness > 0.0;
@@ -116,6 +131,8 @@ RewriteAnswer ExactWhyNot(const Graph& g, const Query& q,
   }
   out.cost = cost.Cost(out.ops);
   out.estimated_closeness = out.eval.closeness;
+  ctx_stats.Add(eval.ContextStats());
+  FillContextStats(out, ctx_stats);
   return out;
 }
 
@@ -149,6 +166,13 @@ RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
   auto eval_at = [&](size_t slot) -> const WhyNotEvaluator& {
     return slot == 0 ? eval : *slot_evals[slot - 1];
   };
+  // Sum the candidate-memo counters across every evaluator this question
+  // touched; called once per exit path.
+  auto finish_ctx = [&] {
+    MatchContext::Stats c = eval.ContextStats();
+    for (const auto& se : slot_evals) c.Add(se->ContextStats());
+    FillContextStats(out, c);
+  };
 
   std::vector<EditOp> picky = GenPickyWhyNot(g, q, eval.missing(), cfg);
   struct Cand {
@@ -179,7 +203,9 @@ RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
           cand.covered = ev.NewMatches(single);
         } else {
           for (NodeId v : ev.missing()) {
-            if (pidx.Passes(g, single, v)) cand.covered.push_back(v);
+            if (pidx.Passes(g, single, v, ev.context())) {
+              cand.covered.push_back(v);
+            }
           }
         }
         prepped[i] = 1;
@@ -215,17 +241,20 @@ RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
       return e;
     }
     return EstimateWhyNot(g, rw, pidx, covered_union, eval.missing(),
-                          protected_set, cfg.guard_m, cfg.est_guard_scan);
+                          protected_set, cfg.guard_m, cfg.est_guard_scan,
+                          eval_at(slot).context());
   };
 
   // Soft (partial-credit) score: how far along each missing entity is
   // toward matching. Single relaxations frequently have zero hard marginal
   // gain (an entity needs several constraints lifted at once); the soft
   // score lets the greedy bootstrap such combinations (see DESIGN.md).
-  auto soft_score = [&](const NodeSet& covered_union, const Query& rw) {
+  auto soft_score = [&](const NodeSet& covered_union, const Query& rw,
+                        MatchContext* ctx) {
     double s = 0.0;
     for (NodeId v : eval.missing()) {
-      s += covered_union.Contains(v) ? 1.0 : pidx.PassFraction(g, rw, v);
+      s += covered_union.Contains(v) ? 1.0
+                                     : pidx.PassFraction(g, rw, v, ctx);
     }
     return eval.missing().empty()
                ? 0.0
@@ -236,7 +265,7 @@ RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
   NodeSet covered(std::vector<NodeId>{}, g.node_count());
   double spent = 0.0;
   double current_cl = 0.0;
-  double current_soft = soft_score(covered, q);
+  double current_soft = soft_score(covered, q, eval.context());
   std::vector<uint8_t> in_pool(cands.size(), 1);
   size_t pool = cands.size();
 
@@ -274,7 +303,8 @@ RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
           Score& s = scores[k];
           s.gain = est.closeness - current_cl;
           // Hard gains dominate; soft gains break zero-gain ties.
-          s.soft_gain = soft_score(cov, rw) - current_soft;
+          s.soft_gain =
+              soft_score(cov, rw, eval_at(slot).context()) - current_soft;
           s.ratio = (s.gain + 1e-3 * s.soft_gain) / cands[i].cost;
         });
     long best = -1;
@@ -313,11 +343,12 @@ RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
     covered = std::move(cov);
     spent += cands[b].cost;
     current_cl = est.closeness;
-    current_soft = soft_score(covered, rw);
+    current_soft = soft_score(covered, rw, eval.context());
   }
 
   if (selected.empty()) {
     out.eval = eval.Evaluate(q);
+    finish_ctx();
     return out;
   }
   // Drop operators that no longer contribute to the (estimated) closeness —
@@ -352,6 +383,7 @@ RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
   out.eval = eval.Evaluate(out.rewritten);
   out.estimated_closeness = current_cl;
   out.found = out.eval.guard_ok && out.eval.closeness > 0.0;
+  finish_ctx();
   return out;
 }
 

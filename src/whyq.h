@@ -33,6 +33,7 @@
 #include "graph/neighborhood.h"
 #include "harness/experiment.h"
 #include "matcher/candidates.h"
+#include "matcher/match_context.h"
 #include "matcher/match_engine.h"
 #include "matcher/matcher.h"
 #include "matcher/simulation.h"

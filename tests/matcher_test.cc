@@ -239,6 +239,33 @@ TEST(MatcherTest, TestAnswersMatchesPointwiseIsAnswer) {
   }
 }
 
+TEST(MatcherTest, MatchAllOutputsHonorsCancelToken) {
+  Figure1 f = MakeFigure1();
+  Query q = f.query;
+  q.AddOutput(1);  // two outputs: phones and colors
+  Matcher m(f.graph);
+  // An already-expired token: every output's enumeration must break before
+  // testing any candidate, the shape must be preserved (one list per
+  // output), and cancelled() must report the truncation.
+  CancelToken token;
+  token.Cancel();
+  m.set_cancel_token(&token);
+  std::vector<std::vector<NodeId>> per = m.MatchAllOutputs(q);
+  ASSERT_EQ(per.size(), 2u);
+  EXPECT_TRUE(per[0].empty());
+  EXPECT_TRUE(per[1].empty());
+  EXPECT_TRUE(m.cancelled());
+  // Re-arming with a live (deadline-free) token resets the latch and the
+  // full answer comes back.
+  CancelToken live;
+  m.set_cancel_token(&live);
+  per = m.MatchAllOutputs(q);
+  ASSERT_EQ(per.size(), 2u);
+  EXPECT_EQ(per[0].size(), 3u);
+  EXPECT_EQ(per[1].size(), 1u);
+  EXPECT_FALSE(m.cancelled());
+}
+
 TEST(MatcherTest, StatsAccumulate) {
   Figure1 f = MakeFigure1();
   Matcher m(f.graph);

@@ -191,5 +191,43 @@ TEST(ParallelDeterminismTest, ServiceIntraThreadsKeepsResponsesIdentical) {
   EXPECT_EQ(run(1), run(4));
 }
 
+// Concurrent per-worker MatchContexts over one shared Graph: each thread
+// owns its own context (the documented confinement contract) while all of
+// them read the same label-partitioned adjacency concurrently. Every
+// thread's answers must equal the serial context-free baseline; run under
+// the CI thread-sanitizer job, this also proves the Graph's slice arrays
+// are genuinely immutable shared state.
+TEST(ParallelDeterminismTest, PerWorkerContextsMatchContextFree) {
+  const Graph& g = SweepGraph();
+  Workload w = SweepWorkload(g);
+  ASSERT_FALSE(w.items.empty());
+  const Query& q = w.items[0].gq.query;
+
+  Matcher baseline_m(g);
+  std::vector<NodeId> baseline = baseline_m.MatchOutput(q);
+  std::vector<NodeId> probes = baseline;
+  for (NodeId v = 0; v < 16 && v < g.node_count(); ++v) probes.push_back(v);
+  std::vector<uint8_t> baseline_tested = baseline_m.TestAnswers(q, probes);
+
+  constexpr int kThreads = 4;
+  std::vector<int> ok(kThreads, 0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      MatchContext ctx(g);  // thread-confined memo
+      Matcher m(g);
+      m.set_context(&ctx);
+      bool good = true;
+      for (int round = 0; round < 3; ++round) {
+        good = good && m.MatchOutput(q) == baseline;
+        good = good && m.TestAnswers(q, probes) == baseline_tested;
+      }
+      ok[t] = good ? 1 : 0;
+    });
+  }
+  for (std::thread& th : workers) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(ok[t], 1) << "thread " << t;
+}
+
 }  // namespace
 }  // namespace whyq

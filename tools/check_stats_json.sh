@@ -69,6 +69,13 @@ for klass, h in d["latency_ms"].items():
 check(hist_total == c["completed"],
       f"histogram counts {hist_total} != completed {c['completed']}")
 
+w = d["work"]
+for key in ("ctx_hits", "ctx_misses", "ctx_delta_builds", "ctx_pruned"):
+    check(key in w, f"work totals missing {key}")
+# Every cache-missing iso request builds at least one candidate set (the
+# prepare stage seeds the output node's set as a miss).
+check(w["ctx_misses"] >= 1, f"expected ctx_misses >= 1, got {w['ctx_misses']}")
+
 st = d["stage_totals_ms"]
 stages = st["queue"] + st["parse"] + st["prepare"] + st["search"]
 check(abs(stages - st["latency"]) <= max(0.05 * st["latency"], 0.5),
