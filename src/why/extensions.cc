@@ -289,9 +289,13 @@ RewriteAnswer ExactWhyMultiOutput(
   auto pooled_eval = [&](const OperatorSet& ops, EvalResult* result) {
     size_t excluded = 0;
     size_t guard = 0;
-    for (size_t i = 0; i < n_out; ++i) {
+    // One exact evaluation per output; a cancelled request stops here with
+    // partial counts (the enumeration callback below aborts right after).
+    for (size_t i = 0; i < n_out && !CancelRequested(cfg.cancel); ++i) {
       Query rewritten = ApplyOperators(projections[i], ops);
-      for (NodeId v : evals[i].AffectedAnswers(rewritten)) {
+      const std::vector<NodeId> affected =
+          evals[i].AffectedAnswers(rewritten);
+      for (NodeId v : affected) {
         if (evals[i].IsUnexpected(v)) {
           ++excluded;
         } else {
@@ -320,6 +324,7 @@ RewriteAnswer ExactWhyMultiOutput(
   MbsStats stats = EnumerateMaximalBoundedSets(
       costs, BuildConflicts(usable), cfg.budget, cfg.max_mbs,
       [&](const std::vector<size_t>& idx) {
+        if (CancelRequested(cfg.cancel)) return false;  // abort enumeration
         ++out.sets_verified;
         OperatorSet ops;
         for (size_t i : idx) ops.push_back(usable[i]);
@@ -338,7 +343,7 @@ RewriteAnswer ExactWhyMultiOutput(
         return best_cl < 1.0 - kEps;
       },
       admit);
-  out.exhaustive = !stats.truncated;
+  out.exhaustive = !stats.truncated && !CancelRequested(cfg.cancel);
   if (best_cl <= 0.0 || best_ops.empty()) {
     pooled_eval({}, &out.eval);
     return out;
@@ -401,6 +406,12 @@ RewriteAnswer ApproxWhyMultiOutput(
   };
   std::vector<Cand> cands;
   for (EditOp& op : picky) {
+    // Each candidate costs n_out exact verifications; stop generating
+    // (and select from what exists) once the deadline expires.
+    if (CancelRequested(cfg.cancel)) {
+      out.exhaustive = false;
+      break;
+    }
     bool dup = false;
     for (const Cand& seen : cands) {
       if (seen.op == op) {
@@ -414,9 +425,10 @@ RewriteAnswer ApproxWhyMultiOutput(
     Cand cand;
     cand.op = std::move(op);
     cand.cost = c;
-    for (size_t i = 0; i < n_out; ++i) {
+    for (size_t i = 0; i < n_out && !CancelRequested(cfg.cancel); ++i) {
       Query single = ApplyOperators(projections[i], {cand.op});
-      for (NodeId v : evals[i].AffectedAnswers(single)) {
+      const std::vector<NodeId> affected = evals[i].AffectedAnswers(single);
+      for (NodeId v : affected) {
         if (evals[i].IsUnexpected(v)) {
           cand.excluded.emplace_back(i, v);
         } else {
@@ -480,12 +492,14 @@ RewriteAnswer ApproxWhyMultiOutput(
   out.ops = std::move(ops);
   out.rewritten = ApplyOperators(q, out.ops);
   out.cost = spent;
-  // Exact pooled evaluation for reporting.
+  // Exact pooled evaluation for reporting; a cancelled request reports
+  // from the outputs verified so far.
   size_t excluded = 0;
   size_t guard = 0;
-  for (size_t i = 0; i < n_out; ++i) {
+  for (size_t i = 0; i < n_out && !CancelRequested(cfg.cancel); ++i) {
     Query rewritten = ApplyOperators(projections[i], out.ops);
-    for (NodeId v : evals[i].AffectedAnswers(rewritten)) {
+    const std::vector<NodeId> affected = evals[i].AffectedAnswers(rewritten);
+    for (NodeId v : affected) {
       if (evals[i].IsUnexpected(v)) {
         ++excluded;
       } else {
@@ -497,6 +511,7 @@ RewriteAnswer ApproxWhyMultiOutput(
       static_cast<double>(excluded) / static_cast<double>(total_unexpected);
   out.eval.guard = guard;
   out.eval.guard_ok = guard <= cfg.guard_m;
+  if (CancelRequested(cfg.cancel)) out.exhaustive = false;
   out.estimated_closeness =
       static_cast<double>(covered.size()) /
       static_cast<double>(total_unexpected);

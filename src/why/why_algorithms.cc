@@ -33,12 +33,15 @@ void FillContextStats(RewriteAnswer& out, const MatchContext::Stats& s) {
 
 // Shared exact post-processing: greedily drop operators while the exact
 // closeness does not decrease and the guard stays valid ("minimal MBS").
+// Every dropped-operator trial is a full exact evaluation, so the loop
+// polls `cancel` per trial: an expiring deadline keeps the current
+// (valid, just not yet minimal) rewrite.
 template <typename Evaluator>
 void MinimizeCost(const Graph&, const Query& q, const Evaluator& eval,
-                  const CostModel& cost, OperatorSet& ops,
-                  EvalResult& result, Query& rewritten) {
+                  const CostModel& cost, const CancelToken* cancel,
+                  OperatorSet& ops, EvalResult& result, Query& rewritten) {
   bool changed = true;
-  while (changed && ops.size() > 1) {
+  while (changed && ops.size() > 1 && !CancelRequested(cancel)) {
     changed = false;
     // Try dropping the most expensive operator first.
     std::vector<size_t> order(ops.size());
@@ -47,6 +50,7 @@ void MinimizeCost(const Graph&, const Query& q, const Evaluator& eval,
       return cost.Cost(ops[a]) > cost.Cost(ops[b]);
     });
     for (size_t i : order) {
+      if (CancelRequested(cancel)) return;
       OperatorSet trial = ops;
       trial.erase(trial.begin() + static_cast<long>(i));
       Query trial_q = ApplyOperators(q, trial);
@@ -151,7 +155,8 @@ RewriteAnswer ExactWhy(const Graph& g, const Query& q,
   out.rewritten = ApplyOperators(q, out.ops);
   out.eval = best_eval;
   if (cfg.minimize_cost && !CancelRequested(cfg.cancel)) {
-    MinimizeCost(g, q, eval, cost, out.ops, out.eval, out.rewritten);
+    MinimizeCost(g, q, eval, cost, cfg.cancel, out.ops, out.eval,
+                 out.rewritten);
   }
   out.cost = cost.Cost(out.ops);
   out.estimated_closeness = out.eval.closeness;
@@ -409,6 +414,7 @@ RewriteAnswer GreedyWhy(const Graph& g, const Query& q,
   while (shrunk && selected.size() > 1 && !CancelRequested(cfg.cancel)) {
     shrunk = false;
     for (size_t i = 0; i < selected.size(); ++i) {
+      if (CancelRequested(cfg.cancel)) break;
       std::vector<size_t> trial = selected;
       trial.erase(trial.begin() + static_cast<long>(i));
       NodeSet aff(std::vector<NodeId>{}, g.node_count());

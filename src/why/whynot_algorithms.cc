@@ -29,11 +29,14 @@ void FillContextStats(RewriteAnswer& out, const MatchContext::Stats& s) {
   out.ctx_pruned = s.pruned;
 }
 
+// Polls `cancel` per dropped-operator trial (each trial is a full exact
+// evaluation); an expiring deadline keeps the current valid rewrite.
 void MinimizeCostWhyNot(const Query& q, const WhyNotEvaluator& eval,
-                        const CostModel& cost, OperatorSet& ops,
-                        EvalResult& result, Query& rewritten) {
+                        const CostModel& cost, const CancelToken* cancel,
+                        OperatorSet& ops, EvalResult& result,
+                        Query& rewritten) {
   bool changed = true;
-  while (changed && ops.size() > 1) {
+  while (changed && ops.size() > 1 && !CancelRequested(cancel)) {
     changed = false;
     std::vector<size_t> order(ops.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -41,6 +44,7 @@ void MinimizeCostWhyNot(const Query& q, const WhyNotEvaluator& eval,
       return cost.Cost(ops[a]) > cost.Cost(ops[b]);
     });
     for (size_t i : order) {
+      if (CancelRequested(cancel)) return;
       OperatorSet trial = ops;
       trial.erase(trial.begin() + static_cast<long>(i));
       Query trial_q = ApplyOperators(q, trial);
@@ -127,7 +131,8 @@ RewriteAnswer ExactWhyNot(const Graph& g, const Query& q,
   out.rewritten = ApplyOperators(q, out.ops);
   out.eval = best_eval;
   if (cfg.minimize_cost && !CancelRequested(cfg.cancel)) {
-    MinimizeCostWhyNot(q, eval, cost, out.ops, out.eval, out.rewritten);
+    MinimizeCostWhyNot(q, eval, cost, cfg.cancel, out.ops, out.eval,
+                       out.rewritten);
   }
   out.cost = cost.Cost(out.ops);
   out.estimated_closeness = out.eval.closeness;
@@ -357,6 +362,7 @@ RewriteAnswer GreedyWhyNot(const Graph& g, const Query& q,
   while (changed && selected.size() > 1 && !CancelRequested(cfg.cancel)) {
     changed = false;
     for (size_t i = 0; i < selected.size(); ++i) {
+      if (CancelRequested(cfg.cancel)) break;
       std::vector<size_t> trial = selected;
       trial.erase(trial.begin() + static_cast<long>(i));
       NodeSet cov(std::vector<NodeId>{}, g.node_count());

@@ -1,0 +1,16 @@
+// Fixture (never compiled): unseeded randomness and wall-clock seeding —
+// rule "determinism" must flag every call site.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace whyq {
+
+int UnseededNoise() {
+  std::srand(time(nullptr));          // BAD: srand + time(nullptr)
+  int a = std::rand();                // BAD: rand
+  std::random_device rd;              // BAD: random_device
+  return a + static_cast<int>(rd());
+}
+
+}  // namespace whyq

@@ -1,0 +1,17 @@
+// Fixture (never compiled): randomness through the seeded whyq::Rng and
+// identifiers that merely contain banned substrings — rule "determinism"
+// must stay silent.
+#include "common/rng.h"
+
+namespace whyq {
+
+int SeededNoise(Rng& rng) {
+  // "rand" only as a substring of a longer identifier: not a violation.
+  int operand = rng.UniformInt(0, 10);
+  double randomish_scale = rng.UniformReal();
+  // time() with a real argument (out-parameter style) is allowed; only
+  // time(nullptr)/time(NULL)/time(0) wall-clock seeding is banned.
+  return operand + static_cast<int>(randomish_scale);
+}
+
+}  // namespace whyq

@@ -1,0 +1,16 @@
+// Fixture (never compiled): direct console output from library code —
+// rule "output-channel" must flag each call, linted under a virtual
+// src/service/ path.
+#include <cstdio>
+#include <iostream>
+
+namespace whyq {
+
+void NoisyLibraryCode(int n) {
+  std::cout << "progress " << n << "\n";   // BAD: cout in src/
+  std::cerr << "warning\n";                // BAD: cerr in src/
+  printf("%d\n", n);                       // BAD: printf in src/
+  fprintf(stderr, "%d\n", n);              // BAD: fprintf in src/
+}
+
+}  // namespace whyq

@@ -1,0 +1,20 @@
+// Fixture (never compiled): library code that reports through metrics
+// and formats into buffers — rule "output-channel" must stay silent.
+// (The same contents linted under a tools/ path are always exempt.)
+#include <string>
+
+#include "common/metrics.h"
+
+namespace whyq {
+
+std::string QuietLibraryCode(Counter& completed, int n) {
+  completed.Increment();
+  // snprintf formats into a caller buffer; it is not a console channel.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d", n);
+  // Identifiers merely containing banned names are fine.
+  int printf_like_budget = n;
+  return std::string(buf) + std::to_string(printf_like_budget);
+}
+
+}  // namespace whyq

@@ -1,0 +1,21 @@
+// Fixture (never compiled): a stats struct with a counter that the
+// paired JSON emitter and glossary (see lint_test.cc) do not mention —
+// rule "stats-roundtrip" must flag `orphaned_` and `lost_histo_`.
+#ifndef WHYQ_TESTS_LINT_FIXTURES_RULE4_STATS_BAD_H_
+#define WHYQ_TESTS_LINT_FIXTURES_RULE4_STATS_BAD_H_
+
+#include <cstdint>
+
+namespace whyq {
+
+struct FixtureStats {
+  uint64_t received = 0;
+  uint64_t orphaned = 0;  // BAD: absent from JSON and glossary
+  Counter completed;
+  StreamingHistogram latency_ms;
+  StreamingHistogram lost_histo;  // BAD: absent from JSON and glossary
+};
+
+}  // namespace whyq
+
+#endif  // WHYQ_TESTS_LINT_FIXTURES_RULE4_STATS_BAD_H_

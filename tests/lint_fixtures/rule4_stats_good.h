@@ -1,0 +1,24 @@
+// Fixture (never compiled): every counter member appears in the paired
+// JSON emitter and glossary (see lint_test.cc) — rule "stats-roundtrip"
+// must stay silent. Non-counter members (strings, vectors, methods) are
+// outside the rule and need no JSON key.
+#ifndef WHYQ_TESTS_LINT_FIXTURES_RULE4_STATS_GOOD_H_
+#define WHYQ_TESTS_LINT_FIXTURES_RULE4_STATS_GOOD_H_
+
+#include <cstdint>
+#include <string>
+
+namespace whyq {
+
+struct FixtureStats {
+  uint64_t received = 0;
+  Counter completed;
+  StreamingHistogram latency_ms;
+  double threshold_ms = 50.0;
+  std::string label;                 // not a counter: exempt
+  void Reset() { received = 0; }     // method: exempt
+};
+
+}  // namespace whyq
+
+#endif  // WHYQ_TESTS_LINT_FIXTURES_RULE4_STATS_GOOD_H_

@@ -1,0 +1,27 @@
+// Fixture (never compiled): classes outside src/graph/ storing a
+// borrowed NodeSpan as a data member — rule "nodespan-member" must flag
+// both members (NodeSpan borrows Graph adjacency storage and must not
+// outlive the call that produced it).
+#include "graph/graph.h"
+
+namespace whyq {
+
+class SpanHoarder {
+ public:
+  explicit SpanHoarder(const Graph& g) : neighbors_(g.OutNeighbors(0)) {}
+  // Locals and parameters of NodeSpan type are fine; members are not.
+  int CountLocal(const Graph& g) const {
+    NodeSpan local = g.OutNeighbors(1);
+    return static_cast<int>(local.size());
+  }
+
+ private:
+  NodeSpan neighbors_;  // BAD: borrowed span stored as member
+};
+
+struct CachedFrontier {
+  NodeSpan frontier{};  // BAD: brace-initialised member is still a member
+  int depth = 0;
+};
+
+}  // namespace whyq

@@ -1,0 +1,29 @@
+// Fixture (never compiled): NodeSpan used as locals, parameters, return
+// values, and in aliases — rule "nodespan-member" must stay silent. Only
+// storing a NodeSpan as a class data member outside src/graph/ is banned.
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace whyq {
+
+using FrontierSpan = NodeSpan;  // alias: exempt
+
+class SpanBorrower {
+ public:
+  // Parameter and return uses are fine (the borrow stays on the stack).
+  static int Count(NodeSpan span) { return static_cast<int>(span.size()); }
+  NodeSpan Peek(const Graph& g) const { return g.OutNeighbors(0); }
+
+  int Sum(const Graph& g) const {
+    int total = 0;
+    NodeSpan local = g.OutNeighbors(1);  // local: exempt
+    for (NodeId n : local) total += static_cast<int>(n);
+    return total;
+  }
+
+ private:
+  std::vector<NodeId> owned_;  // owning copy is the sanctioned pattern
+};
+
+}  // namespace whyq

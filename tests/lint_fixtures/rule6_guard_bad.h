@@ -1,0 +1,11 @@
+// Fixture (never compiled): wrong include-guard spelling — linted under
+// the virtual path src/why/rule6_guard_bad.h, rule "header-guard" must
+// demand WHYQ_WHY_RULE6_GUARD_BAD_H_.
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+namespace whyq {
+struct GuardFixtureBad {};
+}  // namespace whyq
+
+#endif  // WRONG_GUARD_H

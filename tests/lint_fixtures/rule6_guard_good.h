@@ -1,0 +1,10 @@
+// Fixture (never compiled): canonical include guard for the virtual path
+// src/why/rule6_guard_good.h — rule "header-guard" must stay silent.
+#ifndef WHYQ_WHY_RULE6_GUARD_GOOD_H_
+#define WHYQ_WHY_RULE6_GUARD_GOOD_H_
+
+namespace whyq {
+struct GuardFixtureGood {};
+}  // namespace whyq
+
+#endif  // WHYQ_WHY_RULE6_GUARD_GOOD_H_

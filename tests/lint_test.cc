@@ -1,0 +1,300 @@
+// whyq-lint rule tests: every rule is exercised against its positive and
+// negative fixtures under tests/lint_fixtures/ (linted under virtual
+// src/ paths so path-based applicability triggers), plus inline edge
+// cases for the lexer. The final test runs the linter over the real
+// tree, which is what keeps the repo invariant-clean.
+//
+// Note: banned tokens appear below only inside string literals — the
+// linter strips literals before matching, so this file stays clean when
+// the tree scan reaches it.
+
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace whyq::lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(std::string(WHYQ_LINT_FIXTURE_DIR) + "/" + name,
+                   std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<int> Lines(const std::vector<Violation>& vs) {
+  std::vector<int> lines;
+  for (const auto& v : vs) lines.push_back(v.line);
+  return lines;
+}
+
+void ExpectAllRule(const std::vector<Violation>& vs, const std::string& rule) {
+  for (const auto& v : vs) EXPECT_EQ(v.rule, rule) << v.message;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LintStripTest, BlanksCommentsAndLiteralsPreservingLines) {
+  std::string src =
+      "int a; // trailing comment\n"
+      "/* block\n   spanning */ int b;\n"
+      "const char* s = \"quoted \\\" cout\";\n"
+      "char c = 'x';\n";
+  std::string out = StripCommentsAndStrings(src);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  EXPECT_EQ(out.size(), src.size());
+  EXPECT_EQ(out.find("comment"), std::string::npos);
+  EXPECT_EQ(out.find("block"), std::string::npos);
+  EXPECT_EQ(out.find("quoted"), std::string::npos);
+  EXPECT_EQ(out.find("cout"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(LintStripTest, RawStringsAreBlanked) {
+  std::string src = "auto s = R\"(body with cout and \" quote)\"; int k;\n";
+  std::string out = StripCommentsAndStrings(src);
+  EXPECT_EQ(out.find("cout"), std::string::npos);
+  EXPECT_NE(out.find("int k;"), std::string::npos);
+}
+
+TEST(LintStripTest, BannedTokenInCommentIsInvisible) {
+  // The fixture relies on this: its comments name the poll functions.
+  std::vector<Violation> v = LintFile(
+      "src/service/x.cc", "// mentions printf and cout only here\nint a;\n");
+  EXPECT_TRUE(v.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: cancel-poll
+// ---------------------------------------------------------------------------
+
+TEST(LintCancelPollTest, FlagsHotLoopsWithoutPoll) {
+  std::vector<Violation> v =
+      LintFile("src/why/fixture.cc", ReadFixture("rule1_cancel_bad.cc"));
+  ExpectAllRule(v, "cancel-poll");
+  EXPECT_EQ(Lines(v), (std::vector<int>{10, 15}));
+}
+
+TEST(LintCancelPollTest, AcceptsPolledLoops) {
+  std::vector<Violation> v =
+      LintFile("src/matcher/fixture.cc", ReadFixture("rule1_cancel_good.cc"));
+  EXPECT_TRUE(v.empty()) << v.front().message;
+}
+
+TEST(LintCancelPollTest, RuleOnlyAppliesToWhyAndMatcher) {
+  // The same unpolled loops are legal elsewhere (e.g. offline gen code).
+  std::vector<Violation> v =
+      LintFile("src/gen/fixture.cc", ReadFixture("rule1_cancel_bad.cc"));
+  EXPECT_TRUE(v.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: determinism
+// ---------------------------------------------------------------------------
+
+TEST(LintDeterminismTest, FlagsUnseededRandomnessAndWallClockSeeds) {
+  std::vector<Violation> v =
+      LintFile("src/gen/fixture.cc", ReadFixture("rule2_determinism_bad.cc"));
+  ExpectAllRule(v, "determinism");
+  // srand + wall-clock time() on line 10, the raw call on 11, the device
+  // on 12.
+  ASSERT_EQ(v.size(), 4u);
+  std::vector<int> lines = Lines(v);
+  std::sort(lines.begin(), lines.end());
+  EXPECT_EQ(lines, (std::vector<int>{10, 10, 11, 12}));
+}
+
+TEST(LintDeterminismTest, AcceptsSeededRngAndSubstringIdentifiers) {
+  std::vector<Violation> v =
+      LintFile("src/gen/fixture.cc", ReadFixture("rule2_determinism_good.cc"));
+  EXPECT_TRUE(v.empty()) << v.front().message;
+}
+
+TEST(LintDeterminismTest, RngImplementationIsExempt) {
+  std::vector<Violation> v = LintFile("src/common/rng.cc",
+                                      ReadFixture("rule2_determinism_bad.cc"));
+  EXPECT_TRUE(v.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: output-channel
+// ---------------------------------------------------------------------------
+
+TEST(LintOutputChannelTest, FlagsConsoleOutputInLibraryCode) {
+  std::vector<Violation> v =
+      LintFile("src/service/fixture.cc", ReadFixture("rule3_output_bad.cc"));
+  ExpectAllRule(v, "output-channel");
+  EXPECT_EQ(Lines(v), (std::vector<int>{10, 11, 12, 13}));
+}
+
+TEST(LintOutputChannelTest, AcceptsMetricsAndBufferFormatting) {
+  std::vector<Violation> v =
+      LintFile("src/service/fixture.cc", ReadFixture("rule3_output_good.cc"));
+  EXPECT_TRUE(v.empty()) << v.front().message;
+}
+
+TEST(LintOutputChannelTest, ToolsAndBenchAreExempt) {
+  EXPECT_TRUE(
+      LintFile("tools/fixture.cc", ReadFixture("rule3_output_bad.cc"))
+          .empty());
+  EXPECT_TRUE(
+      LintFile("bench/fixture.cc", ReadFixture("rule3_output_bad.cc"))
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: stats-roundtrip
+// ---------------------------------------------------------------------------
+
+constexpr const char* kFixtureJson =
+    "j[\"received\"]; j[\"completed\"]; j[\"latency_ms\"]; "
+    "j[\"threshold_ms\"];";
+constexpr const char* kFixtureGlossary =
+    "| received | completed | latency | threshold |";
+
+TEST(LintStatsRoundTripTest, FlagsMembersMissingFromJsonAndGlossary) {
+  StatsDecl d{"tests/lint_fixtures/rule4_stats_bad.h",
+              ReadFixture("rule4_stats_bad.h"), "FixtureStats", true};
+  std::vector<Violation> v =
+      LintStatsRoundTrip({d}, kFixtureJson, kFixtureGlossary);
+  ExpectAllRule(v, "stats-roundtrip");
+  // orphaned and lost_histo each miss both the JSON emitter and the
+  // glossary.
+  ASSERT_EQ(v.size(), 4u);
+  int orphaned = 0;
+  int lost = 0;
+  for (const auto& viol : v) {
+    if (viol.message.find("orphaned") != std::string::npos) ++orphaned;
+    if (viol.message.find("lost_histo") != std::string::npos) ++lost;
+  }
+  EXPECT_EQ(orphaned, 2);
+  EXPECT_EQ(lost, 2);
+}
+
+TEST(LintStatsRoundTripTest, AcceptsFullyDocumentedStruct) {
+  StatsDecl d{"tests/lint_fixtures/rule4_stats_good.h",
+              ReadFixture("rule4_stats_good.h"), "FixtureStats", true};
+  std::vector<Violation> v =
+      LintStatsRoundTrip({d}, kFixtureJson, kFixtureGlossary);
+  EXPECT_TRUE(v.empty()) << v.front().message;
+}
+
+TEST(LintStatsRoundTripTest, GlossaryOnlyModeSkipsJson) {
+  StatsDecl d{"tests/lint_fixtures/rule4_stats_good.h",
+              ReadFixture("rule4_stats_good.h"), "FixtureStats", false};
+  // Empty JSON source: fine, because require_json is off and the
+  // glossary covers every key.
+  std::vector<Violation> v = LintStatsRoundTrip({d}, "", kFixtureGlossary);
+  EXPECT_TRUE(v.empty()) << v.front().message;
+}
+
+TEST(LintStatsRoundTripTest, ReportsMissingStruct) {
+  StatsDecl d{"x.h", "struct Other {};", "FixtureStats", true};
+  std::vector<Violation> v = LintStatsRoundTrip({d}, "", "");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].message.find("not found"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: nodespan-member
+// ---------------------------------------------------------------------------
+
+TEST(LintNodeSpanTest, FlagsStoredSpans) {
+  std::vector<Violation> v =
+      LintFile("src/why/fixture.cc", ReadFixture("rule5_nodespan_bad.cc"));
+  ExpectAllRule(v, "nodespan-member");
+  EXPECT_EQ(Lines(v), (std::vector<int>{19, 23}));
+}
+
+TEST(LintNodeSpanTest, AcceptsLocalsParamsReturnsAndAliases) {
+  std::vector<Violation> v =
+      LintFile("src/why/fixture.cc", ReadFixture("rule5_nodespan_good.cc"));
+  EXPECT_TRUE(v.empty()) << v.front().message;
+}
+
+TEST(LintNodeSpanTest, GraphLayerIsExempt) {
+  std::vector<Violation> v =
+      LintFile("src/graph/fixture.cc", ReadFixture("rule5_nodespan_bad.cc"));
+  EXPECT_TRUE(v.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: header-guard
+// ---------------------------------------------------------------------------
+
+TEST(LintHeaderGuardTest, FlagsNonCanonicalGuard) {
+  std::vector<Violation> v =
+      LintFile("src/why/rule6_guard_bad.h", ReadFixture("rule6_guard_bad.h"));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "header-guard");
+  EXPECT_NE(v[0].message.find("WHYQ_WHY_RULE6_GUARD_BAD_H_"),
+            std::string::npos);
+}
+
+TEST(LintHeaderGuardTest, AcceptsCanonicalGuard) {
+  std::vector<Violation> v = LintFile("src/why/rule6_guard_good.h",
+                                      ReadFixture("rule6_guard_good.h"));
+  EXPECT_TRUE(v.empty()) << v.front().message;
+}
+
+TEST(LintHeaderGuardTest, ReportsMissingGuardAndUnclosedGuard) {
+  std::vector<Violation> none =
+      LintFile("src/common/x.h", "#pragma once\nint a;\n");
+  ASSERT_EQ(none.size(), 1u);
+  EXPECT_EQ(none[0].rule, "header-guard");
+
+  std::vector<Violation> open = LintFile(
+      "src/common/x.h", "#ifndef WHYQ_COMMON_X_H_\n#define WHYQ_COMMON_X_H_\n");
+  ASSERT_EQ(open.size(), 1u);
+  EXPECT_NE(open[0].message.find("never closed"), std::string::npos);
+
+  std::vector<Violation> mismatch = LintFile(
+      "src/common/x.h", "#ifndef WHYQ_COMMON_X_H_\n#define OTHER\n#endif\n");
+  ASSERT_EQ(mismatch.size(), 1u);
+  EXPECT_NE(mismatch[0].message.find("does not match"), std::string::npos);
+}
+
+TEST(LintHeaderGuardTest, SrcPrefixIsDroppedAndToolsPrefixKept) {
+  // src/common/cancel.h -> WHYQ_COMMON_CANCEL_H_ (convention predates the
+  // linter); tools keep the full path.
+  std::vector<Violation> v = LintFile(
+      "src/common/cancel.h",
+      "#ifndef WHYQ_COMMON_CANCEL_H_\n#define WHYQ_COMMON_CANCEL_H_\n"
+      "#endif\n");
+  EXPECT_TRUE(v.empty()) << v.front().message;
+  std::vector<Violation> t = LintFile(
+      "tools/lint/lint.h",
+      "#ifndef WHYQ_TOOLS_LINT_LINT_H_\n#define WHYQ_TOOLS_LINT_LINT_H_\n"
+      "#endif\n");
+  EXPECT_TRUE(t.empty()) << t.front().message;
+}
+
+// ---------------------------------------------------------------------------
+// The real tree must be clean — same invariant as the lint_tree ctest
+// entry, but failing inside the suite gives a better signal locally.
+// ---------------------------------------------------------------------------
+
+TEST(LintTreeTest, RepositoryIsInvariantClean) {
+  std::string error;
+  std::vector<Violation> v = LintTree(WHYQ_REPO_ROOT, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  for (const auto& viol : v) {
+    ADD_FAILURE() << viol.file << ":" << viol.line << ": [" << viol.rule
+                  << "] " << viol.message;
+  }
+}
+
+}  // namespace
+}  // namespace whyq::lint

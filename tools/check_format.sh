@@ -1,0 +1,35 @@
+#!/bin/sh
+# Formatting gate: clang-format --dry-run --Werror over every first-party
+# C++ file, using the repo's .clang-format (Google base, 79 cols).
+#
+#   tools/check_format.sh            # check (CI mode)
+#   tools/check_format.sh --fix      # rewrite files in place
+#
+# Exits 0 when clang-format is not installed (the pinned container lacks
+# LLVM tooling; the CI lint job installs it), 0 when clean, 1 otherwise.
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+fmt_bin="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$fmt_bin" >/dev/null 2>&1; then
+  echo "check_format: $fmt_bin not found; skipping (install LLVM to enable)"
+  exit 0
+fi
+
+mode="--dry-run"
+if [ "${1:-}" = "--fix" ]; then
+  mode="-i"
+fi
+
+files=$(find src tools bench examples tests \
+  \( -name '*.h' -o -name '*.cc' -o -name '*.cpp' \) \
+  -not -path 'tests/lint_fixtures/*' | sort)
+
+# shellcheck disable=SC2086 — word-splitting of $files is intended.
+if ! "$fmt_bin" $mode --Werror --style=file $files; then
+  echo "check_format: formatting differences found (run tools/check_format.sh --fix)" >&2
+  exit 1
+fi
+echo "check_format: OK"
+exit 0

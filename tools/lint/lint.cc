@@ -1,0 +1,647 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace whyq::lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+int LineOfOffset(const std::string& text, size_t offset) {
+  int line = 1;
+  for (size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+/// Whole-token search: `token` at `pos` with non-identifier neighbors.
+bool TokenAt(const std::string& text, size_t pos, const std::string& token) {
+  if (pos + token.size() > text.size()) return false;
+  if (text.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
+  size_t end = pos + token.size();
+  if (end < text.size() && IsIdentChar(text[end])) return false;
+  return true;
+}
+
+size_t FindToken(const std::string& text, const std::string& token,
+                 size_t from = 0) {
+  for (size_t pos = text.find(token, from); pos != std::string::npos;
+       pos = text.find(token, pos + 1)) {
+    if (TokenAt(text, pos, token)) return pos;
+  }
+  return std::string::npos;
+}
+
+bool ContainsToken(const std::string& text, const std::string& token) {
+  return FindToken(text, token) != std::string::npos;
+}
+
+/// Matching close brace/paren for the opener at `open` (which must point
+/// at one). Returns npos when unbalanced. Operates on stripped text, so
+/// braces inside literals cannot confuse it.
+size_t MatchDelim(const std::string& text, size_t open, char o, char c) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == o) ++depth;
+    if (text[i] == c && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& src) {
+  std::string out = src;
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // the )delim" terminator of a raw string
+  for (size_t i = 0; i < src.size(); ++i) {
+    char c = src[i];
+    char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsIdentChar(src[i - 1]))) {
+          // R"delim( ... )delim"
+          size_t open = src.find('(', i + 2);
+          if (open == std::string::npos) break;
+          raw_delim = ")" + src.substr(i + 2, open - i - 2) + "\"";
+          state = State::kRaw;
+          // Keep the R" prefix readable; blank from the delimiter on.
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule: cancel-poll
+// ---------------------------------------------------------------------------
+
+// A loop is a "hot loop" when its condition or body invokes one of these
+// (enumeration, exact verification, greedy scoring — the operations a
+// deadline must be able to interrupt mid-flight).
+const char* const kWorkTokens[] = {
+    "Evaluate",
+    "EnumerateMaximalBoundedSets",
+    "EnumerateMaximalBoundedSetsBatched",
+    "MatchOutput",
+    "TestAnswers",
+    "NewMatches",
+    "AffectedAnswers",
+    "SearchFrom",
+    "estimate",
+};
+
+// Evidence of a cooperative cancellation poll (or of delegating the poll
+// to the enumerator via its should_stop hook).
+const char* const kPollTokens[] = {
+    "CancelRequested", "Expired", "CancelledNow", "cancel_hit_",
+    "should_stop",
+};
+
+void CheckCancelPolling(const std::string& path, const std::string& stripped,
+                        std::vector<Violation>* out) {
+  static const std::string kLoopKeywords[] = {"while", "for"};
+  for (const std::string& kw : kLoopKeywords) {
+    for (size_t pos = FindToken(stripped, kw); pos != std::string::npos;
+         pos = FindToken(stripped, kw, pos + 1)) {
+      // `do { } while (cond);` — the trailing while has no body; the
+      // condition alone cannot contain a hot call chain we track.
+      size_t open = stripped.find_first_not_of(" \t\n", pos + kw.size());
+      if (open == std::string::npos || stripped[open] != '(') continue;
+      size_t close = MatchDelim(stripped, open, '(', ')');
+      if (close == std::string::npos) continue;
+      size_t body_begin = stripped.find_first_not_of(" \t\n", close + 1);
+      if (body_begin == std::string::npos) continue;
+      size_t body_end;
+      if (stripped[body_begin] == '{') {
+        body_end = MatchDelim(stripped, body_begin, '{', '}');
+        if (body_end == std::string::npos) continue;
+      } else {
+        body_end = stripped.find(';', body_begin);
+        if (body_end == std::string::npos) continue;
+      }
+      std::string loop_text =
+          stripped.substr(open, body_end + 1 - open);
+      bool works = false;
+      for (const char* t : kWorkTokens) {
+        if (ContainsToken(loop_text, t)) {
+          works = true;
+          break;
+        }
+      }
+      if (!works) continue;
+      bool polls = false;
+      for (const char* t : kPollTokens) {
+        if (ContainsToken(loop_text, t)) {
+          polls = true;
+          break;
+        }
+      }
+      if (!polls) {
+        out->push_back({path, LineOfOffset(stripped, pos), "cancel-poll",
+                        "loop performs enumeration/verification work but "
+                        "never polls the CancelToken (CancelRequested/"
+                        "Expired) — deadlines cannot truncate it"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: determinism
+// ---------------------------------------------------------------------------
+
+void CheckDeterminism(const std::string& path, const std::string& stripped,
+                      std::vector<Violation>* out) {
+  static const char* const kBanned[] = {"rand", "srand", "random_device",
+                                        "rand_r", "drand48"};
+  for (const char* t : kBanned) {
+    for (size_t pos = FindToken(stripped, t); pos != std::string::npos;
+         pos = FindToken(stripped, t, pos + 1)) {
+      out->push_back({path, LineOfOffset(stripped, pos), "determinism",
+                      std::string(t) +
+                          " is nondeterministic; route randomness through "
+                          "the seeded whyq::Rng (src/common/rng.h)"});
+    }
+  }
+  // time(nullptr) / time(NULL) seeds.
+  for (size_t pos = FindToken(stripped, "time"); pos != std::string::npos;
+       pos = FindToken(stripped, "time", pos + 1)) {
+    size_t open = stripped.find_first_not_of(" \t\n", pos + 4);
+    if (open == std::string::npos || stripped[open] != '(') continue;
+    size_t close = MatchDelim(stripped, open, '(', ')');
+    if (close == std::string::npos) continue;
+    std::string arg = stripped.substr(open + 1, close - open - 1);
+    arg.erase(std::remove_if(arg.begin(), arg.end(),
+                             [](char c) { return c == ' ' || c == '\t'; }),
+              arg.end());
+    if (arg == "nullptr" || arg == "NULL" || arg == "0") {
+      out->push_back({path, LineOfOffset(stripped, pos), "determinism",
+                      "time(" + arg +
+                          ") wall-clock seed; use a fixed or configured "
+                          "seed via whyq::Rng"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: output-channel
+// ---------------------------------------------------------------------------
+
+void CheckOutputChannel(const std::string& path, const std::string& stripped,
+                        std::vector<Violation>* out) {
+  static const char* const kBanned[] = {"cout", "cerr",  "clog",    "printf",
+                                        "fprintf", "puts", "fputs", "putchar"};
+  for (const char* t : kBanned) {
+    for (size_t pos = FindToken(stripped, t); pos != std::string::npos;
+         pos = FindToken(stripped, t, pos + 1)) {
+      out->push_back({path, LineOfOffset(stripped, pos), "output-channel",
+                      std::string(t) +
+                          " in library code; metrics/RequestTrace (and "
+                          "returned strings) are the only output channels "
+                          "under src/"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: nodespan-member
+// ---------------------------------------------------------------------------
+
+void CheckNodeSpanMembers(const std::string& path,
+                          const std::string& stripped,
+                          std::vector<Violation>* out) {
+  if (!ContainsToken(stripped, "NodeSpan")) return;
+  // Brace-scope walk classifying each `{` as record (class/struct body) or
+  // other. A declaration statement directly inside a record scope that
+  // names NodeSpan without a parameter list is a stored borrowed span.
+  std::vector<bool> record_stack;
+  size_t stmt_begin = 0;
+  auto check_stmt = [&](size_t begin, size_t end) {
+    if (record_stack.empty() || !record_stack.back()) return;
+    std::string stmt = stripped.substr(begin, end - begin);
+    if (stmt.find('(') != std::string::npos) return;  // function decl
+    if (!ContainsToken(stmt, "NodeSpan")) return;
+    if (ContainsToken(stmt, "using") || ContainsToken(stmt, "typedef") ||
+        ContainsToken(stmt, "friend")) {
+      return;
+    }
+    out->push_back(
+        {path, LineOfOffset(stripped, begin + stmt.find("NodeSpan")),
+         "nodespan-member",
+         "NodeSpan stored as a class member outside src/graph/ — spans "
+         "borrow Graph storage and must not outlive a statement scope; "
+         "store NodeId ranges or re-fetch the span instead"});
+  };
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    char c = stripped[i];
+    if (c == '{') {
+      // Classify by the statement head accumulated since the last
+      // boundary: a class/struct keyword with no parameter list.
+      std::string head = stripped.substr(stmt_begin, i - stmt_begin);
+      bool is_record = head.find('(') == std::string::npos &&
+                       head.find('=') == std::string::npos &&
+                       (ContainsToken(head, "class") ||
+                        ContainsToken(head, "struct"));
+      check_stmt(stmt_begin, i);  // brace-initialized member
+      record_stack.push_back(is_record);
+      stmt_begin = i + 1;
+    } else if (c == '}') {
+      if (!record_stack.empty()) record_stack.pop_back();
+      stmt_begin = i + 1;
+    } else if (c == ';') {
+      check_stmt(stmt_begin, i);
+      stmt_begin = i + 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: header-guard
+// ---------------------------------------------------------------------------
+
+std::string ExpectedGuard(const std::string& path) {
+  // src/common/cancel.h        -> WHYQ_COMMON_CANCEL_H_
+  // tools/lint/lint.h          -> WHYQ_TOOLS_LINT_LINT_H_
+  std::string rel = path;
+  if (StartsWith(rel, "src/")) rel = rel.substr(4);
+  std::string guard = "WHYQ_";
+  for (char c : rel) {
+    guard += IsIdentChar(c)
+                 ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  guard += "_";
+  return guard;
+}
+
+void CheckHeaderGuard(const std::string& path, const std::string& stripped,
+                      std::vector<Violation>* out) {
+  std::string expected = ExpectedGuard(path);
+  std::istringstream lines(stripped);
+  std::string line;
+  std::string ifndef_name;
+  std::string define_name;
+  bool has_endif = false;
+  int lineno = 0;
+  int ifndef_line = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    std::istringstream toks(line);
+    std::string a;
+    toks >> a;
+    if (a.empty()) continue;
+    if (ifndef_name.empty()) {
+      if (a == "#ifndef") {
+        toks >> ifndef_name;
+        ifndef_line = lineno;
+        continue;
+      }
+      // Leading directives before the guard are skipped here; a header
+      // with no #ifndef at all is still reported below.
+      if (a[0] == '#') continue;
+      out->push_back({path, lineno, "header-guard",
+                      "header does not start with its include guard "
+                      "(#ifndef " +
+                          expected + ")"});
+      return;
+    }
+    if (define_name.empty()) {
+      if (a == "#define") {
+        toks >> define_name;
+        continue;
+      }
+      out->push_back({path, lineno, "header-guard",
+                      "#ifndef " + ifndef_name +
+                          " must be followed immediately by #define " +
+                          ifndef_name});
+      return;
+    }
+    if (a == "#endif") has_endif = true;
+  }
+  if (ifndef_name.empty()) {
+    out->push_back({path, 1, "header-guard",
+                    "missing include guard #ifndef " + expected});
+    return;
+  }
+  if (ifndef_name != expected) {
+    out->push_back({path, ifndef_line, "header-guard",
+                    "guard " + ifndef_name + " does not match canonical " +
+                        expected});
+  } else if (define_name != ifndef_name) {
+    out->push_back({path, ifndef_line, "header-guard",
+                    "#define " + define_name + " does not match #ifndef " +
+                        ifndef_name});
+  } else if (!has_endif) {
+    out->push_back(
+        {path, ifndef_line, "header-guard", "guard is never closed (#endif)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: stats-roundtrip helpers
+// ---------------------------------------------------------------------------
+
+struct Member {
+  std::string name;
+  int line = 0;
+};
+
+// Counter-like member declarations of `struct_name` in `header` (already
+// stripped): uint64_t / double / Counter / StreamingHistogram fields,
+// including map<..., StreamingHistogram> aggregations.
+std::vector<Member> ExtractCounterMembers(const std::string& stripped,
+                                          const std::string& struct_name,
+                                          bool* found_struct) {
+  std::vector<Member> members;
+  *found_struct = false;
+  size_t pos = std::string::npos;
+  for (const char* kw : {"struct", "class"}) {
+    for (size_t k = FindToken(stripped, kw); k != std::string::npos;
+         k = FindToken(stripped, kw, k + 1)) {
+      size_t name_pos = FindToken(stripped, struct_name, k);
+      if (name_pos == std::string::npos) continue;
+      // The struct keyword must be immediately followed by the name.
+      std::string between = stripped.substr(
+          k + std::string(kw).size(), name_pos - k - std::string(kw).size());
+      if (between.find_first_not_of(" \t\n") != std::string::npos) continue;
+      pos = name_pos;
+      break;
+    }
+    if (pos != std::string::npos) break;
+  }
+  if (pos == std::string::npos) return members;
+  size_t open = stripped.find('{', pos);
+  if (open == std::string::npos) return members;
+  size_t close = MatchDelim(stripped, open, '{', '}');
+  if (close == std::string::npos) return members;
+  *found_struct = true;
+
+  // Split the body into top-level statements (nested braces — method
+  // bodies, brace initializers — do not split).
+  size_t stmt_begin = open + 1;
+  int depth = 0;
+  for (size_t i = open + 1; i < close; ++i) {
+    char c = stripped[i];
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    if ((c == ';' && depth == 0) || (c == '}' && depth == 0)) {
+      size_t this_begin = stmt_begin;
+      std::string stmt = stripped.substr(this_begin, i - this_begin);
+      stmt_begin = i + 1;
+      if (stmt.find('(') != std::string::npos) continue;  // functions
+      bool counterish = false;
+      for (const char* t : {"uint64_t", "double", "Counter",
+                            "StreamingHistogram"}) {
+        if (ContainsToken(stmt, t)) {
+          counterish = true;
+          break;
+        }
+      }
+      if (!counterish) continue;
+      // Member name: the last identifier before any initializer.
+      size_t cut = stmt.find_first_of("={[");
+      std::string decl = cut == std::string::npos ? stmt : stmt.substr(0, cut);
+      size_t end = decl.find_last_not_of(" \t\n");
+      if (end == std::string::npos) continue;
+      size_t begin = end;
+      while (begin > 0 && IsIdentChar(decl[begin - 1])) --begin;
+      std::string name = decl.substr(begin, end - begin + 1);
+      if (name.empty() || !IsIdentChar(name[0])) continue;
+      // `>` directly before the name means a template type like
+      // map<string, StreamingHistogram>; still a tracked member.
+      members.push_back({name, LineOfOffset(stripped, this_begin)});
+    }
+  }
+  return members;
+}
+
+std::string KeyOfMember(std::string name) {
+  while (!name.empty() && name.back() == '_') name.pop_back();
+  if (EndsWith(name, "_ms")) name.resize(name.size() - 3);
+  // Snapshot/JSON naming divergences, kept deliberately small. Extend only
+  // with a matching glossary entry.
+  if (name == "slow_threshold") return "threshold";
+  return name;
+}
+
+bool ReadFile(const std::filesystem::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+std::vector<Violation> LintStatsRoundTrip(const std::vector<StatsDecl>& decls,
+                                          const std::string& json_source,
+                                          const std::string& glossary) {
+  std::vector<Violation> out;
+  for (const StatsDecl& d : decls) {
+    std::string stripped = StripCommentsAndStrings(d.header_contents);
+    bool found = false;
+    std::vector<Member> members =
+        ExtractCounterMembers(stripped, d.struct_name, &found);
+    if (!found) {
+      out.push_back({d.header_path, 1, "stats-roundtrip",
+                     "struct " + d.struct_name + " not found"});
+      continue;
+    }
+    for (const Member& m : members) {
+      std::string key = KeyOfMember(m.name);
+      if (d.require_json &&
+          json_source.find("\"" + key) == std::string::npos) {
+        out.push_back({d.header_path, m.line, "stats-roundtrip",
+                       d.struct_name + "::" + m.name +
+                           " has no \"" + key +
+                           "\" key in the stats JSON emitter "
+                           "(src/service/stats.cc ToJson)"});
+      }
+      if (glossary.find(key) == std::string::npos) {
+        out.push_back({d.header_path, m.line, "stats-roundtrip",
+                       d.struct_name + "::" + m.name +
+                           " is undocumented: add '" + key +
+                           "' to the stats glossary in "
+                           "docs/ARCHITECTURE.md"});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> LintFile(const std::string& path,
+                                const std::string& contents) {
+  std::vector<Violation> out;
+  std::string stripped = StripCommentsAndStrings(contents);
+
+  bool in_src = StartsWith(path, "src/");
+  bool is_header = EndsWith(path, ".h");
+
+  if (StartsWith(path, "src/why/") || StartsWith(path, "src/matcher/")) {
+    CheckCancelPolling(path, stripped, &out);
+  }
+  if (!StartsWith(path, "src/common/rng.")) {
+    CheckDeterminism(path, stripped, &out);
+  }
+  if (in_src && path != "src/common/check.h") {
+    // check.h is the WHYQ_CHECK abort path: the one sanctioned stderr
+    // write, immediately followed by std::abort().
+    CheckOutputChannel(path, stripped, &out);
+  }
+  if (in_src && !StartsWith(path, "src/graph/")) {
+    CheckNodeSpanMembers(path, stripped, &out);
+  }
+  if (is_header && (in_src || StartsWith(path, "tools/"))) {
+    CheckHeaderGuard(path, stripped, &out);
+  }
+  return out;
+}
+
+std::vector<Violation> LintTree(const std::string& root, std::string* error) {
+  namespace fs = std::filesystem;
+  std::vector<Violation> out;
+  std::vector<std::string> files;
+  for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
+    fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      std::string rel =
+          fs::relative(entry.path(), fs::path(root)).generic_string();
+      if (rel.find("lint_fixtures") != std::string::npos) continue;
+      if (!EndsWith(rel, ".h") && !EndsWith(rel, ".cc") &&
+          !EndsWith(rel, ".cpp")) {
+        continue;
+      }
+      files.push_back(rel);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& rel : files) {
+    std::string contents;
+    if (!ReadFile(fs::path(root) / rel, &contents)) {
+      if (error != nullptr) *error = "cannot read " + rel;
+      return out;
+    }
+    std::vector<Violation> v = LintFile(rel, contents);
+    out.insert(out.end(), v.begin(), v.end());
+  }
+
+  // stats-roundtrip over the canonical declarations.
+  std::string stats_h;
+  std::string metrics_h;
+  std::string matcher_h;
+  std::string stats_cc;
+  std::string arch_md;
+  for (const auto& [p, dst] :
+       std::vector<std::pair<const char*, std::string*>>{
+           {"src/service/stats.h", &stats_h},
+           {"src/common/metrics.h", &metrics_h},
+           {"src/matcher/matcher.h", &matcher_h},
+           {"src/service/stats.cc", &stats_cc},
+           {"docs/ARCHITECTURE.md", &arch_md}}) {
+    if (!ReadFile(fs::path(root) / p, dst)) {
+      if (error != nullptr) *error = std::string("cannot read ") + p;
+      return out;
+    }
+  }
+  std::vector<StatsDecl> decls = {
+      {"src/service/stats.h", stats_h, "StatsSnapshot", true},
+      {"src/service/stats.h", stats_h, "LatencySummary", true},
+      {"src/service/stats.h", stats_h, "StageTotals", true},
+      {"src/service/stats.h", stats_h, "WorkTotals", true},
+      {"src/service/stats.h", stats_h, "ServiceStats", true},
+      {"src/common/metrics.h", metrics_h, "RequestTrace", true},
+      // MatcherStats is surfaced via benches/experiments, not the service
+      // JSON; its counters still must be in the glossary.
+      {"src/matcher/matcher.h", matcher_h, "MatcherStats", false},
+  };
+  std::vector<Violation> v = LintStatsRoundTrip(decls, stats_cc, arch_md);
+  out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+}  // namespace whyq::lint

@@ -1,0 +1,78 @@
+#ifndef WHYQ_TOOLS_LINT_LINT_H_
+#define WHYQ_TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+// whyq-lint: a token/structure-level checker for the repo-specific
+// invariants clang-tidy cannot express (see docs/ARCHITECTURE.md
+// "Static analysis" for each rule's rationale and origin):
+//
+//   cancel-poll      hot loops in src/why/ and src/matcher/ that perform
+//                    MBS enumeration, greedy rounds, or per-root
+//                    verification must poll the CancelToken in the loop.
+//   determinism      no std::rand/srand/std::random_device/time(nullptr)
+//                    outside src/common/rng.* — all randomness flows
+//                    through the seeded whyq::Rng.
+//   output-channel   no std::cout/std::cerr/printf-family output in
+//                    library code under src/ (metrics and traces are the
+//                    only output channel; CLI/tools/bench are exempt).
+//   stats-roundtrip  every counter member of the stats structs must
+//                    appear in the stats JSON emitter and the
+//                    ARCHITECTURE.md stats glossary.
+//   nodespan-member  no class outside src/graph/ may store a borrowed
+//                    NodeSpan as a data member.
+//   header-guard     every header under src/ carries the canonical
+//                    WHYQ_<PATH>_H_ include guard (the companion
+//                    one-TU-per-header compile check proves
+//                    self-containment at build time).
+//
+// The linter deliberately avoids libclang: it lexes comments/strings away
+// and works on the token stream plus brace structure, which is exact for
+// the rules above and keeps the checker dependency-free and fast.
+
+namespace whyq::lint {
+
+struct Violation {
+  std::string file;  // repo-relative path
+  int line = 0;      // 1-based
+  std::string rule;  // stable rule id, e.g. "determinism"
+  std::string message;
+};
+
+/// Replaces //- and /*-comments, string literals, and char literals with
+/// spaces, preserving byte offsets and line structure so reported line
+/// numbers match the original file. Raw strings are handled; escaped
+/// quotes inside literals do not terminate them.
+std::string StripCommentsAndStrings(const std::string& src);
+
+/// Runs every per-file rule applicable to `path` (a repo-relative path —
+/// rule applicability is derived from it) over `contents`. Used both by
+/// the CLI (real files) and the fixture tests (fixture contents checked
+/// under a virtual path).
+std::vector<Violation> LintFile(const std::string& path,
+                                const std::string& contents);
+
+/// Rule "stats-roundtrip" over explicit document contents, so fixtures
+/// can exercise it without touching the real tree. Counter members are
+/// extracted from the struct declarations; each derived key must appear
+/// quoted in `json_source` (JSON emitters) and as a word in `glossary`.
+struct StatsDecl {
+  std::string header_path;  // for messages
+  std::string header_contents;
+  std::string struct_name;
+  bool require_json = true;  // MatcherStats is glossary-only
+};
+std::vector<Violation> LintStatsRoundTrip(const std::vector<StatsDecl>& decls,
+                                          const std::string& json_source,
+                                          const std::string& glossary);
+
+/// Scans the real tree rooted at `root`: per-file rules over src/, tools/,
+/// bench/, examples/, and tests/ (fixtures excluded), plus the
+/// stats-roundtrip rule over the canonical files. Returns all violations;
+/// `error` is set when required files cannot be read.
+std::vector<Violation> LintTree(const std::string& root, std::string* error);
+
+}  // namespace whyq::lint
+
+#endif  // WHYQ_TOOLS_LINT_LINT_H_

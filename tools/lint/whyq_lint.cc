@@ -1,0 +1,85 @@
+// whyq_lint: enforce the repo-specific concurrency/determinism/
+// observability invariants over the source tree. See tools/lint/lint.h
+// for the rule set and docs/ARCHITECTURE.md "Static analysis" for each
+// rule's rationale.
+//
+// Usage:
+//   whyq_lint --root=DIR            # lint the whole tree rooted at DIR
+//                                   # (also: --root DIR)
+//   whyq_lint --as=VPATH FILE       # lint FILE as if it lived at VPATH
+//                                   # (fixture/debug mode; repeatable)
+//
+// Exits 0 when clean, 1 on violations, 2 on usage or I/O errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace {
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "whyq_lint: %s\n", msg.c_str());
+  return 2;
+}
+
+void Print(const std::vector<whyq::lint::Violation>& violations) {
+  for (const auto& v : violations) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::vector<std::pair<std::string, std::string>> as_files;  // vpath, file
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--root=", 7) == 0) {
+      root = a + 7;
+    } else if (std::strcmp(a, "--root") == 0) {
+      if (i + 1 >= argc) return Fail("--root needs a DIR argument");
+      root = argv[++i];
+    } else if (std::strncmp(a, "--as=", 5) == 0) {
+      if (i + 1 >= argc) return Fail("--as=VPATH needs a FILE argument");
+      as_files.emplace_back(a + 5, argv[++i]);
+    } else {
+      return Fail(std::string("unknown argument ") + a +
+                  " (usage: whyq_lint --root=DIR | --as=VPATH FILE ...)");
+    }
+  }
+  if (root.empty() == as_files.empty()) {
+    return Fail("pass exactly one of --root=DIR or --as=VPATH FILE ...");
+  }
+
+  std::vector<whyq::lint::Violation> violations;
+  if (!root.empty()) {
+    std::string error;
+    violations = whyq::lint::LintTree(root, &error);
+    if (!error.empty()) return Fail(error);
+  } else {
+    for (const auto& [vpath, file] : as_files) {
+      std::ifstream in(file, std::ios::binary);
+      if (!in) return Fail("cannot read " + file);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      std::vector<whyq::lint::Violation> v =
+          whyq::lint::LintFile(vpath, ss.str());
+      violations.insert(violations.end(), v.begin(), v.end());
+    }
+  }
+
+  if (!violations.empty()) {
+    Print(violations);
+    std::fprintf(stderr, "whyq_lint: %zu violation(s)\n", violations.size());
+    return 1;
+  }
+  std::printf("whyq_lint: OK\n");
+  return 0;
+}

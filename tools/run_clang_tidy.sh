@@ -1,0 +1,93 @@
+#!/bin/sh
+# Runs clang-tidy (config: .clang-tidy) over the library and tool sources
+# using the compile database exported by CMake, then diffs the findings
+# against the committed baseline so only NEW findings fail the build.
+#
+#   tools/run_clang_tidy.sh [build-dir]      # default: build
+#
+# Baseline workflow:
+#   - tools/clang_tidy_baseline.txt holds known findings, one per line in
+#     "<relative-file>:<check-name>" form (line numbers are deliberately
+#     omitted so unrelated edits do not shift the baseline).
+#   - A finding present in the baseline is reported as "(baselined)" and
+#     does not fail the run.
+#   - To accept a finding, append its line to the baseline WITH a comment
+#     explaining why it cannot be fixed now.
+#   - Fixing a baselined finding leaves a stale line; the script reports
+#     stale entries so the baseline only ever shrinks silently, never grows.
+#
+# Exits 0 when clang-tidy is not installed (CI images without LLVM tooling
+# and the pinned container both lack it; the raised -W flags and whyq_lint
+# still gate those builds), 0 on no new findings, 1 otherwise.
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+build_dir="${1:-build}"
+baseline="tools/clang_tidy_baseline.txt"
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+  echo "run_clang_tidy: $tidy_bin not found; skipping (install LLVM to enable)"
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json missing." >&2
+  echo "Configure first: cmake -B $build_dir -S . " >&2
+  echo "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default in this project)" >&2
+  exit 1
+fi
+
+# First-party TUs only: the compile database also contains third-party
+# and generated sources (gtest, benchmark, header self-containment TUs).
+files=$(sed -n 's/^ *"file": "\(.*\)",*$/\1/p' "$build_dir/compile_commands.json" \
+  | sort -u \
+  | grep -E "^$(pwd)/(src|tools|bench)/" || true)
+if [ -z "$files" ]; then
+  echo "run_clang_tidy: no first-party files in the compile database" >&2
+  exit 1
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+# shellcheck disable=SC2086 — word-splitting of $files is intended.
+"$tidy_bin" -p "$build_dir" --quiet $files 2>/dev/null \
+  | grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error):' > "$raw" || true
+
+fail=0
+new=0
+while IFS= read -r line; do
+  [ -z "$line" ] && continue
+  file=$(echo "$line" | cut -d: -f1)
+  rel=${file#"$(pwd)"/}
+  check=$(echo "$line" | sed -n 's/.*\[\([a-z0-9.-]*\)\]$/\1/p')
+  key="$rel:$check"
+  if [ -f "$baseline" ] && grep -qF "$key" "$baseline"; then
+    echo "(baselined) $line"
+  else
+    echo "NEW: $line" >&2
+    new=$((new + 1))
+    fail=1
+  fi
+done < "$raw"
+
+# Stale baseline entries: keys no longer produced by the run.
+if [ -f "$baseline" ]; then
+  grep -v '^#' "$baseline" | grep -v '^[[:space:]]*$' | while IFS= read -r key; do
+    key=${key%%#*}
+    key=$(echo "$key" | sed 's/[[:space:]]*$//')
+    [ -z "$key" ] && continue
+    file=${key%%:*}
+    check=${key#*:}
+    if ! grep -qE "^$(pwd)/$file:[0-9]+:[0-9]+: .*\[$check\]$" "$raw"; then
+      echo "stale baseline entry (finding fixed — remove the line): $key"
+    fi
+  done
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "run_clang_tidy: $new new finding(s); fix them or baseline with rationale" >&2
+  exit 1
+fi
+echo "run_clang_tidy: OK (no new findings)"
+exit 0

@@ -19,6 +19,7 @@
 //                        [--slow-ms=D] [common]
 //   whyq_cli figure1 --out=PREFIX
 //   whyq_cli demo
+//   whyq_cli --version
 // Common flags: --budget=B --guard=M --semantics=iso|sim --threads=N
 //               --trace
 // --trace prints the per-request stage breakdown (queue/parse/prepare/
@@ -667,14 +668,24 @@ int CmdDemo() {
   return 0;
 }
 
+// CMake injects the project version (tools/CMakeLists.txt); the fallback
+// covers out-of-tree compiles of this file.
+#ifndef WHYQ_VERSION
+#define WHYQ_VERSION "unversioned"
+#endif
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: whyq_cli "
                  "generate|import|dot|stats|query|why|whynot|whyempty|"
-                 "whysomany|serve-batch|figure1|demo "
+                 "whysomany|serve-batch|figure1|demo|--version "
                  "...\n");
     return 1;
+  }
+  if (std::strcmp(argv[1], "--version") == 0) {
+    std::printf("whyq_cli %s\n", WHYQ_VERSION);
+    return 0;
   }
   Options o;
   std::string err;
