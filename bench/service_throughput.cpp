@@ -7,17 +7,31 @@
 //   part c: fixed core budget of 8 split between inter-question workers and
 //           intra-question threads (ServiceConfig::intra_threads) — where
 //           should a deployment spend its cores?
+//   part d: the same service behind the whyq_server socket daemon —
+//           closed-loop clients over loopback TCP, req/s at saturation
+//           (clients == workers) and at 2x overload against a small
+//           admission queue, where rejected-with-retry_after_ms responses
+//           shed the excess instead of queueing it.
 //
-// EXPERIMENTS.md records the shapes: >1x scaling 1 -> 4 workers and a
-// visible cache-hit speedup.
+// EXPERIMENTS.md records the shapes: >1x scaling 1 -> 4 workers, a
+// visible cache-hit speedup, and overload shedding via admission control.
 
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <atomic>
 #include <future>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/net.h"
+#include "server/json.h"
+#include "server/limits.h"
+#include "server/server.h"
 
 namespace whyq::bench {
 namespace {
@@ -174,6 +188,154 @@ void PartCoreBudget(const Flags& flags,
           .c_str());
 }
 
+// Encodes a request as one wire line. The why-not condition cannot travel
+// over the wire (the protocol has no condition field); part d's load uses
+// the entity lists alone, which is what a network client could offer.
+std::string WireLine(const ServiceRequest& r) {
+  std::string line = "{\"question\":\"";
+  line += r.kind == RequestKind::kWhy ? "why" : "whynot";
+  line += "\",\"query\":\"" + server::JsonEscape(r.query_text) + "\"";
+  line += ",\"entities\":[";
+  for (size_t i = 0; i < r.entities.size(); ++i) {
+    if (i > 0) line += ",";
+    line += server::JsonNumber(static_cast<double>(r.entities[i]));
+  }
+  line += "],\"budget\":" + server::JsonNumber(r.config.budget);
+  line += ",\"guard\":" + server::JsonNumber(double(r.config.guard_m));
+  line += "}\n";
+  return line;
+}
+
+/// One closed-loop client: sends a request, blocks for the response, sends
+/// the next. A "rejected" response is retried after its retry_after_ms
+/// hint; everything else counts toward throughput.
+struct ClientTotals {
+  uint64_t ok = 0;
+  uint64_t rejected = 0;
+  std::vector<double> latencies_ms;
+};
+
+ClientTotals RunClient(uint16_t port, const std::vector<std::string>& lines,
+                       size_t begin, size_t count) {
+  ClientTotals totals;
+  std::string error;
+  UniqueFd fd = ConnectTcp(port, &error);
+  if (!fd.valid()) return totals;
+  std::string buf;
+  auto read_line = [&](std::string* out) {
+    for (;;) {
+      size_t nl = buf.find('\n');
+      if (nl != std::string::npos) {
+        *out = buf.substr(0, nl);
+        buf.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n = recv(fd.get(), chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buf.append(chunk, static_cast<size_t>(n));
+    }
+  };
+  for (size_t i = 0; i < count; ++i) {
+    const std::string& line = lines[(begin + i) % lines.size()];
+    Timer timer;
+    for (;;) {
+      if (send(fd.get(), line.data(), line.size(), MSG_NOSIGNAL) < 0) {
+        return totals;
+      }
+      std::string resp;
+      if (!read_line(&resp)) return totals;
+      if (resp.find("\"status\":\"rejected\"") == std::string::npos) break;
+      ++totals.rejected;
+      server::JsonValue v;
+      std::string perr;
+      double wait_ms = server::kRetryAfterMs;
+      if (server::ParseJson(resp, server::kMaxJsonDepth, &v, &perr)) {
+        if (const server::JsonValue* retry = v.Find("retry_after_ms")) {
+          wait_ms = retry->as_number();
+        }
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<long>(wait_ms * 1000)));
+    }
+    totals.latencies_ms.push_back(timer.ElapsedMillis());
+    ++totals.ok;
+  }
+  return totals;
+}
+
+void PartSocket(const Flags& flags,
+                const std::shared_ptr<const Graph>& graph,
+                const std::vector<ServiceRequest>& reqs) {
+  std::vector<std::string> lines;
+  lines.reserve(reqs.size());
+  for (const ServiceRequest& r : reqs) lines.push_back(WireLine(r));
+
+  constexpr size_t kWorkers = 4;
+  TextTable t({"mode", "clients", "queue", "req_per_s", "accepted_p95_ms",
+               "ok", "rejected"});
+  struct Row {
+    const char* mode;
+    size_t clients;
+    size_t queue;
+  };
+  // Closed-loop saturation: one in-flight request per worker. Overload:
+  // twice the clients against a queue too small to hide them — the excess
+  // must come back as immediate rejections, not latency.
+  for (const Row& row : {Row{"saturation", kWorkers, 64},
+                         Row{"overload_2x", 2 * kWorkers, 2}}) {
+    server::ServerConfig cfg;
+    cfg.service.workers = kWorkers;
+    cfg.service.queue_capacity = row.queue;
+    cfg.service.cache_capacity = 64;
+    server::WhyqServer server({{"bench", graph}}, cfg);
+    std::string error;
+    if (!server.Start(&error)) {
+      std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+      return;
+    }
+    std::thread loop([&server] { server.Run(nullptr); });
+
+    size_t per_client =
+        std::max<size_t>(1, lines.size() / row.clients);
+    std::vector<std::future<ClientTotals>> futures;
+    Timer timer;
+    for (size_t c = 0; c < row.clients; ++c) {
+      futures.push_back(std::async(std::launch::async, RunClient,
+                                   server.port(), std::cref(lines),
+                                   c * per_client, per_client));
+    }
+    uint64_t ok = 0;
+    uint64_t rejected = 0;
+    std::vector<double> latencies;
+    for (auto& f : futures) {
+      ClientTotals totals = f.get();
+      ok += totals.ok;
+      rejected += totals.rejected;
+      latencies.insert(latencies.end(), totals.latencies_ms.begin(),
+                       totals.latencies_ms.end());
+    }
+    double elapsed_ms = timer.ElapsedMillis();
+    server.RequestStop();
+    loop.join();
+
+    std::sort(latencies.begin(), latencies.end());
+    double p95 = latencies.empty()
+                     ? 0.0
+                     : latencies[latencies.size() * 95 / 100];
+    t.AddRow({row.mode, std::to_string(row.clients),
+              std::to_string(row.queue),
+              TextTable::Num(1000.0 * static_cast<double>(ok) / elapsed_ms,
+                             1),
+              TextTable::Num(p95, 2), std::to_string(ok),
+              std::to_string(rejected)});
+  }
+  std::printf(
+      "%s\n",
+      t.ToString("Part d: whyq_server socket daemon (closed-loop clients)")
+          .c_str());
+}
+
 int Main(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv);
   BsbmConfig bc;
@@ -197,6 +359,7 @@ int Main(int argc, char** argv) {
   if (RunPart(flags, "a")) PartScaling(flags, graph, reqs);
   if (RunPart(flags, "b")) PartCache(flags, graph, w);
   if (RunPart(flags, "c")) PartCoreBudget(flags, graph, reqs);
+  if (RunPart(flags, "d")) PartSocket(flags, graph, reqs);
   return 0;
 }
 

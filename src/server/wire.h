@@ -1,0 +1,104 @@
+#ifndef WHYQ_SERVER_WIRE_H_
+#define WHYQ_SERVER_WIRE_H_
+
+#include <string>
+
+#include "server/json.h"
+#include "service/request.h"
+
+namespace whyq::server {
+
+/// Accumulates raw socket bytes and splits them into newline-delimited
+/// protocol lines, enforcing the per-line and per-connection byte caps
+/// from limits.h. The server owns one per connection.
+class LineBuffer {
+ public:
+  LineBuffer(size_t max_line_bytes, size_t max_buffer_bytes)
+      : max_line_(max_line_bytes), max_buffer_(max_buffer_bytes) {}
+
+  /// Appends `n` bytes; false when the connection buffer cap would be
+  /// exceeded (the caller closes the connection — backpressure belongs in
+  /// the admission queue, not in hidden per-connection memory).
+  bool Append(const char* data, size_t n);
+
+  enum class Pop {
+    kLine,      // `line` holds one complete request line (no terminator)
+    kNone,      // no complete line buffered yet
+    kOversized  // a line exceeded max_line_bytes — protocol violation
+  };
+
+  /// Extracts the next complete line. A trailing '\r' is stripped so
+  /// netcat/telnet-style CRLF clients work. kOversized is sticky intent:
+  /// the caller must close the connection (no resynchronization).
+  Pop PopLine(std::string* line);
+
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  size_t max_line_;
+  size_t max_buffer_;
+};
+
+/// One decoded request line. `id_json` is the client's "id" field
+/// re-serialized verbatim (the string "null" when absent) so responses can
+/// echo it without interpreting it.
+struct WireRequest {
+  std::string id_json = "null";
+  std::string graph;       // target graph name; "" = the server's default
+  bool is_stats = false;   // {"question":"stats"} — snapshot, not a query
+  ServiceRequest request;  // meaningful when !is_stats
+};
+
+/// Parses and validates one request line against the limits.h envelope
+/// (entity count, query-node count, max_mbs clamp). On failure returns
+/// false and sets `error`; `out->id_json` still carries the request id
+/// whenever the line was well-formed JSON, so the error response can echo
+/// it. Request fields:
+///   id          any JSON value, echoed verbatim (optional)
+///   question    "why" | "whynot" | "whyempty" | "whysomany" | "stats"
+///   graph       graph name for multi-graph servers (optional)
+///   query       query DSL text (required except for "stats")
+///   entities    array of node ids (why/whynot)
+///   target_k    answer-size target (whysomany; default 10)
+///   algo        "auto" | "exact" | "iso" (optional; "approx"/"fast" = auto)
+///   deadline_ms per-request deadline, 0 = none (optional)
+///   budget, guard, semantics ("iso"|"sim"), max_mbs   tuning (optional)
+bool ParseWireRequest(const std::string& line, WireRequest* out,
+                      std::string* error);
+
+/// Counts `node` declarations in query DSL text without parsing it — the
+/// cheap admission check behind kMaxQueryNodes.
+size_t CountQueryNodes(const std::string& query_text);
+
+// Response encoders. Every response is a single JSON line (terminator
+// included) echoing `id_json`:
+//   {"id":..,"status":"ok",...}                       executed
+//   {"id":..,"status":"rejected","retry_after_ms":..} admission control
+//   {"id":..,"status":"bad_request","error":".."}     malformed request
+//   {"id":..,"status":"shutdown","error":".."}        server draining
+
+/// Encodes an executed response: status by ResponseStatus, `truncated`,
+/// a kind-specific "answer" object (explanation, cost, rewritten query —
+/// selected by `kind`), and per-request "stats" (latency, cache_hit,
+/// stage breakdown). `g` is the graph the request ran against (used to
+/// render the explanation).
+std::string EncodeResponse(const std::string& id_json, RequestKind kind,
+                           const ServiceResponse& r, const Graph& g);
+
+/// Encodes a non-ok response without a ServiceResponse (parse errors,
+/// unknown graph, drain refusals). `status` is the wire status string.
+std::string EncodeErrorLine(const std::string& id_json,
+                            const std::string& status,
+                            const std::string& error);
+
+/// Encodes an admission rejection carrying the retry hint.
+std::string EncodeRejected(const std::string& id_json, double retry_after_ms);
+
+/// Encodes a stats snapshot reply; `stats_json` is embedded verbatim.
+std::string EncodeStatsResponse(const std::string& id_json,
+                                const std::string& stats_json);
+
+}  // namespace whyq::server
+
+#endif  // WHYQ_SERVER_WIRE_H_

@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <chrono>
 #include <utility>
 
 #include "query/query_parser.h"
@@ -84,35 +85,67 @@ void WhyqService::Stop() {
   }
 }
 
-std::optional<std::future<ServiceResponse>> WhyqService::Submit(
-    ServiceRequest req) {
-  auto job = std::make_unique<Job>();
-  double deadline =
-      req.deadline_ms > 0 ? req.deadline_ms : cfg_.default_deadline_ms;
+SubmitResult WhyqService::Enqueue(std::unique_ptr<Job> job) {
+  double deadline = job->request.deadline_ms > 0 ? job->request.deadline_ms
+                                                 : cfg_.default_deadline_ms;
   job->token.SetDeadlineAfterMillis(deadline);
-  job->request = std::move(req);
-  std::future<ServiceResponse> future = job->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       stats_.RecordShutdown();
-      ServiceResponse r;
-      r.status = ResponseStatus::kShutdown;
-      job->promise.set_value(std::move(r));
-      return future;
+      // Future path: resolve so the caller's future does not dangle. The
+      // callback path never fires `done` for an unadmitted request.
+      if (!job->done) {
+        ServiceResponse r;
+        r.status = ResponseStatus::kShutdown;
+        job->promise.set_value(std::move(r));
+      }
+      return SubmitResult::kShutdown;
     }
     if (queue_.size() >= cfg_.queue_capacity) {
       stats_.RecordRejected();
-      return std::nullopt;
+      return SubmitResult::kQueueFull;
     }
     // Count before the push, still locked: a worker may finish the job the
     // moment the lock drops, and received >= completed must hold in every
     // Snapshot().
     stats_.RecordReceived();
+    ++in_flight_;
     queue_.push_back(std::move(job));
   }
   cv_.notify_one();
+  return SubmitResult::kAccepted;
+}
+
+std::optional<std::future<ServiceResponse>> WhyqService::Submit(
+    ServiceRequest req) {
+  auto job = std::make_unique<Job>();
+  job->request = std::move(req);
+  std::future<ServiceResponse> future = job->promise.get_future();
+  SubmitResult admitted = Enqueue(std::move(job));
+  if (admitted == SubmitResult::kQueueFull) return std::nullopt;
+  // kAccepted: a worker will resolve it; kShutdown: already resolved.
   return future;
+}
+
+SubmitResult WhyqService::TrySubmit(ServiceRequest req,
+                                    std::function<void(ServiceResponse)> done) {
+  auto job = std::make_unique<Job>();
+  job->request = std::move(req);
+  job->done = std::move(done);
+  return Enqueue(std::move(job));
+}
+
+size_t WhyqService::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+bool WhyqService::WaitDrained(double timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return drain_cv_.wait_for(
+      lock, std::chrono::duration<double, std::milli>(timeout_ms),
+      [this] { return in_flight_ == 0; });
 }
 
 ServiceResponse WhyqService::Execute(const ServiceRequest& req) {
@@ -164,8 +197,19 @@ void WhyqService::WorkerLoop() {
       queue_.pop_front();
     }
     double queue_ms = job->timer.ElapsedMillis();
-    job->promise.set_value(
-        RunContained(job->request, &job->token, job->timer, queue_ms));
+    ServiceResponse resp =
+        RunContained(job->request, &job->token, job->timer, queue_ms);
+    if (job->done) {
+      job->done(std::move(resp));
+    } else {
+      job->promise.set_value(std::move(resp));
+    }
+    // Delivered (callback or future) before the decrement: WaitDrained()
+    // returning true means every admitted request has its response.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) drain_cv_.notify_all();
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -38,6 +39,16 @@ struct ServiceConfig {
   /// per-stage RequestTrace) and surfaced by Stats(). 0 disables the log.
   double slow_query_ms = 0;
   size_t slow_log_capacity = 32;
+};
+
+/// The outcome of a non-blocking TrySubmit: exactly what happened to the
+/// request at admission, as an explicit status instead of Submit()'s
+/// optional-future encoding. The daemon's admission-control path branches
+/// on this to emit rejected-with-retry_after_ms responses.
+enum class SubmitResult {
+  kAccepted,   // enqueued; the callback will run exactly once
+  kQueueFull,  // bounded queue at capacity — backpressure, retry later
+  kShutdown,   // Stop() already ran; the request was never enqueued
 };
 
 /// A concurrent, deadline-aware explanation service over one immutable
@@ -85,6 +96,25 @@ class WhyqService {
   /// future resolves immediately with ResponseStatus::kShutdown.
   std::optional<std::future<ServiceResponse>> Submit(ServiceRequest req);
 
+  /// Non-blocking, callback-based admission: on kAccepted the worker that
+  /// executes the request invokes `done` exactly once (on the worker
+  /// thread — `done` must be fast and must not throw; the daemon's done
+  /// pushes the encoded response onto a completion queue and wakes the
+  /// event loop). On kQueueFull / kShutdown the request was not admitted
+  /// and `done` is never invoked — the caller answers the client itself
+  /// (retry_after_ms / drain refusal). Never blocks the calling thread.
+  SubmitResult TrySubmit(ServiceRequest req,
+                         std::function<void(ServiceResponse)> done);
+
+  /// Requests admitted (Submit or TrySubmit) whose response has not been
+  /// delivered yet — queued plus executing. The drain gauge.
+  size_t InFlight() const;
+
+  /// Blocks until InFlight() reaches 0 or `timeout_ms` elapses; true when
+  /// drained. Pair with Stop() (or just stop submitting) for graceful
+  /// shutdown: in-flight work finishes, nothing new is admitted.
+  bool WaitDrained(double timeout_ms);
+
   /// Synchronous execution on the caller's thread, sharing the same
   /// prepared-question cache and stats. With no deadline the result is
   /// byte-identical to the pooled path — the determinism the stress test
@@ -103,10 +133,16 @@ class WhyqService {
  private:
   struct Job {
     ServiceRequest request;
-    std::promise<ServiceResponse> promise;
+    std::promise<ServiceResponse> promise;  // future path (Submit)
+    std::function<void(ServiceResponse)> done;  // callback path (TrySubmit)
     CancelToken token;  // armed at submission; address-stable (no moves)
     Timer timer;        // latency clock starts at submission
   };
+
+  /// Shared tail of Submit/TrySubmit: stamps the deadline and enqueues
+  /// under the lock. Returns the admission outcome; on kAccepted the job
+  /// was consumed and a worker notified.
+  SubmitResult Enqueue(std::unique_ptr<Job> job);
 
   ServiceResponse Run(const ServiceRequest& req, const CancelToken* token,
                       const Timer& timer, double queue_ms);
@@ -124,9 +160,11 @@ class WhyqService {
   PreparedQueryCache cache_;
   ServiceStats stats_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable drain_cv_;  // signaled when in_flight_ hits 0
   std::deque<std::unique_ptr<Job>> queue_;
+  size_t in_flight_ = 0;  // admitted, response not yet delivered
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,20 @@
+// Fixture (never compiled): numeric limits scattered through daemon code —
+// rule "server-limits" must flag each decimal literal >= 64, linted under
+// a virtual src/server/ path. Line numbers are pinned by the test.
+#include <cstddef>
+
+namespace whyq::server {
+
+void HandleConnection(char* data, size_t n) {
+  char buf[65536];                       // BAD: buffer cap inline (line 9)
+  size_t max_line = 1048576;             // BAD: line cap inline (line 10)
+  for (int i = 0; i < 16; ++i) {         // ok: small loop bound
+    buf[i] = data[i % 8];                // ok: small modulus
+  }
+  if (n > 4096u) {                       // BAD: threshold inline (line 14)
+    return;
+  }
+  (void)max_line;
+}
+
+}  // namespace whyq::server

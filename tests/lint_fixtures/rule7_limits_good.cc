@@ -1,0 +1,25 @@
+// Fixture (never compiled): daemon code drawing every limit from
+// limits.h constants — rule "server-limits" must stay silent. Hex bit
+// masks, small decimal constants, floating scale factors and literals
+// inside comments/strings ("timeout 5000 ms") are all legal.
+#include "server/limits.h"
+
+namespace whyq::server {
+
+void HandleConnection(const char* data, size_t n) {
+  char buf[kReadChunkBytes];                 // the limit, by name
+  size_t count = 0;
+  for (size_t i = 0; i + 1 < n; i += 2) {    // small strides are fine
+    unsigned c = static_cast<unsigned char>(data[i]);
+    if ((c & 0xC0) == 0x80) ++count;         // hex masks exempt
+    if (c >= 0x10000u / 0x800u) ++count;     // still hex
+    if (count > 63) break;                   // below the 64 threshold: ok
+  }
+  double scale = 1.5e3 * 0.25;               // floating literals exempt
+  const char* msg = "retry after 5000 ms";   // strings stripped first
+  (void)buf;
+  (void)scale;
+  (void)msg;
+}
+
+}  // namespace whyq::server

@@ -282,6 +282,44 @@ TEST(LintHeaderGuardTest, SrcPrefixIsDroppedAndToolsPrefixKept) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 7: server-limits
+// ---------------------------------------------------------------------------
+
+TEST(LintServerLimitsTest, FlagsInlineLimitsInServerCode) {
+  std::vector<Violation> v =
+      LintFile("src/server/fixture.cc", ReadFixture("rule7_limits_bad.cc"));
+  ExpectAllRule(v, "server-limits");
+  EXPECT_EQ(Lines(v), (std::vector<int>{9, 10, 14}));
+}
+
+TEST(LintServerLimitsTest, AcceptsNamedLimitsMasksAndSmallConstants) {
+  std::vector<Violation> v =
+      LintFile("src/server/fixture.cc", ReadFixture("rule7_limits_good.cc"));
+  EXPECT_TRUE(v.empty()) << v.front().message;
+}
+
+TEST(LintServerLimitsTest, LimitsHeaderAndOtherLayersAreExempt) {
+  // The pigeonhole itself may (must) hold the literals...
+  EXPECT_TRUE(
+      LintFile("src/server/limits.h",
+               "#ifndef WHYQ_SERVER_LIMITS_H_\n#define WHYQ_SERVER_LIMITS_H_\n"
+               "inline constexpr int kCap = 65536;\n#endif\n")
+          .empty());
+  // ...and the rule does not reach outside src/server/.
+  EXPECT_TRUE(
+      LintFile("src/service/fixture.cc", ReadFixture("rule7_limits_bad.cc"))
+          .empty());
+}
+
+TEST(LintServerLimitsTest, SuffixedAndSeparatedLiteralsAreCaught) {
+  std::vector<Violation> v = LintFile(
+      "src/server/x.cc", "size_t a = 1'048'576ull;\nint b = 100;\n");
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_NE(v[0].message.find("1048576"), std::string::npos);
+  EXPECT_NE(v[1].message.find("100"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // The real tree must be clean — same invariant as the lint_tree ctest
 // entry, but failing inside the suite gives a better signal locally.
 // ---------------------------------------------------------------------------

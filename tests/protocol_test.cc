@@ -1,0 +1,450 @@
+// Wire-protocol unit tests: LineBuffer framing (partial reads, pipelining,
+// oversized lines), the JSON parser (escapes, surrogate pairs, the depth
+// limit), request parsing/validation against the limits.h envelope, and the
+// response encoders (id echo, retry_after_ms, parse-back round-trips).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "gen/figure1.h"
+#include "query/query_parser.h"
+#include "server/json.h"
+#include "server/limits.h"
+#include "server/wire.h"
+#include "service/request.h"
+
+namespace whyq::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LineBuffer
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolLineBufferTest, PartialReadsAssembleOneLine) {
+  LineBuffer buf(64, 256);
+  std::string line;
+  ASSERT_TRUE(buf.Append("{\"quest", 7));
+  EXPECT_EQ(buf.PopLine(&line), LineBuffer::Pop::kNone);
+  ASSERT_TRUE(buf.Append("ion\":\"stats\"}", 13));
+  EXPECT_EQ(buf.PopLine(&line), LineBuffer::Pop::kNone);
+  ASSERT_TRUE(buf.Append("\n", 1));
+  ASSERT_EQ(buf.PopLine(&line), LineBuffer::Pop::kLine);
+  EXPECT_EQ(line, "{\"question\":\"stats\"}");
+  EXPECT_EQ(buf.PopLine(&line), LineBuffer::Pop::kNone);
+}
+
+TEST(ProtocolLineBufferTest, PipelinedLinesPopInOrder) {
+  LineBuffer buf(64, 256);
+  std::string data = "one\ntwo\nthree\npartial";
+  ASSERT_TRUE(buf.Append(data.data(), data.size()));
+  std::string line;
+  ASSERT_EQ(buf.PopLine(&line), LineBuffer::Pop::kLine);
+  EXPECT_EQ(line, "one");
+  ASSERT_EQ(buf.PopLine(&line), LineBuffer::Pop::kLine);
+  EXPECT_EQ(line, "two");
+  ASSERT_EQ(buf.PopLine(&line), LineBuffer::Pop::kLine);
+  EXPECT_EQ(line, "three");
+  EXPECT_EQ(buf.PopLine(&line), LineBuffer::Pop::kNone);
+  EXPECT_EQ(buf.size(), 7u);  // "partial" stays buffered
+}
+
+TEST(ProtocolLineBufferTest, StripsCarriageReturn) {
+  LineBuffer buf(64, 256);
+  ASSERT_TRUE(buf.Append("hello\r\n", 7));
+  std::string line;
+  ASSERT_EQ(buf.PopLine(&line), LineBuffer::Pop::kLine);
+  EXPECT_EQ(line, "hello");
+}
+
+TEST(ProtocolLineBufferTest, OversizedCompleteLineIsViolation) {
+  LineBuffer buf(8, 256);
+  std::string data(20, 'x');
+  data += "\n";
+  ASSERT_TRUE(buf.Append(data.data(), data.size()));
+  std::string line;
+  EXPECT_EQ(buf.PopLine(&line), LineBuffer::Pop::kOversized);
+}
+
+TEST(ProtocolLineBufferTest, OversizedPartialLineReportedEarly) {
+  // No terminator yet, but the partial already exceeds the line cap — the
+  // buffer must not wait for a newline that may never come.
+  LineBuffer buf(8, 256);
+  std::string data(16, 'x');
+  ASSERT_TRUE(buf.Append(data.data(), data.size()));
+  std::string line;
+  EXPECT_EQ(buf.PopLine(&line), LineBuffer::Pop::kOversized);
+}
+
+TEST(ProtocolLineBufferTest, LineExactlyAtCapIsAccepted) {
+  // max_line counts the terminator: 7 payload bytes + '\n' == cap 8.
+  LineBuffer buf(8, 256);
+  ASSERT_TRUE(buf.Append("1234567\n", 8));
+  std::string line;
+  ASSERT_EQ(buf.PopLine(&line), LineBuffer::Pop::kLine);
+  EXPECT_EQ(line, "1234567");
+}
+
+TEST(ProtocolLineBufferTest, AppendRefusesPastBufferCap) {
+  LineBuffer buf(8, 16);
+  ASSERT_TRUE(buf.Append("12345678", 8));
+  ASSERT_TRUE(buf.Append("12345678", 8));
+  EXPECT_FALSE(buf.Append("x", 1));
+  EXPECT_EQ(buf.size(), 16u);  // refused append left the buffer unchanged
+}
+
+// ---------------------------------------------------------------------------
+// ParseJson
+// ---------------------------------------------------------------------------
+
+JsonValue MustParse(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  bool ok = ParseJson(text, kMaxJsonDepth, &v, &error);
+  EXPECT_TRUE(ok) << text << " -> " << error;
+  return v;
+}
+
+std::string ParseError(const std::string& text,
+                       size_t depth = kMaxJsonDepth) {
+  JsonValue v;
+  std::string error;
+  bool ok = ParseJson(text, depth, &v, &error);
+  EXPECT_FALSE(ok) << text << " unexpectedly parsed";
+  return error;
+}
+
+TEST(ProtocolJsonTest, ParsesScalars) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_TRUE(MustParse("true").as_bool());
+  EXPECT_FALSE(MustParse("false").as_bool());
+  EXPECT_DOUBLE_EQ(MustParse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(MustParse("-1.5e2").as_number(), -150.0);
+  EXPECT_EQ(MustParse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(MustParse("  \"ws\"  ").as_string(), "ws");
+}
+
+TEST(ProtocolJsonTest, ParsesContainersAndFind) {
+  JsonValue v = MustParse("{\"a\":[1,2,3],\"b\":{\"c\":true}}");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[2].as_number(), 3.0);
+  const JsonValue* b = v.Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(b->Find("c"), nullptr);
+  EXPECT_TRUE(b->Find("c")->as_bool());
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(ProtocolJsonTest, DecodesEscapes) {
+  JsonValue v = MustParse("\"a\\n\\t\\\"\\\\\\/b\"");
+  EXPECT_EQ(v.as_string(), "a\n\t\"\\/b");
+}
+
+TEST(ProtocolJsonTest, DecodesUnicodeEscapes) {
+  // \u0041 = 'A'; \u00e9 = e-acute (2-byte UTF-8); \u20ac = euro (3-byte).
+  EXPECT_EQ(MustParse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(MustParse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(MustParse("\"\\u20ac\"").as_string(), "\xe2\x82\xac");
+}
+
+TEST(ProtocolJsonTest, DecodesSurrogatePairs) {
+  // U+1F600 as \ud83d\ude00 -> 4-byte UTF-8.
+  EXPECT_EQ(MustParse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+  // A lone high surrogate is an error, not silent garbage.
+  ParseError("\"\\ud83d\"");
+}
+
+TEST(ProtocolJsonTest, RejectsUnescapedControlCharacters) {
+  ParseError("\"a\tb\"");  // raw tab inside a string
+}
+
+TEST(ProtocolJsonTest, RejectsTrailingGarbage) {
+  std::string error = ParseError("{} extra");
+  EXPECT_NE(error.find("byte"), std::string::npos) << error;
+}
+
+TEST(ProtocolJsonTest, RejectsMalformedDocuments) {
+  ParseError("");
+  ParseError("{");
+  ParseError("[1,]");
+  ParseError("{\"a\":}");
+  ParseError("{'a':1}");
+  ParseError("nul");
+}
+
+TEST(ProtocolJsonTest, EnforcesDepthLimit) {
+  // Depth kMaxJsonDepth parses; one more level fails — the stack bound
+  // behind "[[[[..." bombs.
+  std::string at_limit(kMaxJsonDepth, '[');
+  at_limit += std::string(kMaxJsonDepth, ']');
+  MustParse(at_limit);
+  std::string over(kMaxJsonDepth + 1, '[');
+  over += std::string(kMaxJsonDepth + 1, ']');
+  ParseError(over);
+}
+
+TEST(ProtocolJsonTest, DumpRoundTripsRequestIds) {
+  // Ids are echoed by re-serializing the parsed value: every JSON type a
+  // client might use must survive Dump() -> ParseJson().
+  for (const char* id : {"null", "true", "42", "\"req-7\"", "[1,\"a\"]",
+                         "{\"k\":1}"}) {
+    JsonValue v = MustParse(id);
+    JsonValue again = MustParse(v.Dump());
+    EXPECT_EQ(again.Dump(), v.Dump()) << id;
+  }
+}
+
+TEST(ProtocolJsonTest, JsonNumberFormatsIntegersPlainly) {
+  EXPECT_EQ(JsonNumber(0), "0");
+  EXPECT_EQ(JsonNumber(42), "42");
+  EXPECT_EQ(JsonNumber(-3), "-3");
+  EXPECT_EQ(JsonNumber(2.5), "2.5");
+  // Non-finite values cannot appear in JSON.
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "0");
+}
+
+TEST(ProtocolJsonTest, JsonEscapeHandlesControlAndQuotes) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// ---------------------------------------------------------------------------
+// ParseWireRequest
+// ---------------------------------------------------------------------------
+
+constexpr char kQuery[] = "node a Product\\nnode b Review\\nedge b a "
+                          "reviewOf\\noutput a";
+
+std::string WhyLine(const std::string& extra = "") {
+  return std::string("{\"id\":7,\"question\":\"why\",\"query\":\"") + kQuery +
+         "\",\"entities\":[1,2]" + extra + "}";
+}
+
+TEST(ProtocolWireRequestTest, ParsesFullWhyRequest) {
+  WireRequest wr;
+  std::string error;
+  std::string line = WhyLine(
+      ",\"graph\":\"g1\",\"target_k\":3,\"algo\":\"exact\","
+      "\"deadline_ms\":250,\"budget\":4.5,\"guard\":2,"
+      "\"semantics\":\"sim\",\"max_mbs\":1000");
+  ASSERT_TRUE(ParseWireRequest(line, &wr, &error)) << error;
+  EXPECT_EQ(wr.id_json, "7");
+  EXPECT_EQ(wr.graph, "g1");
+  EXPECT_FALSE(wr.is_stats);
+  EXPECT_EQ(wr.request.kind, RequestKind::kWhy);
+  ASSERT_EQ(wr.request.entities.size(), 2u);
+  EXPECT_EQ(wr.request.entities[0], 1u);
+  EXPECT_EQ(wr.request.target_k, 3u);
+  EXPECT_EQ(wr.request.algo, AlgoChoice::kExact);
+  EXPECT_DOUBLE_EQ(wr.request.deadline_ms, 250.0);
+  EXPECT_DOUBLE_EQ(wr.request.config.budget, 4.5);
+  EXPECT_EQ(wr.request.config.guard_m, 2u);
+  EXPECT_EQ(wr.request.config.semantics, MatchSemantics::kSimulation);
+  EXPECT_EQ(wr.request.config.max_mbs, 1000u);
+  // The wire default exact-enumeration ceiling is always stamped.
+  EXPECT_DOUBLE_EQ(wr.request.config.exact_time_limit_ms, kExactTimeLimitMs);
+}
+
+TEST(ProtocolWireRequestTest, IdSurvivesValidationFailure) {
+  // The error response must echo the id even when the request is invalid —
+  // the id is extracted before validation.
+  WireRequest wr;
+  std::string error;
+  EXPECT_FALSE(ParseWireRequest(
+      "{\"id\":\"abc\",\"question\":\"nonsense\"}", &wr, &error));
+  EXPECT_EQ(wr.id_json, "\"abc\"");
+  EXPECT_NE(error.find("nonsense"), std::string::npos);
+}
+
+TEST(ProtocolWireRequestTest, MissingIdEchoesNull) {
+  WireRequest wr;
+  std::string error;
+  ASSERT_TRUE(
+      ParseWireRequest("{\"question\":\"stats\"}", &wr, &error)) << error;
+  EXPECT_EQ(wr.id_json, "null");
+  EXPECT_TRUE(wr.is_stats);
+}
+
+TEST(ProtocolWireRequestTest, RejectsMissingOrEmptyQuery) {
+  WireRequest wr;
+  std::string error;
+  EXPECT_FALSE(ParseWireRequest("{\"question\":\"whyempty\"}", &wr, &error));
+  EXPECT_FALSE(ParseWireRequest(
+      "{\"question\":\"whyempty\",\"query\":\"\"}", &wr, &error));
+  EXPECT_FALSE(ParseWireRequest(
+      "{\"question\":\"whyempty\",\"query\":\"# no nodes\"}", &wr, &error));
+}
+
+TEST(ProtocolWireRequestTest, RequiresEntitiesForWhyAndWhyNot) {
+  WireRequest wr;
+  std::string error;
+  std::string base = "{\"question\":\"%K\",\"query\":\"node a Product\"}";
+  for (const char* k : {"why", "whynot"}) {
+    std::string line = base;
+    line.replace(line.find("%K"), 2, k);
+    EXPECT_FALSE(ParseWireRequest(line, &wr, &error)) << k;
+  }
+  // whyempty/whysomany need none.
+  for (const char* k : {"whyempty", "whysomany"}) {
+    std::string line = base;
+    line.replace(line.find("%K"), 2, k);
+    EXPECT_TRUE(ParseWireRequest(line, &wr, &error)) << k << ": " << error;
+  }
+}
+
+TEST(ProtocolWireRequestTest, ValidatesFieldTypes) {
+  WireRequest wr;
+  std::string error;
+  EXPECT_FALSE(ParseWireRequest("[1,2]", &wr, &error));
+  EXPECT_FALSE(ParseWireRequest("{\"question\":42}", &wr, &error));
+  EXPECT_FALSE(ParseWireRequest(WhyLine(",\"target_k\":0"), &wr, &error));
+  EXPECT_FALSE(ParseWireRequest(WhyLine(",\"target_k\":1.5"), &wr, &error));
+  EXPECT_FALSE(ParseWireRequest(WhyLine(",\"algo\":\"magic\""), &wr, &error));
+  EXPECT_FALSE(
+      ParseWireRequest(WhyLine(",\"semantics\":\"homo\""), &wr, &error));
+  EXPECT_FALSE(
+      ParseWireRequest(WhyLine(",\"deadline_ms\":-1"), &wr, &error));
+  EXPECT_FALSE(ParseWireRequest(WhyLine(",\"budget\":0"), &wr, &error));
+  EXPECT_FALSE(
+      ParseWireRequest(WhyLine(",\"entities\":[-1]"), &wr, &error));
+  EXPECT_FALSE(
+      ParseWireRequest(WhyLine(",\"entities\":[\"x\"]"), &wr, &error));
+}
+
+TEST(ProtocolWireRequestTest, ClampsMaxMbsToLibraryCeiling) {
+  WireRequest wr;
+  std::string error;
+  ASSERT_TRUE(
+      ParseWireRequest(WhyLine(",\"max_mbs\":999999999"), &wr, &error))
+      << error;
+  EXPECT_EQ(wr.request.config.max_mbs, kMaxMbsVisits);
+  ASSERT_TRUE(ParseWireRequest(WhyLine(",\"max_mbs\":100"), &wr, &error));
+  EXPECT_EQ(wr.request.config.max_mbs, 100u);
+}
+
+TEST(ProtocolWireRequestTest, EnforcesQueryNodeCap) {
+  std::string query;
+  for (size_t i = 0; i <= kMaxQueryNodes; ++i) {
+    query += "node n" + std::to_string(i) + " Product\\n";
+  }
+  WireRequest wr;
+  std::string error;
+  std::string line = "{\"question\":\"whyempty\",\"query\":\"" + query + "\"}";
+  EXPECT_FALSE(ParseWireRequest(line, &wr, &error));
+  EXPECT_NE(error.find("limit"), std::string::npos) << error;
+}
+
+TEST(ProtocolWireRequestTest, CountQueryNodesMatchesDsl) {
+  EXPECT_EQ(CountQueryNodes("node a Product\nnode b Review\nedge b a r"), 2u);
+  EXPECT_EQ(CountQueryNodes("  node a P\n# node in comment? no: '#' first\n"),
+            1u);
+  EXPECT_EQ(CountQueryNodes("nodes a P\nnodex b Q"), 0u);  // whole token only
+  EXPECT_EQ(CountQueryNodes(""), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Encoders
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolEncodersTest, RejectedCarriesRetryAfter) {
+  std::string line = EncodeRejected("\"r1\"", kRetryAfterMs);
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  JsonValue v = MustParse(line);
+  EXPECT_EQ(v.Find("id")->as_string(), "r1");
+  EXPECT_EQ(v.Find("status")->as_string(), "rejected");
+  EXPECT_DOUBLE_EQ(v.Find("retry_after_ms")->as_number(), kRetryAfterMs);
+}
+
+TEST(ProtocolEncodersTest, ErrorLineEchoesIdAndEscapes) {
+  std::string line = EncodeErrorLine("17", "bad_request", "broke \"here\"");
+  JsonValue v = MustParse(line);
+  EXPECT_DOUBLE_EQ(v.Find("id")->as_number(), 17.0);
+  EXPECT_EQ(v.Find("status")->as_string(), "bad_request");
+  EXPECT_EQ(v.Find("error")->as_string(), "broke \"here\"");
+}
+
+TEST(ProtocolEncodersTest, OkResponseParsesBackWithAnswerAndStats) {
+  Figure1 f = MakeFigure1();
+  ServiceResponse r;
+  r.status = ResponseStatus::kOk;
+  r.latency_ms = 12.5;
+  r.cache_hit = true;
+  r.base_answers = {1, 2, 3};
+  r.answer.found = true;
+  r.answer.cost = 2.0;
+  r.answer.rewritten = f.query;
+
+  std::string line = EncodeResponse("null", RequestKind::kWhy, r, f.graph);
+  JsonValue v = MustParse(line);
+  EXPECT_EQ(v.Find("status")->as_string(), "ok");
+  EXPECT_FALSE(v.Find("truncated")->as_bool());
+  EXPECT_DOUBLE_EQ(v.Find("base_answers")->as_number(), 3.0);
+  const JsonValue* answer = v.Find("answer");
+  ASSERT_NE(answer, nullptr);
+  EXPECT_TRUE(answer->Find("found")->as_bool());
+  EXPECT_DOUBLE_EQ(answer->Find("cost")->as_number(), 2.0);
+  // The rewritten query is DSL text that parses back against the graph.
+  const JsonValue* rewritten = answer->Find("rewritten");
+  ASSERT_NE(rewritten, nullptr);
+  EXPECT_TRUE(ParseQuery(rewritten->as_string(), f.graph, nullptr)
+                  .has_value());
+  const JsonValue* stats = v.Find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_DOUBLE_EQ(stats->Find("latency_ms")->as_number(), 12.5);
+  EXPECT_TRUE(stats->Find("cache_hit")->as_bool());
+}
+
+TEST(ProtocolEncodersTest, WhySoManyReportsBeforeAfter) {
+  Figure1 f = MakeFigure1();
+  ServiceResponse r;
+  r.status = ResponseStatus::kOk;
+  r.why_so_many.found = true;
+  r.why_so_many.before = 9;
+  r.why_so_many.after = 2;
+  r.why_so_many.rewritten = f.query;
+  std::string line =
+      EncodeResponse("1", RequestKind::kWhySoMany, r, f.graph);
+  JsonValue v = MustParse(line);
+  const JsonValue* answer = v.Find("answer");
+  ASSERT_NE(answer, nullptr);
+  EXPECT_DOUBLE_EQ(answer->Find("before")->as_number(), 9.0);
+  EXPECT_DOUBLE_EQ(answer->Find("after")->as_number(), 2.0);
+}
+
+TEST(ProtocolEncodersTest, NonOkStatusesDispatchToErrorShapes) {
+  Figure1 f = MakeFigure1();
+  ServiceResponse r;
+  r.status = ResponseStatus::kRejected;
+  JsonValue v =
+      MustParse(EncodeResponse("2", RequestKind::kWhy, r, f.graph));
+  EXPECT_EQ(v.Find("status")->as_string(), "rejected");
+  ASSERT_NE(v.Find("retry_after_ms"), nullptr);
+
+  r.status = ResponseStatus::kBadRequest;
+  r.error = "no such node";
+  v = MustParse(EncodeResponse("2", RequestKind::kWhy, r, f.graph));
+  EXPECT_EQ(v.Find("status")->as_string(), "bad_request");
+  EXPECT_EQ(v.Find("error")->as_string(), "no such node");
+
+  r.status = ResponseStatus::kShutdown;
+  r.error.clear();
+  v = MustParse(EncodeResponse("2", RequestKind::kWhy, r, f.graph));
+  EXPECT_EQ(v.Find("status")->as_string(), "shutdown");
+}
+
+TEST(ProtocolEncodersTest, StatsResponseEmbedsDocumentVerbatim) {
+  std::string line = EncodeStatsResponse("null", "{\"server\":{}}");
+  JsonValue v = MustParse(line);
+  ASSERT_NE(v.Find("stats"), nullptr);
+  EXPECT_TRUE(v.Find("stats")->is_object());
+}
+
+}  // namespace
+}  // namespace whyq::server

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <future>
 #include <memory>
 #include <optional>
@@ -282,6 +283,96 @@ TEST_F(ServiceTest, SubmitAfterStopResolvesShutdown) {
   std::optional<std::future<ServiceResponse>> f = service.Submit(Why({a5_}));
   ASSERT_TRUE(f.has_value());
   EXPECT_EQ(f->get().status, ResponseStatus::kShutdown);
+}
+
+// The non-blocking admission path the daemon sits on: a full queue returns
+// kQueueFull immediately and the callback never fires for rejected
+// requests, while every accepted request's callback fires exactly once.
+TEST_F(ServiceTest, TrySubmitReportsQueueFullWithoutInvokingCallback) {
+  ServiceConfig sc{1, 2, 0, 0};
+  auto big = std::make_shared<const Graph>(GenerateBsbm(BsbmConfig{300, 7}));
+  WhyqService service(big, sc);
+  Query q;
+  {
+    std::optional<SymbolId> product = big->node_labels().Find("Product");
+    std::optional<SymbolId> review = big->node_labels().Find("Review");
+    std::optional<SymbolId> rev_of = big->edge_labels().Find("reviewOf");
+    ASSERT_TRUE(product && review && rev_of);
+    QNodeId p = q.AddNode(*product);
+    QNodeId r = q.AddNode(*review);
+    q.AddEdge(r, p, *rev_of);
+    q.SetOutput(p);
+  }
+  ServiceRequest req;
+  req.kind = RequestKind::kWhySoMany;
+  req.query_text = WriteQuery(q, *big);
+  req.target_k = 1;
+  req.config.budget = 6.0;
+
+  std::atomic<size_t> delivered{0};
+  size_t accepted = 0;
+  size_t rejections = 0;
+  for (int i = 0; i < 64 && rejections == 0; ++i) {
+    SubmitResult sr = service.TrySubmit(
+        req, [&delivered](ServiceResponse r) {
+          EXPECT_EQ(r.status, ResponseStatus::kOk);
+          delivered.fetch_add(1);
+        });
+    if (sr == SubmitResult::kAccepted) {
+      ++accepted;
+    } else {
+      ASSERT_EQ(sr, SubmitResult::kQueueFull);
+      ++rejections;
+    }
+  }
+  EXPECT_GT(rejections, 0u);
+  EXPECT_GT(accepted, 0u);
+
+  // WaitDrained blocks until every accepted callback has been delivered —
+  // the drain gauge the daemon's shutdown path relies on.
+  EXPECT_TRUE(service.WaitDrained(60000));
+  EXPECT_EQ(delivered.load(), accepted);
+  EXPECT_EQ(service.InFlight(), 0u);
+  EXPECT_EQ(service.Stats().rejected, rejections);
+}
+
+TEST_F(ServiceTest, TrySubmitAfterStopReportsShutdown) {
+  WhyqService service(graph_, ServiceConfig{1, 4, 4, 0});
+  service.Stop();
+  bool fired = false;
+  SubmitResult sr =
+      service.TrySubmit(Why({a5_}), [&fired](ServiceResponse) {
+        fired = true;
+      });
+  EXPECT_EQ(sr, SubmitResult::kShutdown);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(service.InFlight(), 0u);
+}
+
+TEST_F(ServiceTest, WaitDrainedIsImmediateWhenIdle) {
+  WhyqService service(graph_, ServiceConfig{2, 16, 4, 0});
+  EXPECT_EQ(service.InFlight(), 0u);
+  EXPECT_TRUE(service.WaitDrained(0));
+
+  // A mixed Submit/TrySubmit load drains to zero.
+  std::vector<std::future<ServiceResponse>> futures;
+  std::atomic<size_t> delivered{0};
+  for (int i = 0; i < 4; ++i) {
+    std::optional<std::future<ServiceResponse>> f = service.Submit(Why({a5_}));
+    ASSERT_TRUE(f.has_value());
+    futures.push_back(std::move(*f));
+    ASSERT_EQ(service.TrySubmit(Why({a5_}),
+                                [&delivered](ServiceResponse) {
+                                  delivered.fetch_add(1);
+                                }),
+              SubmitResult::kAccepted);
+  }
+  EXPECT_TRUE(service.WaitDrained(60000));
+  EXPECT_EQ(service.InFlight(), 0u);
+  EXPECT_EQ(delivered.load(), 4u);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, ResponseStatus::kOk);
+  }
 }
 
 // Deadline behavior on a graph big enough that the full question would take

@@ -10,6 +10,10 @@
 #   4. per-stage time totals (queue+parse+prepare+search) sum to the
 #      latency total within 5% (or a 0.5ms absolute epsilon for the
 #      sub-millisecond latencies of the toy example).
+# A second phase covers the daemon's periodic `serve --stats-json` dump:
+# it must appear within a few periods even with no traffic, carry the
+# server + per-graph service blocks, and — because the writer renames a
+# temp file into place — every concurrent read must parse cleanly.
 # Usage: check_stats_json.sh PATH_TO_WHYQ_CLI [WORKDIR]
 set -u
 
@@ -93,3 +97,58 @@ for e in slow["entries"]:
 print("check_stats_json: OK (counters reconcile, percentiles ordered, "
       f"stage sum {stages:.3f}ms ~ latency {st['latency']:.3f}ms)")
 EOF
+[ $? -eq 0 ] || exit 1
+
+# --- phase 2: the daemon's periodic dump --------------------------------
+rm -f sj_f1.daemon.json sj_f1.daemon.log
+"$cli" serve sj_f1.graph --workers=1 --stats-json=sj_f1.daemon.json \
+  --stats-period-ms=50 > sj_f1.daemon.log 2>&1 &
+pid=$!
+
+# The first dump must land within a few periods, with no client traffic.
+found=""
+for _ in $(seq 1 100); do
+  [ -f sj_f1.daemon.json ] && { found=1; break; }
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.05
+done
+[ -n "$found" ] || {
+  echo "check_stats_json: daemon wrote no periodic dump; log:" >&2
+  cat sj_f1.daemon.log >&2
+  kill "$pid" 2>/dev/null
+  exit 1
+}
+
+# Atomic rename: reads racing the periodic writer must never observe a
+# torn file. Sample it repeatedly across several write periods.
+python3 - <<'EOF'
+import json, sys, time
+
+for attempt in range(20):
+    try:
+        d = json.load(open("sj_f1.daemon.json"))
+    except Exception as e:  # noqa: BLE001 - a torn read is the finding
+        print(f"check_stats_json: FAIL: torn/unparsable daemon dump on "
+              f"read {attempt}: {e}", file=sys.stderr)
+        sys.exit(1)
+    time.sleep(0.02)
+
+srv = d.get("server", {})
+for key in ("accepted", "refused", "closed", "idle_closed", "requests",
+            "responded", "admitted", "rejected", "bad_lines", "drained"):
+    if key not in srv:
+        print(f"check_stats_json: FAIL: daemon dump server block missing "
+              f"'{key}'", file=sys.stderr)
+        sys.exit(1)
+svc = d.get("service", {})
+if "sj_f1" not in svc or "counters" not in svc["sj_f1"]:
+    print("check_stats_json: FAIL: daemon dump has no per-graph service "
+          f"block: {sorted(d)}", file=sys.stderr)
+    sys.exit(1)
+print("check_stats_json: OK (daemon dump present, atomic, well-formed)")
+EOF
+rc=$?
+kill -TERM "$pid" 2>/dev/null
+wait "$pid" 2>/dev/null
+[ "$rc" -eq 0 ] || exit 1
+exit 0

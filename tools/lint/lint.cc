@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -61,6 +62,14 @@ bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
+/// A `'` directly after a (hex) digit is a C++14 digit separator
+/// (1'048'576, 0xFF'FF), not the start of a char literal. Wide-literal
+/// prefixes (L/u/U/u8) are not hex-digit letters, so they still open one.
+bool IsDigitSeparatorContext(char prev) {
+  return (prev >= '0' && prev <= '9') || (prev >= 'a' && prev <= 'f') ||
+         (prev >= 'A' && prev <= 'F');
+}
+
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
@@ -94,7 +103,8 @@ std::string StripCommentsAndStrings(const std::string& src) {
           // Keep the R" prefix readable; blank from the delimiter on.
         } else if (c == '"') {
           state = State::kString;
-        } else if (c == '\'') {
+        } else if (c == '\'' &&
+                   (i == 0 || !IsDigitSeparatorContext(src[i - 1]))) {
           state = State::kChar;
         }
         break;
@@ -280,6 +290,78 @@ void CheckOutputChannel(const std::string& path, const std::string& stripped,
                           " in library code; metrics/RequestTrace (and "
                           "returned strings) are the only output channels "
                           "under src/"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: server-limits
+// ---------------------------------------------------------------------------
+
+/// Decimal integer literals at or above this value are presumed to be
+/// resource limits (buffer sizes, caps, timeouts) that belong in
+/// src/server/limits.h. Below it sit loop bounds, small field counts and
+/// arithmetic constants that are not limits. Hex/binary/octal-prefixed
+/// literals are exempt: they are bit masks and encoding thresholds
+/// (UTF-8 boundaries, epoll flags), not capacity knobs.
+constexpr unsigned long long kServerLimitsThreshold = 64;
+
+void CheckServerLimits(const std::string& path, const std::string& stripped,
+                       std::vector<Violation>* out) {
+  auto digit = [](char c) {
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+  };
+  for (size_t i = 0; i < stripped.size();) {
+    if (!digit(stripped[i]) ||
+        (i > 0 && (IsIdentChar(stripped[i - 1]) || stripped[i - 1] == '.'))) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    if (stripped[i] == '0' && j + 1 < stripped.size() &&
+        (stripped[j + 1] == 'x' || stripped[j + 1] == 'X' ||
+         stripped[j + 1] == 'b' || stripped[j + 1] == 'B')) {
+      // Prefixed literal: skip the whole token.
+      j += 2;
+      while (j < stripped.size() &&
+             (IsIdentChar(stripped[j]) || stripped[j] == '\'')) {
+        ++j;
+      }
+      i = j;
+      continue;
+    }
+    std::string digits;
+    while (j < stripped.size() && (digit(stripped[j]) || stripped[j] == '\'')) {
+      if (stripped[j] != '\'') digits += stripped[j];
+      ++j;
+    }
+    if (j < stripped.size() &&
+        (stripped[j] == '.' || stripped[j] == 'e' || stripped[j] == 'E')) {
+      // Floating literal: consume its tail and move on (doubles carrying
+      // limit semantics still live in limits.h by convention, but flagging
+      // every 0.5 scale factor would drown the rule in noise).
+      while (j < stripped.size() &&
+             (digit(stripped[j]) || stripped[j] == '.' ||
+              stripped[j] == 'e' || stripped[j] == 'E' ||
+              stripped[j] == '+' || stripped[j] == '-' ||
+              IsIdentChar(stripped[j]))) {
+        ++j;
+      }
+      i = j;
+      continue;
+    }
+    unsigned long long value = std::strtoull(digits.c_str(), nullptr, 10);
+    size_t literal_at = i;
+    // Integer suffixes (u/l/z combinations).
+    while (j < stripped.size() && IsIdentChar(stripped[j])) ++j;
+    i = j;
+    if (value >= kServerLimitsThreshold) {
+      out->push_back(
+          {path, LineOfOffset(stripped, literal_at), "server-limits",
+           "integer literal " + digits +
+               " in src/server/ outside limits.h — every hard limit of "
+               "the daemon lives in src/server/limits.h with a provenance "
+               "comment (hex bit-mask literals are exempt)"});
     }
   }
 }
@@ -574,6 +656,9 @@ std::vector<Violation> LintFile(const std::string& path,
   if (in_src && !StartsWith(path, "src/graph/")) {
     CheckNodeSpanMembers(path, stripped, &out);
   }
+  if (StartsWith(path, "src/server/") && path != "src/server/limits.h") {
+    CheckServerLimits(path, stripped, &out);
+  }
   if (is_header && (in_src || StartsWith(path, "tools/"))) {
     CheckHeaderGuard(path, stripped, &out);
   }
@@ -614,14 +699,18 @@ std::vector<Violation> LintTree(const std::string& root, std::string* error) {
   std::string stats_h;
   std::string metrics_h;
   std::string matcher_h;
+  std::string server_h;
   std::string stats_cc;
+  std::string server_cc;
   std::string arch_md;
   for (const auto& [p, dst] :
        std::vector<std::pair<const char*, std::string*>>{
            {"src/service/stats.h", &stats_h},
            {"src/common/metrics.h", &metrics_h},
            {"src/matcher/matcher.h", &matcher_h},
+           {"src/server/server.h", &server_h},
            {"src/service/stats.cc", &stats_cc},
+           {"src/server/server.cc", &server_cc},
            {"docs/ARCHITECTURE.md", &arch_md}}) {
     if (!ReadFile(fs::path(root) / p, dst)) {
       if (error != nullptr) *error = std::string("cannot read ") + p;
@@ -638,8 +727,12 @@ std::vector<Violation> LintTree(const std::string& root, std::string* error) {
       // MatcherStats is surfaced via benches/experiments, not the service
       // JSON; its counters still must be in the glossary.
       {"src/matcher/matcher.h", matcher_h, "MatcherStats", false},
+      // The daemon's "server" block (ServerSnapshot::ToJson, server.cc).
+      {"src/server/server.h", server_h, "ServerSnapshot", true},
   };
-  std::vector<Violation> v = LintStatsRoundTrip(decls, stats_cc, arch_md);
+  // The emitters live in two files; the key check only needs the union.
+  std::vector<Violation> v =
+      LintStatsRoundTrip(decls, stats_cc + server_cc, arch_md);
   out.insert(out.end(), v.begin(), v.end());
   return out;
 }

@@ -26,6 +26,12 @@
 //                    WHYQ_<PATH>_H_ include guard (the companion
 //                    one-TU-per-header compile check proves
 //                    self-containment at build time).
+//   server-limits    no decimal integer literal >= 64 under src/server/
+//                    outside limits.h — every hard limit of the daemon
+//                    (byte caps, connection caps, timeouts) lives in the
+//                    centralized limits header with a provenance comment.
+//                    Hex/binary literals are exempt (bit masks and UTF-8
+//                    thresholds, not capacity knobs).
 //
 // The linter deliberately avoids libclang: it lexes comments/strings away
 // and works on the token stream plus brace structure, which is exact for

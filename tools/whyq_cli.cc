@@ -17,6 +17,10 @@
 //   whyq_cli serve-batch GRAPH QUESTIONSFILE [--workers=N] [--queue=N]
 //                        [--cache=N] [--deadline-ms=D] [--stats-json=FILE]
 //                        [--slow-ms=D] [common]
+//   whyq_cli serve GRAPH... [--port=P] [--max-conns=N] [--idle-ms=D]
+//                  [--drain-ms=D] [--stats-json=FILE] [--stats-period-ms=D]
+//                  [--workers=N] [--queue=N] [--cache=N] [--deadline-ms=D]
+//                  [--slow-ms=D] [common]
 //   whyq_cli figure1 --out=PREFIX
 //   whyq_cli demo
 //   whyq_cli --version
@@ -36,6 +40,16 @@
 // gain scans on up to N executors; answers are identical to --threads=1.
 // Under serve-batch it is the per-request width on top of --workers.
 //
+// serve runs the long-lived whyq_server daemon: an epoll event loop on
+// 127.0.0.1 (--port=0, the default, binds an ephemeral port and prints
+// it) answering newline-delimited JSON questions over every listed graph
+// (request field "graph" selects by file basename; the first graph is the
+// default). A full worker queue rejects immediately with retry_after_ms
+// (admission control); SIGTERM/SIGINT triggers a graceful drain bounded
+// by --drain-ms. --stats-json=FILE makes the daemon dump the full stats
+// document periodically (atomic rename; --stats-period-ms) and once more
+// at exit. Hard limits live in src/server/limits.h.
+//
 // serve-batch reads one question per line and executes the batch on a
 // WhyqService worker pool, printing one result row per question plus the
 // service stats block. Line format (# starts a comment):
@@ -48,23 +62,47 @@
 // `whyempty`/`whysomany` additionally exit 2 when no rewrite was found
 // (a valid "no explanation within budget" outcome, not an error).
 
+#include <signal.h>
+
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "gen/figure1.h"
+#include "server/server.h"
 #include "whyq.h"
 
 namespace whyq::cli {
 namespace {
+
+// SIGTERM/SIGINT request a graceful stop: serve drains the event loop,
+// serve-batch stops submitting new questions. The handler only sets this
+// flag (the one async-signal-safe thing it may do); both commands poll it.
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void OnStopSignal(int) { g_stop = 1; }
+
+void InstallStopHandlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnStopSignal;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: the signal must interrupt epoll_wait/sleep so the
+  // drain starts within one poll tick.
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
 
 struct Options {
   std::string out;
@@ -88,6 +126,11 @@ struct Options {
   std::string stats_json;
   double slow_ms = 0;
   bool trace = false;
+  size_t port = 0;  // serve: 0 binds an ephemeral port
+  size_t max_conns = whyq::server::kMaxConnections;
+  double idle_ms = whyq::server::kIdleTimeoutMs;
+  double drain_ms = whyq::server::kDrainDeadlineMs;
+  double stats_period_ms = whyq::server::kStatsPeriodMs;
   std::vector<std::string> positional;
 };
 
@@ -203,6 +246,16 @@ bool ParseArgs(int argc, char** argv, Options* o, std::string* error) {
       o->stats_json = v;
     } else if (const char* v = value_of("--slow-ms")) {
       ok = ParseDouble(v, &o->slow_ms);
+    } else if (const char* v = value_of("--port")) {
+      ok = ParseSize(v, &o->port) && o->port <= UINT16_MAX;
+    } else if (const char* v = value_of("--max-conns")) {
+      ok = ParseSize(v, &o->max_conns) && o->max_conns > 0;
+    } else if (const char* v = value_of("--idle-ms")) {
+      ok = ParseDouble(v, &o->idle_ms);
+    } else if (const char* v = value_of("--drain-ms")) {
+      ok = ParseDouble(v, &o->drain_ms) && o->drain_ms > 0;
+    } else if (const char* v = value_of("--stats-period-ms")) {
+      ok = ParseDouble(v, &o->stats_period_ms) && o->stats_period_ms > 0;
     } else if (a == "--trace") {
       o->trace = true;
     } else if (a.rfind("--", 0) == 0) {
@@ -546,6 +599,7 @@ int CmdServeBatch(const Options& o) {
   std::ifstream qs(o.positional[1]);
   if (!qs) return Fail("cannot open " + o.positional[1]);
 
+  InstallStopHandlers();
   ServiceConfig sc;
   sc.workers = o.workers;
   sc.queue_capacity = o.queue;
@@ -574,16 +628,35 @@ int CmdServeBatch(const Options& o) {
     if (!has) continue;
     labels.push_back(std::string(RequestKindName(req.kind)) + " line " +
                      std::to_string(lineno));
-    // Backpressure: a full queue rejects; retry until the pool drains.
-    // Submit consumes its argument, so each attempt gets its own copy —
-    // moving here would leave retries submitting a hollowed-out request.
-    for (;;) {
-      std::optional<std::future<ServiceResponse>> f = service.Submit(req);
-      if (f.has_value()) {
-        futures.push_back(std::move(*f));
-        break;
+    // Backpressure: TrySubmit reports a full queue as an explicit status;
+    // retry until the pool drains (or a stop signal arrives). TrySubmit
+    // consumes its argument, so each attempt gets its own copy — moving
+    // here would leave retries submitting a hollowed-out request.
+    bool accepted = false;
+    while (!accepted && g_stop == 0) {
+      auto promise = std::make_shared<std::promise<ServiceResponse>>();
+      SubmitResult admitted = service.TrySubmit(
+          req, [promise](ServiceResponse resp) {
+            promise->set_value(std::move(resp));
+          });
+      switch (admitted) {
+        case SubmitResult::kAccepted:
+          futures.push_back(promise->get_future());
+          accepted = true;
+          break;
+        case SubmitResult::kQueueFull:
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          break;
+        case SubmitResult::kShutdown:
+          labels.pop_back();
+          rc = 1;
+          accepted = true;  // unreachable in practice; avoid spinning
+          break;
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (g_stop != 0 && !accepted) {
+      labels.pop_back();
+      break;  // stop signal: drain what was already admitted
     }
   }
   const Graph& graph = service.graph();
@@ -620,6 +693,75 @@ int CmdServeBatch(const Options& o) {
     if (!js) return Fail("cannot write " + o.stats_json);
     std::printf("stats json written to %s\n", o.stats_json.c_str());
   }
+  return rc;
+}
+
+// The graph's wire name: file basename without its extension
+// ("data/bsbm.graph" serves as "bsbm").
+std::string GraphName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base = base.substr(0, dot);
+  return base;
+}
+
+// serve: the long-lived daemon. Loads every listed graph, binds the
+// loopback listener, prints the port (scripts parse the "listening on"
+// line), and runs the event loop until SIGTERM/SIGINT. Exit 0 iff the
+// drain completed within --drain-ms.
+int CmdServe(const Options& o) {
+  if (o.positional.empty()) return Fail("serve needs at least one GRAPH");
+  std::vector<std::pair<std::string, std::shared_ptr<const Graph>>> graphs;
+  for (const std::string& path : o.positional) {
+    std::optional<Graph> g = LoadGraph(path);
+    if (!g.has_value()) return 1;
+    std::string name = GraphName(path);
+    for (const auto& [existing, unused] : graphs) {
+      if (existing == name) {
+        return Fail("duplicate graph name '" + name + "'");
+      }
+    }
+    graphs.emplace_back(name,
+                        std::make_shared<const Graph>(std::move(*g)));
+  }
+  server::ServerConfig sc;
+  sc.port = static_cast<uint16_t>(o.port);
+  sc.max_connections = o.max_conns;
+  sc.idle_timeout_ms = o.idle_ms;
+  sc.drain_deadline_ms = o.drain_ms;
+  sc.stats_json_path = o.stats_json;
+  sc.stats_period_ms = o.stats_period_ms;
+  sc.service.workers = o.workers;
+  sc.service.queue_capacity = o.queue;
+  sc.service.cache_capacity = o.cache;
+  sc.service.default_deadline_ms = o.deadline_ms;
+  sc.service.intra_threads = o.threads;
+  sc.service.slow_query_ms = o.slow_ms;
+  server::WhyqServer srv(std::move(graphs), sc);
+  std::string err;
+  if (!srv.Start(&err)) return Fail(err);
+  InstallStopHandlers();
+  std::printf("whyq_server listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(srv.port()));
+  std::printf("graphs:");
+  for (const std::string& name : srv.graph_names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);  // scripts behind a pipe parse the port line
+  int rc = srv.Run(&g_stop);
+  server::ServerSnapshot snap = srv.Snapshot();
+  std::printf(
+      "whyq_server drained %s: %llu conns, %llu requests, %llu admitted, "
+      "%llu rejected, %llu bad, %llu responses\n",
+      rc == 0 ? "cleanly" : "past the deadline",
+      static_cast<unsigned long long>(snap.accepted),
+      static_cast<unsigned long long>(snap.requests),
+      static_cast<unsigned long long>(snap.admitted),
+      static_cast<unsigned long long>(snap.rejected),
+      static_cast<unsigned long long>(snap.bad_lines),
+      static_cast<unsigned long long>(snap.responded));
   return rc;
 }
 
@@ -679,7 +821,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: whyq_cli "
                  "generate|import|dot|stats|query|why|whynot|whyempty|"
-                 "whysomany|serve-batch|figure1|demo|--version "
+                 "whysomany|serve-batch|serve|figure1|demo|--version "
                  "...\n");
     return 1;
   }
@@ -701,6 +843,7 @@ int Main(int argc, char** argv) {
   if (cmd == "whyempty") return CmdWhyEmpty(o);
   if (cmd == "whysomany") return CmdWhySoMany(o);
   if (cmd == "serve-batch") return CmdServeBatch(o);
+  if (cmd == "serve") return CmdServe(o);
   if (cmd == "figure1") return CmdFigure1(o);
   if (cmd == "demo") return CmdDemo();
   return Fail("unknown command " + cmd);
