@@ -219,7 +219,7 @@ const MbsFixture& SharedMbsFixture() {
     // Probes: the original answers (the batched "which answers survive this
     // refinement" test the Why evaluator issues) plus same-label decoys.
     fx->probes = fx->answers;
-    const std::vector<NodeId>& bucket =
+    whyq::NodeSpan bucket =
         fx->g.NodesWithLabel(fx->query.node(fx->query.output()).label);
     for (size_t i = 0; i < bucket.size() && i < 16; ++i) {
       fx->probes.push_back(bucket[i]);
@@ -283,6 +283,102 @@ void BM_MbsVerificationContext(benchmark::State& state) {
   state.counters["ctx_pruned"] = static_cast<double>(s.ctx_pruned);
 }
 BENCHMARK(BM_MbsVerificationContext);
+
+// --- Cold start: frozen snapshot mmap vs GraphBuilder rebuild -----------
+// The snapshot promise (docs/SNAPSHOT_FORMAT.md) is that re-opening a
+// built graph costs a header validation plus one checksum pass over the
+// image — no sorting, no index construction. The rebuild baseline times
+// exactly the work the snapshot skips: repopulating a GraphBuilder from
+// pre-extracted rows and running Build() (adjacency sort, dedup, label
+// index, attribute ranges). Extraction/IO is hoisted out of both loops.
+
+struct ColdStartFixture {
+  std::string path;  // snapshot image of SharedMbsFixture().g
+  // Pre-extracted rows of the same graph, ready to feed a GraphBuilder.
+  std::vector<std::string> labels;
+  std::vector<std::vector<std::pair<std::string, Value>>> attrs;
+  std::vector<std::tuple<NodeId, NodeId, std::string>> edges;
+  uint64_t image_bytes = 0;
+  bool ok = false;
+};
+
+const ColdStartFixture& SharedColdStartFixture() {
+  static ColdStartFixture* f = [] {
+    auto* fx = new ColdStartFixture();
+    const MbsFixture& mbs = SharedMbsFixture();
+    if (!mbs.ok) return fx;
+    const Graph& g = mbs.g;
+    fx->path = "/tmp/whyq_micro_matcher_coldstart.whyqsnap";
+    std::string err;
+    if (!GraphSnapshot::Write(g, fx->path, &err)) return fx;
+    GraphSnapshot::Info info;
+    if (GraphSnapshot::ReadInfo(fx->path, &info, &err)) {
+      fx->image_bytes = info.file_bytes;
+    }
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      fx->labels.push_back(g.NodeLabelName(g.label(v)));
+      auto& row = fx->attrs.emplace_back();
+      for (const AttrEntry& e : g.attrs(v)) {
+        row.emplace_back(g.AttrName(e.attr), e.value);
+      }
+      for (const HalfEdge& e : g.out_edges(v)) {
+        fx->edges.emplace_back(v, e.other, g.EdgeLabelName(e.label));
+      }
+    }
+    fx->ok = true;
+    return fx;
+  }();
+  return *f;
+}
+
+void BM_ColdStartGraphRebuild(benchmark::State& state) {
+  const ColdStartFixture& f = SharedColdStartFixture();
+  if (!f.ok) {
+    state.SkipWithError("no fixture");
+    return;
+  }
+  size_t nodes = 0;
+  for (auto _ : state) {
+    GraphBuilder b;
+    for (size_t v = 0; v < f.labels.size(); ++v) {
+      b.AddNode(f.labels[v]);
+      for (const auto& [name, value] : f.attrs[v]) {
+        b.SetAttr(static_cast<NodeId>(v), name, value);
+      }
+    }
+    for (const auto& [u, v, label] : f.edges) {
+      b.AddEdge(u, v, label);
+    }
+    Graph rebuilt = b.Build();
+    nodes = rebuilt.node_count();
+    benchmark::DoNotOptimize(rebuilt);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["edges"] = static_cast<double>(f.edges.size());
+}
+BENCHMARK(BM_ColdStartGraphRebuild);
+
+void BM_ColdStartSnapshotLoad(benchmark::State& state) {
+  const ColdStartFixture& f = SharedColdStartFixture();
+  if (!f.ok) {
+    state.SkipWithError("no fixture");
+    return;
+  }
+  size_t nodes = 0;
+  for (auto _ : state) {
+    std::string err;
+    std::unique_ptr<GraphSnapshot> snap = GraphSnapshot::Load(f.path, &err);
+    if (snap == nullptr) {
+      state.SkipWithError(("load failed: " + err).c_str());
+      return;
+    }
+    nodes = snap->graph().node_count();
+    benchmark::DoNotOptimize(snap);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["image_bytes"] = static_cast<double>(f.image_bytes);
+}
+BENCHMARK(BM_ColdStartSnapshotLoad);
 
 }  // namespace
 }  // namespace whyq

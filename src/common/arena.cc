@@ -1,0 +1,70 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace whyq {
+
+Arena::Arena(size_t first_block_bytes)
+    : next_block_bytes_(std::max(first_block_bytes, size_t{64})) {}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  WHYQ_CHECK(align != 0 && (align & (align - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  bytes_allocated_ += bytes;
+
+  // Oversized requests get their own exact block: they would permanently
+  // inflate the doubling schedule and are rare (e.g. a bitmap over a huge
+  // V) — keeping them out of blocks_ lets Reset() return the memory.
+  if (bytes + align > kMaxBlockBytes) {
+    Block b;
+    b.data = std::make_unique<unsigned char[]>(bytes + align);
+    b.capacity = bytes + align;
+    void* p = b.data.get();
+    auto addr = reinterpret_cast<uintptr_t>(p);
+    addr = (addr + align - 1) & ~(uintptr_t{align} - 1);
+    oversized_.push_back(std::move(b));
+    return reinterpret_cast<void*>(addr);
+  }
+
+  if (blocks_.empty()) NextBlock(bytes + align);
+  for (;;) {
+    Block& blk = blocks_[current_];
+    auto base = reinterpret_cast<uintptr_t>(blk.data.get());
+    uintptr_t cursor = base + offset_;
+    uintptr_t aligned = (cursor + align - 1) & ~(uintptr_t{align} - 1);
+    size_t end = static_cast<size_t>(aligned - base) + bytes;
+    if (end <= blk.capacity) {
+      offset_ = end;
+      return reinterpret_cast<void*>(aligned);
+    }
+    NextBlock(bytes + align);
+  }
+}
+
+void Arena::NextBlock(size_t bytes) {
+  // Reuse a block left over from before the last Reset() when it fits.
+  while (!blocks_.empty() && current_ + 1 < blocks_.size()) {
+    ++current_;
+    offset_ = 0;
+    if (blocks_[current_].capacity >= bytes) return;
+  }
+  size_t cap = std::max(next_block_bytes_, bytes);
+  next_block_bytes_ = std::min(next_block_bytes_ * 2, kMaxBlockBytes);
+  Block b;
+  b.data = std::make_unique<unsigned char[]>(cap);
+  b.capacity = cap;
+  bytes_reserved_ += cap;
+  blocks_.push_back(std::move(b));
+  current_ = blocks_.size() - 1;
+  offset_ = 0;
+}
+
+void Arena::Reset() {
+  oversized_.clear();
+  current_ = 0;
+  offset_ = 0;
+}
+
+}  // namespace whyq

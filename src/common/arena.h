@@ -1,0 +1,77 @@
+#ifndef WHYQ_COMMON_ARENA_H_
+#define WHYQ_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace whyq {
+
+/// A request-scoped bump allocator. Allocations are O(1) pointer bumps out
+/// of geometrically growing blocks; nothing is freed individually — Reset()
+/// rewinds the arena to empty while keeping every block for reuse, so a
+/// long-lived request slot (e.g. a MatchContext serving thousands of
+/// rewrite verifications) stops touching the global heap after warm-up.
+///
+/// Thread-safety: none. An Arena is single-thread scratch state, confined
+/// to one request exactly like the MatchContext/Matcher that use it.
+class Arena {
+ public:
+  /// `first_block_bytes` sizes the initial block; later blocks double until
+  /// kMaxBlockBytes. Oversized requests get a dedicated exact-size block.
+  explicit Arena(size_t first_block_bytes = kFirstBlockBytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  /// Allocating zero bytes returns a unique non-null pointer.
+  void* Allocate(size_t bytes, size_t align);
+
+  /// Typed array allocation (uninitialized storage; T must be trivially
+  /// destructible — the arena never runs destructors).
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is released without running destructors");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to empty, keeping every regular block for reuse. Previously
+  /// returned pointers become invalid. Oversized one-off blocks are
+  /// released (they were sized for a single unusual request).
+  void Reset();
+
+  /// Total bytes handed out since construction (not reset by Reset —
+  /// this is the lifetime-work counter surfaced as ctx_arena_bytes).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Bytes currently reserved in regular blocks (capacity kept by Reset).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+  static constexpr size_t kFirstBlockBytes = size_t{1} << 12;
+  static constexpr size_t kMaxBlockBytes = size_t{1} << 20;
+
+ private:
+  struct Block {
+    std::unique_ptr<unsigned char[]> data;
+    size_t capacity = 0;
+  };
+
+  // Opens (or reuses) the next regular block with room for `bytes`.
+  void NextBlock(size_t bytes);
+
+  std::vector<Block> blocks_;     // regular blocks, reused across Reset()
+  std::vector<Block> oversized_;  // exact-size one-offs, dropped on Reset()
+  size_t current_ = 0;            // index into blocks_ (valid when nonempty)
+  size_t offset_ = 0;             // bump cursor within blocks_[current_]
+  size_t next_block_bytes_;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace whyq
+
+#endif  // WHYQ_COMMON_ARENA_H_

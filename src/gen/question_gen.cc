@@ -131,8 +131,7 @@ std::optional<WhyNotQuestion> GenerateWhyNotQuestion(
 
   constexpr size_t kPoolCap = 200;
   std::vector<NodeId> pool;
-  const std::vector<NodeId>& same_label =
-      g.NodesWithLabel(q.node(q.output()).label);
+  NodeSpan same_label = g.NodesWithLabel(q.node(q.output()).label);
   for (NodeId v : same_label) {
     if (answer_set.Contains(v)) continue;
     if (pidx.Passes(g, structural, v)) {

@@ -12,12 +12,10 @@ bool HalfEdgeLess(const HalfEdge& a, const HalfEdge& b) {
   return a.other != b.other ? a.other < b.other : a.label < b.label;
 }
 
-const std::vector<NodeId> kEmptyNodeList;
-
 }  // namespace
 
 const Value* Graph::GetAttr(NodeId v, SymbolId attr) const {
-  const std::vector<AttrEntry>& tuple = attrs_[v];
+  AttrSpan tuple = attrs(v);
   auto it = std::lower_bound(
       tuple.begin(), tuple.end(), attr,
       [](const AttrEntry& e, SymbolId a) { return e.attr < a; });
@@ -26,42 +24,23 @@ const Value* Graph::GetAttr(NodeId v, SymbolId attr) const {
 }
 
 bool Graph::HasEdge(NodeId u, NodeId v, SymbolId label) const {
-  const std::vector<HalfEdge>& adj = out_[u];
+  EdgeSpan adj = out_edges(u);
   HalfEdge probe{v, label};
   return std::binary_search(adj.begin(), adj.end(), probe, HalfEdgeLess);
 }
 
-NodeSpan Graph::LabeledSlice(const std::vector<NodeId>& nbrs,
-                             const std::vector<LabelSlice>& slices,
-                             const std::vector<size_t>& range, NodeId v,
-                             SymbolId label) {
-  auto begin = slices.begin() + static_cast<long>(range[v]);
-  auto end = slices.begin() + static_cast<long>(range[v + 1]);
-  auto it = std::lower_bound(
-      begin, end, label,
-      [](const LabelSlice& s, SymbolId l) { return s.label < l; });
-  if (it == end || it->label != label) return NodeSpan{};
-  return NodeSpan{nbrs.data() + it->begin, it->end - it->begin};
-}
-
-NodeSpan Graph::LabeledOutNeighbors(NodeId v, SymbolId label) const {
-  return LabeledSlice(out_nbrs_, out_slices_, out_slice_range_, v, label);
-}
-
-NodeSpan Graph::LabeledInNeighbors(NodeId v, SymbolId label) const {
-  return LabeledSlice(in_nbrs_, in_slices_, in_slice_range_, v, label);
-}
-
-const std::vector<NodeId>& Graph::NodesWithLabel(SymbolId label) const {
-  auto it = nodes_by_label_.find(label);
-  if (it == nodes_by_label_.end()) return kEmptyNodeList;
-  return it->second;
+NodeSpan Graph::NodesWithLabel(SymbolId label) const {
+  if (static_cast<size_t>(label) + 1 >= bucket_range_.size()) {
+    return NodeSpan{};
+  }
+  uint64_t b = bucket_range_[label];
+  return NodeSpan{bucket_nodes_.data() + b, bucket_range_[label + 1] - b};
 }
 
 const AttrRange* Graph::RangeOf(SymbolId attr) const {
-  auto it = attr_ranges_.find(attr);
-  if (it == attr_ranges_.end()) return nullptr;
-  return &it->second;
+  if (static_cast<size_t>(attr) >= attr_ranges_.size()) return nullptr;
+  const AttrRange& r = attr_ranges_[attr];
+  return r.count == 0 ? nullptr : &r;
 }
 
 std::string Graph::NodeLabelName(SymbolId id) const {
@@ -80,46 +59,69 @@ std::string Graph::AttrName(SymbolId id) const {
 }
 
 NodeId GraphBuilder::AddNode(std::string_view label) {
-  return AddNodeById(g_.node_labels_.Intern(label));
+  return AddNodeById(node_labels_.Intern(label));
 }
 
 NodeId GraphBuilder::AddNodeById(SymbolId label) {
-  NodeId id = static_cast<NodeId>(g_.node_label_.size());
-  g_.node_label_.push_back(label);
-  g_.attrs_.emplace_back();
-  g_.out_.emplace_back();
-  g_.in_.emplace_back();
+  NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.push_back(label);
+  attrs_.emplace_back();
+  out_.emplace_back();
+  in_.emplace_back();
   return id;
 }
 
 void GraphBuilder::SetAttr(NodeId v, std::string_view name, Value value) {
-  SetAttrById(v, g_.attr_names_.Intern(name), std::move(value));
+  SetAttrById(v, attr_names_.Intern(name), std::move(value));
 }
 
 void GraphBuilder::SetAttrById(NodeId v, SymbolId attr, Value value) {
-  WHYQ_CHECK(v < g_.attrs_.size());
-  for (AttrEntry& e : g_.attrs_[v]) {
+  WHYQ_CHECK(v < attrs_.size());
+  for (AttrEntry& e : attrs_[v]) {
     if (e.attr == attr) {
       e.value = std::move(value);
       return;
     }
   }
-  g_.attrs_[v].push_back(AttrEntry{attr, std::move(value)});
+  attrs_[v].push_back(AttrEntry{attr, std::move(value)});
 }
 
 void GraphBuilder::AddEdge(NodeId u, NodeId v, std::string_view label) {
-  AddEdgeById(u, v, g_.edge_labels_.Intern(label));
+  AddEdgeById(u, v, edge_labels_.Intern(label));
 }
 
 void GraphBuilder::AddEdgeById(NodeId u, NodeId v, SymbolId label) {
-  WHYQ_CHECK(u < g_.out_.size() && v < g_.out_.size());
-  g_.out_[u].push_back(HalfEdge{v, label});
-  g_.in_[v].push_back(HalfEdge{u, label});
+  WHYQ_CHECK(u < out_.size() && v < out_.size());
+  out_[u].push_back(HalfEdge{v, label});
+  in_[v].push_back(HalfEdge{u, label});
 }
 
 Graph GraphBuilder::Build() {
-  size_t n = g_.node_label_.size();
+  size_t n = labels_.size();
+  Graph g;
   size_t edges = 0;
+
+  // Flattened columns, assembled node by node then frozen into the Graph.
+  std::vector<AttrEntry> attr_pool;
+  std::vector<uint64_t> attr_range(1, 0);
+  std::vector<HalfEdge> out_pool;
+  std::vector<HalfEdge> in_pool;
+  std::vector<uint64_t> out_range(1, 0);
+  std::vector<uint64_t> in_range(1, 0);
+  std::vector<NodeId> out_nbrs;
+  std::vector<NodeId> in_nbrs;
+  std::vector<Graph::LabelSlice> out_slices;
+  std::vector<Graph::LabelSlice> in_slices;
+  std::vector<uint64_t> out_slice_range(1, 0);
+  std::vector<uint64_t> in_slice_range(1, 0);
+
+  size_t label_space = node_labels_.size();
+  for (SymbolId l : labels_) {
+    label_space = std::max(label_space, static_cast<size_t>(l) + 1);
+  }
+  std::vector<uint64_t> bucket_count(label_space, 0);
+  std::vector<AttrRange> attr_ranges;
+
   // Label-partitioned mirrors of the adjacency, appended node by node. A
   // stable sort by label over the (other, label)-sorted lists keeps each
   // label's run in ascending-NodeId order, so a label slice enumerates the
@@ -128,7 +130,7 @@ Graph GraphBuilder::Build() {
   auto partition = [&by_label](const std::vector<HalfEdge>& adj,
                                std::vector<NodeId>& nbrs,
                                std::vector<Graph::LabelSlice>& slices,
-                               std::vector<size_t>& range) {
+                               std::vector<uint64_t>& range) {
     by_label.assign(adj.begin(), adj.end());
     std::stable_sort(by_label.begin(), by_label.end(),
                      [](const HalfEdge& a, const HalfEdge& b) {
@@ -146,37 +148,41 @@ Graph GraphBuilder::Build() {
     }
     range.push_back(slices.size());
   };
-  g_.out_slice_range_.assign(1, 0);
-  g_.in_slice_range_.assign(1, 0);
+
   for (size_t v = 0; v < n; ++v) {
     auto dedupe = [](std::vector<HalfEdge>& adj) {
       std::sort(adj.begin(), adj.end(), HalfEdgeLess);
       adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
-      adj.shrink_to_fit();
     };
-    dedupe(g_.out_[v]);
-    dedupe(g_.in_[v]);
-    edges += g_.out_[v].size();
-    partition(g_.out_[v], g_.out_nbrs_, g_.out_slices_, g_.out_slice_range_);
-    partition(g_.in_[v], g_.in_nbrs_, g_.in_slices_, g_.in_slice_range_);
+    dedupe(out_[v]);
+    dedupe(in_[v]);
+    edges += out_[v].size();
+    out_pool.insert(out_pool.end(), out_[v].begin(), out_[v].end());
+    in_pool.insert(in_pool.end(), in_[v].begin(), in_[v].end());
+    out_range.push_back(out_pool.size());
+    in_range.push_back(in_pool.size());
+    partition(out_[v], out_nbrs, out_slices, out_slice_range);
+    partition(in_[v], in_nbrs, in_slices, in_slice_range);
 
-    std::vector<AttrEntry>& tuple = g_.attrs_[v];
+    std::vector<AttrEntry>& tuple = attrs_[v];
     std::sort(tuple.begin(), tuple.end(),
               [](const AttrEntry& a, const AttrEntry& b) {
                 return a.attr < b.attr;
               });
-    tuple.shrink_to_fit();
 
-    g_.nodes_by_label_[g_.node_label_[v]].push_back(static_cast<NodeId>(v));
+    ++bucket_count[labels_[v]];
 
     for (const AttrEntry& e : tuple) {
-      AttrRange& r = g_.attr_ranges_[e.attr];
+      if (static_cast<size_t>(e.attr) >= attr_ranges.size()) {
+        attr_ranges.resize(e.attr + 1);
+      }
+      AttrRange& r = attr_ranges[e.attr];
       if (e.value.is_numeric()) {
         double x = e.value.numeric();
         if (r.count == 0 || !r.numeric) {
           if (r.count == 0) {
             r.min = r.max = x;
-            r.numeric = true;
+            r.numeric = 1;
           }
           // A previously-string attribute stays non-numeric.
         } else {
@@ -184,15 +190,57 @@ Graph GraphBuilder::Build() {
           r.max = std::max(r.max, x);
         }
       } else {
-        r.numeric = false;
+        r.numeric = 0;
       }
       ++r.count;
     }
+
+    for (AttrEntry& e : tuple) attr_pool.push_back(std::move(e));
+    attr_range.push_back(attr_pool.size());
   }
-  g_.edge_count_ = edges;
-  Graph out = std::move(g_);
-  g_ = Graph();
-  return out;
+
+  // Dense label buckets via counting sort: node ids are appended in
+  // ascending order, so every bucket stays ascending.
+  std::vector<uint64_t> bucket_range(label_space + 1, 0);
+  for (size_t l = 0; l < label_space; ++l) {
+    bucket_range[l + 1] = bucket_range[l] + bucket_count[l];
+  }
+  std::vector<NodeId> bucket_nodes(n);
+  std::vector<uint64_t> cursor(bucket_range.begin(), bucket_range.end() - 1);
+  for (size_t v = 0; v < n; ++v) {
+    bucket_nodes[cursor[labels_[v]]++] = static_cast<NodeId>(v);
+  }
+
+  g.node_label_.Own(std::move(labels_));
+  g.attr_pool_ = std::move(attr_pool);
+  g.attr_pool_.shrink_to_fit();
+  g.attr_range_.Own(std::move(attr_range));
+  g.out_pool_.Own(std::move(out_pool));
+  g.in_pool_.Own(std::move(in_pool));
+  g.out_range_.Own(std::move(out_range));
+  g.in_range_.Own(std::move(in_range));
+  g.out_nbrs_.Own(std::move(out_nbrs));
+  g.in_nbrs_.Own(std::move(in_nbrs));
+  g.out_slices_.Own(std::move(out_slices));
+  g.in_slices_.Own(std::move(in_slices));
+  g.out_slice_range_.Own(std::move(out_slice_range));
+  g.in_slice_range_.Own(std::move(in_slice_range));
+  g.bucket_nodes_.Own(std::move(bucket_nodes));
+  g.bucket_range_.Own(std::move(bucket_range));
+  g.attr_ranges_.Own(std::move(attr_ranges));
+  g.edge_count_ = edges;
+  g.node_labels_ = std::move(node_labels_);
+  g.edge_labels_ = std::move(edge_labels_);
+  g.attr_names_ = std::move(attr_names_);
+
+  labels_ = std::vector<SymbolId>();
+  attrs_.clear();
+  out_.clear();
+  in_.clear();
+  node_labels_ = Dictionary();
+  edge_labels_ = Dictionary();
+  attr_names_ = Dictionary();
+  return g;
 }
 
 }  // namespace whyq

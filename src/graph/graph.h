@@ -1,11 +1,11 @@
 #ifndef WHYQ_GRAPH_GRAPH_H_
 #define WHYQ_GRAPH_GRAPH_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "common/dictionary.h"
@@ -25,6 +25,8 @@ struct AttrEntry {
 };
 
 /// One directed adjacency entry: the far endpoint plus the edge label.
+/// Fixed 8-byte layout with no padding — rows are stored verbatim in the
+/// frozen snapshot image (docs/SNAPSHOT_FORMAT.md).
 struct HalfEdge {
   NodeId other = kInvalidNode;
   SymbolId label = kInvalidSymbol;
@@ -34,24 +36,78 @@ struct HalfEdge {
   }
 };
 
-/// A borrowed contiguous run of node ids (e.g. one label's slice of a
-/// node's adjacency). Valid as long as the owning Graph lives.
-struct NodeSpan {
-  const NodeId* data = nullptr;
-  size_t size = 0;
+/// A borrowed contiguous view over Graph-owned storage. Cheap to copy;
+/// valid as long as the owning Graph (and, for snapshot-backed graphs, its
+/// mapped image) lives — never store one as a long-lived member outside
+/// src/graph/ (whyq-lint rule nodespan-member).
+template <typename T>
+struct ConstSpan {
+  const T* ptr = nullptr;
+  size_t count = 0;
 
-  const NodeId* begin() const { return data; }
-  const NodeId* end() const { return data + size; }
-  bool empty() const { return size == 0; }
+  ConstSpan() = default;
+  ConstSpan(const T* p, size_t n) : ptr(p), count(n) {}
+
+  const T* data() const { return ptr; }
+  const T* begin() const { return ptr; }
+  const T* end() const { return ptr + count; }
+  size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  const T& operator[](size_t i) const { return ptr[i]; }
 };
 
+/// A borrowed contiguous run of node ids (e.g. one label's slice of a
+/// node's adjacency, or a whole label bucket).
+using NodeSpan = ConstSpan<NodeId>;
+/// A borrowed run of adjacency entries (one node's full out/in list).
+using EdgeSpan = ConstSpan<HalfEdge>;
+/// A borrowed run of attribute entries (one node's tuple F_A(v)).
+using AttrSpan = ConstSpan<AttrEntry>;
+
 /// Numeric span of an attribute's active domain D(A) over the whole graph;
-/// range(D(A)) = max - min feeds the weighted edit-cost model.
+/// range(D(A)) = max - min feeds the weighted edit-cost model. Fixed
+/// 32-byte padding-free layout (rows are snapshot sections).
 struct AttrRange {
   double min = 0.0;
   double max = 0.0;
-  bool numeric = false;  // false when A carries string values (range unused)
-  size_t count = 0;      // number of nodes carrying A
+  uint64_t numeric = 0;  // nonzero unless A carries string values
+  uint64_t count = 0;    // number of nodes carrying A
+};
+
+/// One frozen column of trivially-copyable rows. Either owns a heap vector
+/// (graphs assembled by GraphBuilder) or borrows a read-only region that
+/// must outlive the Graph (snapshot-backed graphs, where the rows live in
+/// the mmap'ed image — see docs/SNAPSHOT_FORMAT.md).
+template <typename T>
+class Column {
+ public:
+  Column() = default;
+
+  void Own(std::vector<T>&& rows) {
+    owned_ = std::move(rows);
+    owned_.shrink_to_fit();
+    ptr_ = owned_.data();
+    count_ = owned_.size();
+  }
+  void Borrow(const T* rows, size_t count) {
+    owned_ = std::vector<T>();
+    ptr_ = rows;
+    count_ = count;
+  }
+
+  const T* data() const { return ptr_; }
+  const T* begin() const { return ptr_; }
+  const T* end() const { return ptr_ + count_; }
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  const T& operator[](size_t i) const { return ptr_[i]; }
+  ConstSpan<T> span() const { return ConstSpan<T>(ptr_, count_); }
+  bool borrowed() const { return ptr_ != nullptr && owned_.data() != ptr_; }
+
+ private:
+  std::vector<T> owned_;
+  const T* ptr_ = nullptr;
+  size_t count_ = 0;
 };
 
 /// A directed multi-attributed graph G = (V, E, L, F_A): labeled nodes and
@@ -59,7 +115,10 @@ struct AttrRange {
 ///
 /// Construction goes through GraphBuilder; a built Graph is immutable, with
 /// sorted adjacency (O(log d) labeled-edge probes), a label->nodes index and
-/// per-attribute numeric ranges.
+/// per-attribute numeric ranges. All index structures are flat CSR-style
+/// columns (payload array + offset array), so a built graph can be frozen
+/// verbatim into the snapshot image and later re-opened by borrowing the
+/// mapped bytes instead of rebuilding (src/graph/snapshot.h).
 ///
 /// Thread-safety: immutable after construction, shared across workers. All
 /// read accessors are const with no hidden mutable or lazily-built state
@@ -81,13 +140,22 @@ class Graph {
   SymbolId label(NodeId v) const { return node_label_[v]; }
 
   /// The attribute tuple F_A(v), sorted by attribute id.
-  const std::vector<AttrEntry>& attrs(NodeId v) const { return attrs_[v]; }
+  AttrSpan attrs(NodeId v) const {
+    uint64_t b = attr_range_[v];
+    return AttrSpan(attr_pool_.data() + b, attr_range_[v + 1] - b);
+  }
 
   /// Value of v.A, or nullptr when v does not carry attribute A.
   const Value* GetAttr(NodeId v, SymbolId attr) const;
 
-  const std::vector<HalfEdge>& out_edges(NodeId v) const { return out_[v]; }
-  const std::vector<HalfEdge>& in_edges(NodeId v) const { return in_[v]; }
+  EdgeSpan out_edges(NodeId v) const {
+    uint64_t b = out_range_[v];
+    return EdgeSpan(out_pool_.data() + b, out_range_[v + 1] - b);
+  }
+  EdgeSpan in_edges(NodeId v) const {
+    uint64_t b = in_range_[v];
+    return EdgeSpan(in_pool_.data() + b, in_range_[v + 1] - b);
+  }
 
   /// True iff edge (u -> v) with label `label` exists.
   bool HasEdge(NodeId u, NodeId v, SymbolId label) const;
@@ -99,11 +167,15 @@ class Graph {
   /// O(log k) in the number of distinct labels on v's adjacency; empty span
   /// for labels absent there. Lets the matcher's Extend() touch exactly the
   /// anchor-label slice instead of skipping over every other label.
-  NodeSpan LabeledOutNeighbors(NodeId v, SymbolId label) const;
-  NodeSpan LabeledInNeighbors(NodeId v, SymbolId label) const;
+  NodeSpan LabeledOutNeighbors(NodeId v, SymbolId label) const {
+    return LabeledSlice(out_nbrs_, out_slices_, out_slice_range_, v, label);
+  }
+  NodeSpan LabeledInNeighbors(NodeId v, SymbolId label) const {
+    return LabeledSlice(in_nbrs_, in_slices_, in_slice_range_, v, label);
+  }
 
-  /// All nodes with label `label` (empty vector for unused labels).
-  const std::vector<NodeId>& NodesWithLabel(SymbolId label) const;
+  /// All nodes with label `label`, ascending (empty for unused labels).
+  NodeSpan NodesWithLabel(SymbolId label) const;
 
   /// Graph-wide numeric range of attribute A; nullptr if A never appears.
   const AttrRange* RangeOf(SymbolId attr) const;
@@ -121,40 +193,84 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  friend class GraphSnapshot;
 
   // One label's run inside a node's slice of the partitioned neighbor
   // array; per-node runs are sorted by label (binary-searched on lookup).
+  // Fixed 24-byte padding-free layout: rows are stored verbatim in the
+  // snapshot image (docs/SNAPSHOT_FORMAT.md).
   struct LabelSlice {
     SymbolId label = kInvalidSymbol;
-    size_t begin = 0;
-    size_t end = 0;
+    uint32_t reserved = 0;  // explicit padding, written as zero
+    uint64_t begin = 0;
+    uint64_t end = 0;
   };
 
-  // Shared lookup for LabeledOutNeighbors / LabeledInNeighbors.
-  static NodeSpan LabeledSlice(const std::vector<NodeId>& nbrs,
-                               const std::vector<LabelSlice>& slices,
-                               const std::vector<size_t>& range, NodeId v,
-                               SymbolId label);
+  // Shared lookup for LabeledOutNeighbors / LabeledInNeighbors. Inline:
+  // the matcher's Extend() fetches a slice per backtracking step, and the
+  // call frames showed up in profiles. Nodes carry a handful of distinct
+  // labels, so a forward scan of the sorted runs beats std::lower_bound's
+  // branchy bisection there; genuinely label-diverse nodes still bisect.
+  static NodeSpan LabeledSlice(const Column<NodeId>& nbrs,
+                               const Column<LabelSlice>& slices,
+                               const Column<uint64_t>& range, NodeId v,
+                               SymbolId label) {
+    const LabelSlice* begin = slices.data() + range[v];
+    const LabelSlice* end = slices.data() + range[v + 1];
+    if (end - begin > 16) {
+      auto it = std::lower_bound(
+          begin, end, label,
+          [](const LabelSlice& s, SymbolId l) { return s.label < l; });
+      if (it == end || it->label != label) return NodeSpan{};
+      return NodeSpan{nbrs.data() + it->begin, it->end - it->begin};
+    }
+    for (const LabelSlice* it = begin; it != end; ++it) {
+      if (it->label >= label) {
+        if (it->label != label) break;
+        return NodeSpan{nbrs.data() + it->begin, it->end - it->begin};
+      }
+    }
+    return NodeSpan{};
+  }
 
-  std::vector<SymbolId> node_label_;
-  std::vector<std::vector<AttrEntry>> attrs_;
-  std::vector<std::vector<HalfEdge>> out_;
-  std::vector<std::vector<HalfEdge>> in_;
+  // Node labels, one SymbolId per node.
+  Column<SymbolId> node_label_;
+
+  // Attribute tuples: per-node runs of attr_pool_ delimited by attr_range_
+  // (node_count + 1 offsets). The pool is always heap-owned — AttrEntry
+  // holds a Value (possibly a string), so snapshot loads materialize it
+  // from the interned on-disk attribute column — but the offsets column is
+  // borrowable.
+  std::vector<AttrEntry> attr_pool_;
+  Column<uint64_t> attr_range_;
+
+  // Full adjacency: per-node runs of (other, label) rows sorted by
+  // HalfEdgeLess, delimited by node_count + 1 offsets.
+  Column<HalfEdge> out_pool_;
+  Column<HalfEdge> in_pool_;
+  Column<uint64_t> out_range_;
+  Column<uint64_t> in_range_;
   size_t edge_count_ = 0;
 
   // Label-partitioned adjacency: per direction, all neighbors concatenated
   // grouped by (node, label) with ascending ids within a group; `*_slices_`
   // holds each node's label runs and `*_slice_range_` (n + 1 entries) each
   // node's run window. Built in Build(); adds ~4 bytes per half-edge.
-  std::vector<NodeId> out_nbrs_;
-  std::vector<NodeId> in_nbrs_;
-  std::vector<LabelSlice> out_slices_;
-  std::vector<LabelSlice> in_slices_;
-  std::vector<size_t> out_slice_range_;
-  std::vector<size_t> in_slice_range_;
+  Column<NodeId> out_nbrs_;
+  Column<NodeId> in_nbrs_;
+  Column<LabelSlice> out_slices_;
+  Column<LabelSlice> in_slices_;
+  Column<uint64_t> out_slice_range_;
+  Column<uint64_t> in_slice_range_;
 
-  std::unordered_map<SymbolId, std::vector<NodeId>> nodes_by_label_;
-  std::unordered_map<SymbolId, AttrRange> attr_ranges_;
+  // Label buckets: dense CSR indexed by node-label SymbolId — bucket l is
+  // bucket_nodes_[bucket_range_[l] .. bucket_range_[l + 1]), ascending.
+  Column<NodeId> bucket_nodes_;
+  Column<uint64_t> bucket_range_;
+
+  // Attribute domain ranges, dense by attribute SymbolId (count == 0 rows
+  // mean "attribute never appears").
+  Column<AttrRange> attr_ranges_;
 
   Dictionary node_labels_;
   Dictionary edge_labels_;
@@ -163,7 +279,8 @@ class Graph {
 
 /// Incrementally assembles a Graph. Duplicate edges (same endpoints + label)
 /// are collapsed; attribute tuples are sorted and de-duplicated by attribute
-/// (last write wins).
+/// (last write wins). Per-node growable state lives in the builder; Build()
+/// flattens it into the Graph's frozen columns.
 class GraphBuilder {
  public:
   GraphBuilder() = default;
@@ -182,18 +299,24 @@ class GraphBuilder {
   void SetAttrById(NodeId v, SymbolId attr, Value value);
   void AddEdgeById(NodeId u, NodeId v, SymbolId label);
 
-  Dictionary& node_labels() { return g_.node_labels_; }
-  Dictionary& edge_labels() { return g_.edge_labels_; }
-  Dictionary& attr_names() { return g_.attr_names_; }
+  Dictionary& node_labels() { return node_labels_; }
+  Dictionary& edge_labels() { return edge_labels_; }
+  Dictionary& attr_names() { return attr_names_; }
 
-  size_t node_count() const { return g_.node_label_.size(); }
+  size_t node_count() const { return labels_.size(); }
 
   /// Finalizes: sorts adjacency, drops duplicate edges, builds the label
   /// index and attribute ranges. The builder is left empty.
   Graph Build();
 
  private:
-  Graph g_;
+  Dictionary node_labels_;
+  Dictionary edge_labels_;
+  Dictionary attr_names_;
+  std::vector<SymbolId> labels_;
+  std::vector<std::vector<AttrEntry>> attrs_;
+  std::vector<std::vector<HalfEdge>> out_;
+  std::vector<std::vector<HalfEdge>> in_;
 };
 
 }  // namespace whyq

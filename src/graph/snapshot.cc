@@ -1,0 +1,610 @@
+#include "graph/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+#include <utility>
+
+namespace whyq {
+
+namespace {
+
+// Streaming FNV-1a (parameters in snapshot.h).
+struct Fnv {
+  uint64_t h = kFnvOffsetBasis;
+
+  void Bytes(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= kFnvPrime;
+    }
+  }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void Str(std::string_view s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+};
+
+// The payload checksum: 64-bit little-endian words striped round-robin
+// across kSnapshotChecksumLanes independent FNV-1a accumulators (see
+// snapshot.h for the contract). Each Region() call folds its buffer
+// independently, zero-padding the final partial word, so Write and Load
+// agree as long as they cover the same regions in the same order.
+struct StripedFnv {
+  uint64_t lane[kSnapshotChecksumLanes] = {};
+  size_t next = 0;
+
+  StripedFnv() {
+    for (auto& l : lane) l = kFnvOffsetBasis;
+  }
+
+  void Region(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    size_t whole = n & ~(sizeof(uint64_t) - 1);
+    for (size_t i = 0; i < whole; i += sizeof(uint64_t)) {
+      uint64_t w;
+      std::memcpy(&w, p + i, sizeof(w));
+      lane[next] = (lane[next] ^ w) * kFnvPrime;
+      next = (next + 1) % kSnapshotChecksumLanes;
+    }
+    if (whole != n) {
+      uint64_t w = 0;
+      std::memcpy(&w, p + whole, n - whole);
+      lane[next] = (lane[next] ^ w) * kFnvPrime;
+      next = (next + 1) % kSnapshotChecksumLanes;
+    }
+  }
+
+  uint64_t Digest() const {
+    uint64_t h = kFnvOffsetBasis;
+    for (uint64_t l : lane) {
+      const auto* p = reinterpret_cast<const unsigned char*>(&l);
+      for (size_t i = 0; i < sizeof(l); ++i) h = (h ^ p[i]) * kFnvPrime;
+    }
+    return h;
+  }
+};
+
+size_t AlignUp(size_t n) {
+  return (n + kSnapshotSectionAlign - 1) & ~size_t{kSnapshotSectionAlign - 1};
+}
+
+// One section staged for writing: id plus a borrowed byte range.
+struct Staged {
+  uint32_t id = 0;
+  const void* data = nullptr;
+  size_t bytes = 0;
+};
+
+bool Fail(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+  return false;
+}
+
+void HashValue(Fnv& f, const Value& v) {
+  if (v.is_int()) {
+    f.U64(kSnapValueInt);
+    f.U64(static_cast<uint64_t>(v.as_int()));
+  } else if (v.is_double()) {
+    f.U64(kSnapValueDouble);
+    f.U64(std::bit_cast<uint64_t>(v.as_double()));
+  } else {
+    f.U64(kSnapValueString);
+    f.Str(v.as_string());
+  }
+}
+
+void HashDictionary(Fnv& f, const Dictionary& d) {
+  f.U64(d.size());
+  for (SymbolId i = 0; i < d.size(); ++i) f.Str(d.NameOf(i));
+}
+
+// Interns strings into the snapshot's string pool, deduplicated.
+class StringPool {
+ public:
+  // Returns false when the pool outgrows the 32-bit offsets of the format.
+  bool Add(std::string_view s, uint32_t* offset, uint32_t* bytes) {
+    if (s.size() > UINT32_MAX) return false;
+    auto it = index_.find(std::string(s));
+    if (it == index_.end()) {
+      if (pool_.size() + s.size() > UINT32_MAX) return false;
+      it = index_.emplace(std::string(s),
+                          static_cast<uint32_t>(pool_.size())).first;
+      pool_.append(s);
+    }
+    *offset = it->second;
+    *bytes = static_cast<uint32_t>(s.size());
+    return true;
+  }
+
+  const std::string& bytes() const { return pool_; }
+
+ private:
+  std::string pool_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+// The loader's view of one validated section.
+struct Region {
+  const unsigned char* data = nullptr;
+  size_t bytes = 0;
+
+  template <typename T>
+  const T* Rows() const {
+    return reinterpret_cast<const T*>(data);
+  }
+  template <typename T>
+  size_t RowCount() const {
+    return bytes / sizeof(T);
+  }
+  template <typename T>
+  bool RowAligned() const {
+    return bytes % sizeof(T) == 0;
+  }
+};
+
+bool MonotonicRange(const Region& r, size_t expect_count, uint64_t last) {
+  if (!r.RowAligned<uint64_t>()) return false;
+  if (r.RowCount<uint64_t>() != expect_count) return false;
+  const uint64_t* rows = r.Rows<uint64_t>();
+  if (expect_count == 0 || rows[0] != 0) return false;
+  for (size_t i = 1; i < expect_count; ++i) {
+    if (rows[i] < rows[i - 1]) return false;
+  }
+  return rows[expect_count - 1] == last;
+}
+
+bool LoadDictionary(const Region& dict, const Region& pool, Dictionary* out,
+                    std::string* error, const char* what) {
+  if (!dict.RowAligned<SnapStringRef>()) {
+    return Fail(error, std::string("snapshot: ragged dictionary section: ") +
+                           what);
+  }
+  size_t count = dict.RowCount<SnapStringRef>();
+  const SnapStringRef* refs = dict.Rows<SnapStringRef>();
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t end = uint64_t{refs[i].offset} + refs[i].bytes;
+    if (end > pool.bytes) {
+      return Fail(error,
+                  std::string("snapshot: dictionary name out of pool: ") +
+                      what);
+    }
+    std::string_view name(
+        reinterpret_cast<const char*>(pool.data) + refs[i].offset,
+        refs[i].bytes);
+    if (out->Intern(name) != i) {
+      return Fail(error, std::string("snapshot: duplicate dictionary name: ") +
+                             what);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t GraphFingerprint(const Graph& g) {
+  Fnv f;
+  f.Str("whyq.graph.fp.v1");
+  f.U64(g.node_count());
+  f.U64(g.edge_count());
+  HashDictionary(f, g.node_labels());
+  HashDictionary(f, g.edge_labels());
+  HashDictionary(f, g.attr_names());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    f.U64(g.label(v));
+    AttrSpan tuple = g.attrs(v);
+    f.U64(tuple.size());
+    for (const AttrEntry& e : tuple) {
+      f.U64(e.attr);
+      HashValue(f, e.value);
+    }
+    EdgeSpan out = g.out_edges(v);
+    f.U64(out.size());
+    for (const HalfEdge& e : out) {
+      f.U64(e.other);
+      f.U64(e.label);
+    }
+  }
+  return f.h;
+}
+
+GraphSnapshot::~GraphSnapshot() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+bool GraphSnapshot::Write(const Graph& g, const std::string& path,
+                          std::string* error) {
+  // Stage the interned attribute column and the string pool.
+  StringPool pool;
+  std::vector<SnapAttrEntry> attr_entries;
+  attr_entries.reserve(g.attr_pool_.size());
+  for (const AttrEntry& e : g.attr_pool_) {
+    SnapAttrEntry row{};
+    row.attr = e.attr;
+    if (e.value.is_int()) {
+      row.kind = kSnapValueInt;
+      row.payload = static_cast<uint64_t>(e.value.as_int());
+    } else if (e.value.is_double()) {
+      row.kind = kSnapValueDouble;
+      row.payload = std::bit_cast<uint64_t>(e.value.as_double());
+    } else {
+      row.kind = kSnapValueString;
+      uint32_t off = 0;
+      uint32_t len = 0;
+      if (!pool.Add(e.value.as_string(), &off, &len)) {
+        return Fail(error, "snapshot: string pool exceeds 32-bit offsets");
+      }
+      row.payload = (uint64_t{off} << 32) | len;
+    }
+    attr_entries.push_back(row);
+  }
+  auto stage_dict = [&pool](const Dictionary& d,
+                            std::vector<SnapStringRef>& refs) {
+    refs.reserve(d.size());
+    for (SymbolId i = 0; i < d.size(); ++i) {
+      SnapStringRef r{};
+      if (!pool.Add(d.NameOf(i), &r.offset, &r.bytes)) return false;
+      refs.push_back(r);
+    }
+    return true;
+  };
+  std::vector<SnapStringRef> node_dict;
+  std::vector<SnapStringRef> edge_dict;
+  std::vector<SnapStringRef> attr_dict;
+  if (!stage_dict(g.node_labels(), node_dict) ||
+      !stage_dict(g.edge_labels(), edge_dict) ||
+      !stage_dict(g.attr_names(), attr_dict)) {
+    return Fail(error, "snapshot: string pool exceeds 32-bit offsets");
+  }
+
+  auto col = [](uint32_t id, const auto& c) {
+    using Row = std::remove_reference_t<decltype(c[0])>;
+    return Staged{id, c.data(), c.size() * sizeof(Row)};
+  };
+  // A default-constructed (never Built) empty graph has zero-length range
+  // columns, while Build() leaves the canonical single zero row. Stage the
+  // latter in both cases so the two serialize to the same loadable image.
+  static constexpr uint64_t kZeroRow[1] = {0};
+  auto range_col = [&col](uint32_t id, const Column<uint64_t>& c) {
+    return c.empty() ? Staged{id, kZeroRow, sizeof(uint64_t)} : col(id, c);
+  };
+  const Staged sections[kSnapshotSectionCount] = {
+      col(kSecNodeLabels, g.node_label_),
+      col(kSecOutEdges, g.out_pool_),
+      col(kSecInEdges, g.in_pool_),
+      range_col(kSecOutEdgeRange, g.out_range_),
+      range_col(kSecInEdgeRange, g.in_range_),
+      col(kSecOutNbrs, g.out_nbrs_),
+      col(kSecInNbrs, g.in_nbrs_),
+      col(kSecOutSlices, g.out_slices_),
+      col(kSecInSlices, g.in_slices_),
+      range_col(kSecOutSliceRange, g.out_slice_range_),
+      range_col(kSecInSliceRange, g.in_slice_range_),
+      col(kSecBucketNodes, g.bucket_nodes_),
+      range_col(kSecBucketRange, g.bucket_range_),
+      col(kSecAttrRanges, g.attr_ranges_),
+      col(kSecAttrEntries, attr_entries),
+      range_col(kSecAttrEntryRange, g.attr_range_),
+      Staged{kSecStringPool, pool.bytes().data(), pool.bytes().size()},
+      col(kSecNodeLabelDict, node_dict),
+      col(kSecEdgeLabelDict, edge_dict),
+      col(kSecAttrNameDict, attr_dict),
+  };
+
+  // Lay out the image: header, section table, aligned payloads.
+  SnapHeader hdr{};
+  std::memcpy(hdr.magic, kSnapshotMagic, sizeof(hdr.magic));
+  hdr.version = kSnapshotVersion;
+  hdr.endian_check = kSnapshotEndianCheck;
+  hdr.header_bytes = sizeof(SnapHeader);
+  hdr.section_count = kSnapshotSectionCount;
+  hdr.node_count = g.node_count();
+  hdr.edge_count = g.edge_count();
+  hdr.fingerprint = GraphFingerprint(g);
+
+  SnapSection table[kSnapshotSectionCount] = {};
+  size_t off = AlignUp(sizeof(SnapHeader) + sizeof(table));
+  for (size_t i = 0; i < kSnapshotSectionCount; ++i) {
+    table[i].id = sections[i].id;
+    table[i].offset = off;
+    table[i].bytes = sections[i].bytes;
+    off = AlignUp(off + sections[i].bytes);
+  }
+  hdr.file_bytes = off;
+  // The checksum covers the header prefix (everything before payload_hash
+  // itself), the section table, and every payload in id order — tampering
+  // with any header field, the fingerprint included, is rejected the same
+  // way as payload corruption.
+  StripedFnv payload;
+  payload.Region(&hdr, sizeof(SnapHeader) - sizeof(hdr.payload_hash));
+  payload.Region(table, sizeof(table));
+  for (size_t i = 0; i < kSnapshotSectionCount; ++i) {
+    payload.Region(sections[i].data, sections[i].bytes);
+  }
+  hdr.payload_hash = payload.Digest();
+
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) return Fail(error, "snapshot: cannot open " + tmp);
+  const char zeros[kSnapshotSectionAlign] = {};
+  size_t written = 0;
+  auto put = [&out, &written](const void* data, size_t n) {
+    out.write(static_cast<const char*>(data), static_cast<long>(n));
+    written += n;
+  };
+  auto pad_to = [&](size_t target) {
+    while (written < target) {
+      size_t n = std::min(target - written, sizeof(zeros));
+      put(zeros, n);
+    }
+  };
+  put(&hdr, sizeof(hdr));
+  put(table, sizeof(table));
+  for (size_t i = 0; i < kSnapshotSectionCount; ++i) {
+    pad_to(table[i].offset);
+    put(sections[i].data, sections[i].bytes);
+  }
+  pad_to(hdr.file_bytes);
+  out.flush();
+  if (!out) return Fail(error, "snapshot: short write to " + tmp);
+  out.close();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Fail(error, "snapshot: cannot rename into " + path);
+  }
+  return true;
+}
+
+bool GraphSnapshot::ReadInfo(const std::string& path, Info* out,
+                             std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Fail(error, "snapshot: cannot open " + path);
+  SnapHeader hdr{};
+  in.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
+  if (!in) return Fail(error, "snapshot: truncated header in " + path);
+  if (std::memcmp(hdr.magic, kSnapshotMagic, sizeof(hdr.magic)) != 0) {
+    return Fail(error, "snapshot: bad magic in " + path);
+  }
+  if (hdr.endian_check != kSnapshotEndianCheck) {
+    return Fail(error, "snapshot: foreign byte order in " + path);
+  }
+  if (hdr.version != kSnapshotVersion ||
+      hdr.header_bytes != sizeof(SnapHeader) ||
+      hdr.section_count != kSnapshotSectionCount) {
+    return Fail(error, "snapshot: unsupported version " +
+                           std::to_string(hdr.version) + " in " + path);
+  }
+  out->version = hdr.version;
+  out->file_bytes = hdr.file_bytes;
+  out->node_count = hdr.node_count;
+  out->edge_count = hdr.edge_count;
+  out->fingerprint = hdr.fingerprint;
+  out->payload_hash = hdr.payload_hash;
+  out->sections.assign(hdr.section_count, SnapSection{});
+  in.read(reinterpret_cast<char*>(out->sections.data()),
+          static_cast<long>(hdr.section_count * sizeof(SnapSection)));
+  if (!in) return Fail(error, "snapshot: truncated section table in " + path);
+  return true;
+}
+
+std::unique_ptr<GraphSnapshot> GraphSnapshot::Load(const std::string& path,
+                                                   std::string* error) {
+  auto fail = [error](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return std::unique_ptr<GraphSnapshot>();
+  };
+
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return fail("snapshot: cannot open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return fail("snapshot: cannot stat " + path);
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size < sizeof(SnapHeader)) {
+    ::close(fd);
+    return fail("snapshot: file too small: " + path);
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) return fail("snapshot: mmap failed for " + path);
+
+  std::unique_ptr<GraphSnapshot> snap(new GraphSnapshot());
+  snap->map_ = map;
+  snap->map_bytes_ = size;
+  const auto* base = static_cast<const unsigned char*>(map);
+
+  const auto* hdr = reinterpret_cast<const SnapHeader*>(base);
+  if (std::memcmp(hdr->magic, kSnapshotMagic, sizeof(hdr->magic)) != 0) {
+    return fail("snapshot: bad magic in " + path);
+  }
+  if (hdr->endian_check != kSnapshotEndianCheck) {
+    return fail("snapshot: foreign byte order in " + path);
+  }
+  if (hdr->version != kSnapshotVersion ||
+      hdr->header_bytes != sizeof(SnapHeader) ||
+      hdr->section_count != kSnapshotSectionCount) {
+    return fail("snapshot: unsupported version " +
+                std::to_string(hdr->version) + " in " + path);
+  }
+  if (hdr->file_bytes != size) {
+    return fail("snapshot: truncated image (header says " +
+                std::to_string(hdr->file_bytes) + " bytes, file has " +
+                std::to_string(size) + "): " + path);
+  }
+
+  // Section table: one entry per id, ascending, aligned, in bounds.
+  const auto* table =
+      reinterpret_cast<const SnapSection*>(base + sizeof(SnapHeader));
+  if (sizeof(SnapHeader) + kSnapshotSectionCount * sizeof(SnapSection) >
+      size) {
+    return fail("snapshot: truncated section table: " + path);
+  }
+  Region sec[kSnapshotSectionCount];
+  StripedFnv payload;
+  payload.Region(hdr, sizeof(SnapHeader) - sizeof(hdr->payload_hash));
+  payload.Region(table, kSnapshotSectionCount * sizeof(SnapSection));
+  for (uint32_t i = 0; i < kSnapshotSectionCount; ++i) {
+    const SnapSection& s = table[i];
+    if (s.id != i) return fail("snapshot: section table out of order");
+    if (s.offset % kSnapshotSectionAlign != 0) {
+      return fail("snapshot: misaligned section " + std::to_string(i));
+    }
+    if (s.offset > size || s.bytes > size - s.offset) {
+      return fail("snapshot: section " + std::to_string(i) +
+                  " out of bounds");
+    }
+    sec[i] = Region{base + s.offset, s.bytes};
+    payload.Region(sec[i].data, sec[i].bytes);
+  }
+  if (payload.Digest() != hdr->payload_hash) {
+    return fail("snapshot: payload checksum mismatch (corrupt image): " +
+                path);
+  }
+
+  // Structural validation, then borrow the columns.
+  const size_t n = hdr->node_count;
+  const size_t e = hdr->edge_count;
+  Graph& g = snap->graph_;
+
+  if (!sec[kSecNodeLabels].RowAligned<SymbolId>() ||
+      sec[kSecNodeLabels].RowCount<SymbolId>() != n) {
+    return fail("snapshot: node label column size mismatch");
+  }
+  if (!sec[kSecOutEdges].RowAligned<HalfEdge>() ||
+      sec[kSecOutEdges].RowCount<HalfEdge>() != e ||
+      !sec[kSecInEdges].RowAligned<HalfEdge>() ||
+      sec[kSecInEdges].RowCount<HalfEdge>() != e) {
+    return fail("snapshot: adjacency column size mismatch");
+  }
+  if (!MonotonicRange(sec[kSecOutEdgeRange], n + 1, e) ||
+      !MonotonicRange(sec[kSecInEdgeRange], n + 1, e)) {
+    return fail("snapshot: adjacency offsets not monotonic");
+  }
+  size_t out_nbrs = sec[kSecOutNbrs].RowCount<NodeId>();
+  size_t in_nbrs = sec[kSecInNbrs].RowCount<NodeId>();
+  if (out_nbrs != e || in_nbrs != e) {
+    return fail("snapshot: label-partitioned adjacency size mismatch");
+  }
+  if (!sec[kSecOutSlices].RowAligned<Graph::LabelSlice>() ||
+      !sec[kSecInSlices].RowAligned<Graph::LabelSlice>()) {
+    return fail("snapshot: ragged label slice section");
+  }
+  size_t out_slices = sec[kSecOutSlices].RowCount<Graph::LabelSlice>();
+  size_t in_slices = sec[kSecInSlices].RowCount<Graph::LabelSlice>();
+  if (!MonotonicRange(sec[kSecOutSliceRange], n + 1, out_slices) ||
+      !MonotonicRange(sec[kSecInSliceRange], n + 1, in_slices)) {
+    return fail("snapshot: label slice offsets not monotonic");
+  }
+  auto slices_ok = [](const Region& r, size_t nbr_count) {
+    const auto* rows = r.Rows<Graph::LabelSlice>();
+    size_t count = r.RowCount<Graph::LabelSlice>();
+    for (size_t i = 0; i < count; ++i) {
+      if (rows[i].begin > rows[i].end || rows[i].end > nbr_count) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!slices_ok(sec[kSecOutSlices], out_nbrs) ||
+      !slices_ok(sec[kSecInSlices], in_nbrs)) {
+    return fail("snapshot: label slice out of bounds");
+  }
+  if (!sec[kSecBucketNodes].RowAligned<NodeId>() ||
+      sec[kSecBucketNodes].RowCount<NodeId>() != n) {
+    return fail("snapshot: label bucket column size mismatch");
+  }
+  size_t bucket_offsets = sec[kSecBucketRange].RowCount<uint64_t>();
+  if (bucket_offsets == 0 ||
+      !MonotonicRange(sec[kSecBucketRange], bucket_offsets, n)) {
+    return fail("snapshot: label bucket offsets not monotonic");
+  }
+  if (!sec[kSecAttrRanges].RowAligned<AttrRange>()) {
+    return fail("snapshot: ragged attribute range section");
+  }
+  if (!sec[kSecAttrEntries].RowAligned<SnapAttrEntry>()) {
+    return fail("snapshot: ragged attribute column");
+  }
+  size_t attr_rows = sec[kSecAttrEntries].RowCount<SnapAttrEntry>();
+  if (!MonotonicRange(sec[kSecAttrEntryRange], n + 1, attr_rows)) {
+    return fail("snapshot: attribute offsets not monotonic");
+  }
+
+  // Materialize attribute values (strings decode from the pool).
+  const Region& spool = sec[kSecStringPool];
+  const auto* attr_src = sec[kSecAttrEntries].Rows<SnapAttrEntry>();
+  std::vector<AttrEntry> attr_pool;
+  attr_pool.reserve(attr_rows);
+  for (size_t i = 0; i < attr_rows; ++i) {
+    const SnapAttrEntry& row = attr_src[i];
+    AttrEntry entry;
+    entry.attr = row.attr;
+    switch (row.kind) {
+      case kSnapValueInt:
+        entry.value = Value(static_cast<int64_t>(row.payload));
+        break;
+      case kSnapValueDouble:
+        entry.value = Value(std::bit_cast<double>(row.payload));
+        break;
+      case kSnapValueString: {
+        uint64_t off = row.payload >> 32;
+        uint64_t len = row.payload & UINT32_MAX;
+        if (off + len > spool.bytes) {
+          return fail("snapshot: attribute string out of pool");
+        }
+        entry.value = Value(std::string(
+            reinterpret_cast<const char*>(spool.data) + off, len));
+        break;
+      }
+      default:
+        return fail("snapshot: unknown attribute value kind " +
+                    std::to_string(row.kind));
+    }
+    attr_pool.push_back(std::move(entry));
+  }
+
+  if (!LoadDictionary(sec[kSecNodeLabelDict], spool, &g.node_labels_, error,
+                      "node labels") ||
+      !LoadDictionary(sec[kSecEdgeLabelDict], spool, &g.edge_labels_, error,
+                      "edge labels") ||
+      !LoadDictionary(sec[kSecAttrNameDict], spool, &g.attr_names_, error,
+                      "attribute names")) {
+    return nullptr;
+  }
+
+  g.node_label_.Borrow(sec[kSecNodeLabels].Rows<SymbolId>(), n);
+  g.out_pool_.Borrow(sec[kSecOutEdges].Rows<HalfEdge>(), e);
+  g.in_pool_.Borrow(sec[kSecInEdges].Rows<HalfEdge>(), e);
+  g.out_range_.Borrow(sec[kSecOutEdgeRange].Rows<uint64_t>(), n + 1);
+  g.in_range_.Borrow(sec[kSecInEdgeRange].Rows<uint64_t>(), n + 1);
+  g.out_nbrs_.Borrow(sec[kSecOutNbrs].Rows<NodeId>(), out_nbrs);
+  g.in_nbrs_.Borrow(sec[kSecInNbrs].Rows<NodeId>(), in_nbrs);
+  g.out_slices_.Borrow(sec[kSecOutSlices].Rows<Graph::LabelSlice>(),
+                       out_slices);
+  g.in_slices_.Borrow(sec[kSecInSlices].Rows<Graph::LabelSlice>(), in_slices);
+  g.out_slice_range_.Borrow(sec[kSecOutSliceRange].Rows<uint64_t>(), n + 1);
+  g.in_slice_range_.Borrow(sec[kSecInSliceRange].Rows<uint64_t>(), n + 1);
+  g.bucket_nodes_.Borrow(sec[kSecBucketNodes].Rows<NodeId>(), n);
+  g.bucket_range_.Borrow(sec[kSecBucketRange].Rows<uint64_t>(),
+                         bucket_offsets);
+  g.attr_ranges_.Borrow(sec[kSecAttrRanges].Rows<AttrRange>(),
+                        sec[kSecAttrRanges].RowCount<AttrRange>());
+  g.attr_pool_ = std::move(attr_pool);
+  g.attr_range_.Borrow(sec[kSecAttrEntryRange].Rows<uint64_t>(), n + 1);
+  g.edge_count_ = e;
+  snap->fingerprint_ = hdr->fingerprint;
+  return snap;
+}
+
+}  // namespace whyq

@@ -40,7 +40,7 @@ std::vector<NodeId> Candidates(const Graph& g, const Query& q, QNodeId u) {
 std::vector<NodeId> Candidates(const Graph& g, const Query& q, QNodeId u,
                                size_t threads) {
   const QueryNode& qn = q.node(u);
-  const std::vector<NodeId>& bucket = g.NodesWithLabel(qn.label);
+  NodeSpan bucket = g.NodesWithLabel(qn.label);
   const size_t width = ResolveParallelWidth(threads);
   if (width <= 1 || bucket.size() < kParallelBucketCutoff) {
     return Candidates(g, q, u);

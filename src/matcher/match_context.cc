@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <new>
 #include <utility>
 
 #include "matcher/candidates.h"
@@ -68,11 +69,17 @@ std::string BuildSignature(const QueryNode& qn,
 MatchContext::MatchContext(const Graph& g)
     : g_(g), words_((g.node_count() + 63) / 64) {}
 
-void MatchContext::FillBits(CandidateSet& c) const {
-  c.bits.assign(words_, 0);
-  for (NodeId v : c.nodes) {
-    c.bits[v >> 6] |= uint64_t{1} << (v & 63);
+const MatchContext::CandidateSet* MatchContext::Freeze(
+    const std::vector<NodeId>& nodes) {
+  NodeId* list = arena_.AllocateArray<NodeId>(nodes.size());
+  std::copy(nodes.begin(), nodes.end(), list);
+  uint64_t* bits = arena_.AllocateArray<uint64_t>(words_);
+  std::fill_n(bits, words_, 0);
+  for (NodeId v : nodes) {
+    bits[v >> 6] |= uint64_t{1} << (v & 63);
   }
+  void* slot = arena_.Allocate(sizeof(CandidateSet), alignof(CandidateSet));
+  return new (slot) CandidateSet{list, nodes.size(), bits};
 }
 
 const MatchContext::CandidateSet& MatchContext::Lookup(const QueryNode& qn) {
@@ -90,7 +97,7 @@ const MatchContext::CandidateSet& MatchContext::Lookup(const QueryNode& qn) {
 const MatchContext::CandidateSet& MatchContext::Insert(
     const std::string& sig, SymbolId label,
     std::vector<std::string> lit_keys, std::vector<Literal> lits) {
-  auto cand = std::make_unique<CandidateSet>();
+  scratch_.clear();
 
   // Delta reuse: the largest cached strict-subset constraint on the same
   // label (ties: earliest insertion). Its node list already survived the
@@ -123,7 +130,7 @@ const MatchContext::CandidateSet& MatchContext::Insert(
       }
       extras.push_back(&lits[ci]);
     }
-    for (NodeId v : parent->cand->nodes) {
+    for (NodeId v : *parent->cand) {
       bool ok = true;
       for (const Literal* l : extras) {
         if (!SatisfiesLiteral(g_, v, *l)) {
@@ -131,7 +138,7 @@ const MatchContext::CandidateSet& MatchContext::Insert(
           break;
         }
       }
-      if (ok) cand->nodes.push_back(v);
+      if (ok) scratch_.push_back(v);
     }
   } else {
     ++stats_.misses;
@@ -139,16 +146,15 @@ const MatchContext::CandidateSet& MatchContext::Insert(
     qn.label = label;
     qn.literals = lits;
     for (NodeId v : g_.NodesWithLabel(label)) {
-      if (IsCandidate(g_, v, qn)) cand->nodes.push_back(v);
+      if (IsCandidate(g_, v, qn)) scratch_.push_back(v);
     }
   }
-  FillBits(*cand);
 
   Entry e;
   e.label = label;
   e.lit_keys = std::move(lit_keys);
   e.lits = std::move(lits);
-  e.cand = std::move(cand);
+  e.cand = Freeze(scratch_);
   index_[sig] = entries_.size();
   entries_.push_back(std::move(e));
   return *entries_.back().cand;
@@ -167,14 +173,11 @@ void MatchContext::Seed(const QueryNode& qn,
   std::string sig = BuildSignature(qn, &keys, &lits);
   if (index_.count(sig) > 0) return;
   ++stats_.misses;  // the full scan happened, just outside the context
-  auto cand = std::make_unique<CandidateSet>();
-  cand->nodes = nodes;
-  FillBits(*cand);
   Entry e;
   e.label = qn.label;
   e.lit_keys = std::move(keys);
   e.lits = std::move(lits);
-  e.cand = std::move(cand);
+  e.cand = Freeze(nodes);
   index_[sig] = entries_.size();
   entries_.push_back(std::move(e));
 }

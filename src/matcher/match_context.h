@@ -2,11 +2,11 @@
 #define WHYQ_MATCHER_MATCH_CONTEXT_H_
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "graph/graph.h"
 #include "query/query.h"
 
@@ -42,16 +42,27 @@ namespace whyq {
 class MatchContext {
  public:
   /// One memoized candidate set: the candidates in ascending NodeId order
-  /// (for enumeration) and a bitmap over all of V (for O(1) membership).
-  /// Addresses are stable for the lifetime of the context, so plan steps
-  /// may cache pointers across recursive search calls.
+  /// (for enumeration) and a bitmap over all of V (for O(1) membership and
+  /// word-parallel intersection). Both arrays — and the struct itself —
+  /// live in the context's arena; addresses are stable for the lifetime of
+  /// the context, so plan steps may cache pointers across recursive search
+  /// calls.
   struct CandidateSet {
-    std::vector<NodeId> nodes;
-    std::vector<uint64_t> bits;
+    const NodeId* nodes = nullptr;
+    size_t count = 0;
+    const uint64_t* bits = nullptr;  // ceil(|V| / 64) words
+
+    size_t size() const { return count; }
+    NodeSpan list() const { return NodeSpan{nodes, count}; }
+    const NodeId* begin() const { return nodes; }
+    const NodeId* end() const { return nodes + count; }
 
     bool Test(NodeId v) const {
       return (bits[v >> 6] >> (v & 63)) & uint64_t{1};
     }
+    /// One 64-bit block of the membership bitmap (word w covers node ids
+    /// [w*64, w*64+63]) — the unit of the matcher's word-parallel AND.
+    uint64_t Word(size_t w) const { return bits[w]; }
   };
 
   /// Cache effectiveness counters, surfaced through MatcherStats and
@@ -101,12 +112,18 @@ class MatchContext {
   const Graph& graph() const { return g_; }
   size_t entry_count() const { return entries_.size(); }
 
+  /// The request-scoped allocator backing every memoized set. Exposed so
+  /// the matcher can account arena traffic (ctx_arena_bytes) and co-locate
+  /// its own per-plan scratch with the candidate data.
+  Arena& arena() { return arena_; }
+  const Arena& arena() const { return arena_; }
+
  private:
   struct Entry {
     SymbolId label = kInvalidSymbol;
     std::vector<std::string> lit_keys;  // sorted literal encodings
     std::vector<Literal> lits;          // aligned with lit_keys
-    std::unique_ptr<CandidateSet> cand;
+    const CandidateSet* cand = nullptr;  // arena-resident
   };
 
   // Builds (and memoizes) the set for a signature not seen before.
@@ -114,10 +131,14 @@ class MatchContext {
                              std::vector<std::string> lit_keys,
                              std::vector<Literal> lits);
 
-  void FillBits(CandidateSet& c) const;
+  // Freezes `nodes` (ascending) into an arena-resident CandidateSet with
+  // its membership bitmap.
+  const CandidateSet* Freeze(const std::vector<NodeId>& nodes);
 
   const Graph& g_;
   size_t words_ = 0;  // bitmap words per set: ceil(|V| / 64)
+  Arena arena_;       // owns every CandidateSet payload
+  std::vector<NodeId> scratch_;  // build-time node list, reused per Insert
   std::vector<Entry> entries_;  // insertion order (delta tie-break)
   std::unordered_map<std::string, size_t> index_;  // signature -> entry
   Stats stats_;

@@ -22,6 +22,7 @@ struct MatcherStats {
   uint64_t ctx_misses = 0;        // candidate sets built by bucket scan
   uint64_t ctx_delta_builds = 0;  // candidate sets built by delta filter
   uint64_t ctx_pruned = 0;        // attempts skipped via candidate bitmaps
+  uint64_t ctx_arena_bytes = 0;   // bytes bump-allocated by the context
 };
 
 /// Subgraph-isomorphism engine over one data graph.
@@ -135,9 +136,11 @@ class Matcher {
   std::vector<PlanStep> BuildPlan(const Query& q, QNodeId root) const;
 
   // Backtracking search with h(root) = v fixed. Returns true if an
-  // embedding exists.
+  // embedding exists. `root_prechecked` skips the root candidacy test for
+  // callers that enumerate v out of the memoized candidate list itself
+  // (every such v passes by construction).
   bool SearchFrom(const Query& q, const std::vector<PlanStep>& plan,
-                  NodeId v) const;
+                  NodeId v, bool root_prechecked = false) const;
 
   bool Extend(const Query& q, const std::vector<PlanStep>& plan, size_t pos,
               std::vector<NodeId>& assignment) const;
@@ -155,8 +158,8 @@ class Matcher {
 
   // Root candidates of a plan: the memoized list with a context (prune
   // accounting included), the label bucket without.
-  const std::vector<NodeId>& RootCandidates(
-      const Query& q, const std::vector<PlanStep>& plan) const;
+  NodeSpan RootCandidates(const Query& q,
+                          const std::vector<PlanStep>& plan) const;
 
   const Graph& g_;
   mutable MatcherStats stats_;
@@ -165,6 +168,11 @@ class Matcher {
   // of the per-instance mutable state covered by the thread-confinement
   // contract above.
   mutable std::vector<NodeId> assignment_;
+  // True when assignment_ may hold stale entries (a successful embedding
+  // returns without unwinding); SearchFrom then refills before reuse.
+  // Failed searches restore every slot, so the refill is skipped on the
+  // dominant reject path.
+  mutable bool assignment_dirty_ = true;
   const CancelToken* cancel_ = nullptr;
   mutable bool cancel_hit_ = false;
   MatchContext* ctx_ = nullptr;  // borrowed per-request memo (may be null)

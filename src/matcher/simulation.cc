@@ -49,8 +49,7 @@ std::vector<std::vector<NodeId>> DualSimulation(const Graph& g,
         for (NodeId v : list) {
           if (!member[u][v]) continue;  // already pruned via another edge
           bool witness = false;
-          const std::vector<HalfEdge>& adj =
-              forward ? g.out_edges(v) : g.in_edges(v);
+          EdgeSpan adj = forward ? g.out_edges(v) : g.in_edges(v);
           for (const HalfEdge& he : adj) {
             if (he.label == e.label && member[other_u][he.other]) {
               witness = true;

@@ -20,8 +20,7 @@ constexpr double kEps = 1e-9;
 // Sample up to `cap` nodes carrying the output node's label — the stand-in
 // for V_C when a Why-empty question names no concrete missing entities.
 std::vector<NodeId> LabelSample(const Graph& g, const Query& q, size_t cap) {
-  const std::vector<NodeId>& all =
-      g.NodesWithLabel(q.node(q.output()).label);
+  NodeSpan all = g.NodesWithLabel(q.node(q.output()).label);
   std::vector<NodeId> out;
   size_t stride = std::max<size_t>(1, all.size() / std::max<size_t>(cap, 1));
   for (size_t i = 0; i < all.size() && out.size() < cap; i += stride) {

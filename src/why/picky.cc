@@ -191,7 +191,7 @@ std::vector<EditOp> GenPickyWhy(const Graph& g, const Query& q,
     constexpr size_t kMaxNbrSamples = 256;
     for (NodeId v1 : ans1) {
       bool from_picky = picky1_set.Contains(v1);
-      auto scan = [&](const std::vector<HalfEdge>& adj, bool forward) {
+      auto scan = [&](EdgeSpan adj, bool forward) {
         for (const HalfEdge& e : adj) {
           Group& grp = groups[{forward, e.label, g.label(e.other)}];
           std::vector<NodeId>& bucket =

@@ -31,6 +31,7 @@
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "graph/neighborhood.h"
+#include "graph/snapshot.h"
 #include "harness/experiment.h"
 #include "matcher/candidates.h"
 #include "matcher/match_context.h"

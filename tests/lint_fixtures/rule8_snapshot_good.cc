@@ -1,0 +1,24 @@
+// Fixture (never compiled): serializer code drawing every format
+// constant from snapshot.h — rule "snapshot-limits" must stay silent.
+// Hex masks, small decimal constants, floating factors, and literals
+// inside comments/strings ("section 128") are all legal.
+#include "graph/snapshot.h"
+
+namespace whyq {
+
+size_t LayoutSections(size_t offset, size_t rows) {
+  size_t align = kSnapshotSectionAlign;         // the constant, by name
+  size_t aligned = (offset + align - 1) / align * align;
+  uint64_t h = kFnvOffsetBasis;
+  for (size_t i = 0; i < rows; ++i) {
+    h = (h ^ i) * kFnvPrime;                    // parameters by name
+    if ((h & 0xFFu) == 0x40u) ++aligned;        // hex masks exempt
+  }
+  double fill = 0.75 * 32;                      // small decimals are fine
+  const char* note = "pads to 4096 bytes";      // strings stripped first
+  (void)fill;
+  (void)note;
+  return aligned + (h & 0x3Fu);
+}
+
+}  // namespace whyq

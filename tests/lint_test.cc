@@ -320,6 +320,37 @@ TEST(LintServerLimitsTest, SuffixedAndSeparatedLiteralsAreCaught) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 8: snapshot-limits
+// ---------------------------------------------------------------------------
+
+TEST(LintSnapshotLimitsTest, FlagsInlineFormatConstantsInSerializer) {
+  std::vector<Violation> v = LintFile("src/graph/snapshot.cc",
+                                      ReadFixture("rule8_snapshot_bad.cc"));
+  ExpectAllRule(v, "snapshot-limits");
+  EXPECT_EQ(Lines(v), (std::vector<int>{11, 12, 16}));
+}
+
+TEST(LintSnapshotLimitsTest, AcceptsNamedConstantsMasksAndSmallValues) {
+  std::vector<Violation> v = LintFile("src/graph/snapshot.cc",
+                                      ReadFixture("rule8_snapshot_good.cc"));
+  EXPECT_TRUE(v.empty()) << v.front().message;
+}
+
+TEST(LintSnapshotLimitsTest, HeaderAndOtherGraphFilesAreExempt) {
+  // The pigeonhole itself may (must) hold the literals...
+  EXPECT_TRUE(LintFile("src/graph/snapshot.h",
+                       "#ifndef WHYQ_GRAPH_SNAPSHOT_H_\n"
+                       "#define WHYQ_GRAPH_SNAPSHOT_H_\n"
+                       "inline constexpr int kAlign = 4096;\n#endif\n")
+                  .empty());
+  // ...and the rule binds to the snapshot layer only, not all of
+  // src/graph/ (graph.cc may size reserve() calls freely).
+  EXPECT_TRUE(LintFile("src/graph/graph.cc",
+                       ReadFixture("rule8_snapshot_bad.cc"))
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
 // The real tree must be clean — same invariant as the lint_tree ctest
 // entry, but failing inside the suite gives a better signal locally.
 // ---------------------------------------------------------------------------

@@ -33,6 +33,11 @@
 namespace whyq {
 namespace {
 
+// Materializes the arena-backed candidate list for vector comparisons.
+std::vector<NodeId> ToVec(const MatchContext::CandidateSet& c) {
+  return std::vector<NodeId>(c.begin(), c.end());
+}
+
 std::vector<NodeId> DirectFilter(const Graph& g, const QueryNode& qn) {
   std::vector<NodeId> out;
   for (NodeId v : g.NodesWithLabel(qn.label)) {
@@ -48,7 +53,7 @@ TEST(MatchContextTest, LookupMatchesDirectFilter) {
     const QueryNode& qn = f.query.node(u);
     const MatchContext::CandidateSet& c = ctx.Lookup(qn);
     std::vector<NodeId> expect = DirectFilter(f.graph, qn);
-    EXPECT_EQ(c.nodes, expect) << "query node " << u;
+    EXPECT_EQ(ToVec(c), expect) << "query node " << u;
     // Bitmap agrees with the list on every data node.
     for (NodeId v = 0; v < f.graph.node_count(); ++v) {
       bool in_list = std::binary_search(expect.begin(), expect.end(), v);
@@ -110,7 +115,7 @@ TEST(MatchContextTest, SupersetLiteralsBuildByDelta) {
   EXPECT_EQ(ctx.stats().misses, 1u);
   EXPECT_EQ(ctx.stats().delta_builds, 1u);
   // The delta filter must agree with the direct filter exactly.
-  EXPECT_EQ(r.nodes, DirectFilter(f.graph, refined));
+  EXPECT_EQ(ToVec(r), DirectFilter(f.graph, refined));
 }
 
 TEST(MatchContextTest, SeedInstallsExternalResult) {
@@ -124,10 +129,10 @@ TEST(MatchContextTest, SeedInstallsExternalResult) {
   EXPECT_EQ(ctx.stats().misses, 1u);  // the scan happened, just elsewhere
   const MatchContext::CandidateSet& c = ctx.Lookup(qn);
   EXPECT_EQ(ctx.stats().hits, 1u);  // served from the seeded entry
-  EXPECT_EQ(c.nodes, computed);
+  EXPECT_EQ(ToVec(c), computed);
   // Re-seeding an existing signature is a no-op.
   ctx.Seed(qn, {});
-  EXPECT_EQ(ctx.Lookup(qn).nodes, computed);
+  EXPECT_EQ(ToVec(ctx.Lookup(qn)), computed);
 }
 
 TEST(MatchContextTest, PrimeMemoizesEveryQueryNode) {

@@ -6,7 +6,11 @@
 #   2. every subcommand dispatched by tools/whyq_cli.cc appears in the
 #      usage comment at the top of that file AND in README.md;
 #   3. every --flag the CLI parses appears in README.md (and vice versa:
-#      every --flag README claims must be parsed by the CLI).
+#      every --flag README claims must be parsed by the CLI);
+#   4. docs/SNAPSHOT_FORMAT.md stays honest: every `Struct.field` row of
+#      its field-index appendix and every kSnapshot* constant it cites
+#      must literally exist in src/graph/snapshot.h (the header is the
+#      format's single source of truth — renames must update the spec).
 # Pure grep/sed — no dependencies beyond POSIX sh.
 set -u
 
@@ -69,7 +73,31 @@ for flag in $readme_flags; do
     err "README.md documents '$flag' but $cli does not parse it"
 done
 
+# --- 4. SNAPSHOT_FORMAT.md <-> snapshot.h ---------------------------------
+spec=docs/SNAPSHOT_FORMAT.md
+hdr=src/graph/snapshot.h
+if [ -f "$spec" ] && [ -f "$hdr" ]; then
+  fields=$(sed -n '/^## Appendix: field index/,$p' "$spec" |
+           grep -o '`[A-Za-z]*\.[a-z_]*`' | tr -d '\140' | sort -u)
+  [ -n "$fields" ] ||
+    err "$spec: no Struct.field entries found in the field-index appendix"
+  for f in $fields; do
+    struct=${f%%.*}
+    field=${f#*.}
+    grep -q "struct $struct" "$hdr" ||
+      err "$spec: struct '$struct' does not exist in $hdr"
+    grep -qw "$field" "$hdr" ||
+      err "$spec: field '$f' — '$field' does not appear in $hdr"
+  done
+  for c in $(grep -o 'kSnapshot[A-Za-z]*' "$spec" | sort -u); do
+    grep -qw "$c" "$hdr" ||
+      err "$spec: constant '$c' does not exist in $hdr"
+  done
+else
+  err "missing $spec or $hdr"
+fi
+
 if [ "$fail" -eq 0 ]; then
-  echo "check_docs: OK (links, subcommands, flags in sync)"
+  echo "check_docs: OK (links, subcommands, flags, snapshot spec in sync)"
 fi
 exit "$fail"

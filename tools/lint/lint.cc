@@ -295,19 +295,23 @@ void CheckOutputChannel(const std::string& path, const std::string& stripped,
 }
 
 // ---------------------------------------------------------------------------
-// Rule: server-limits
+// Rules: server-limits, snapshot-limits (shared decimal-literal scanner)
 // ---------------------------------------------------------------------------
 
 /// Decimal integer literals at or above this value are presumed to be
-/// resource limits (buffer sizes, caps, timeouts) that belong in
-/// src/server/limits.h. Below it sit loop bounds, small field counts and
-/// arithmetic constants that are not limits. Hex/binary/octal-prefixed
-/// literals are exempt: they are bit masks and encoding thresholds
-/// (UTF-8 boundaries, epoll flags), not capacity knobs.
-constexpr unsigned long long kServerLimitsThreshold = 64;
+/// resource limits (buffer sizes, caps, timeouts) or format constants
+/// that belong in the layer's pigeonhole header. Below it sit loop
+/// bounds, small field counts and arithmetic constants that are not
+/// limits. Hex/binary/octal-prefixed literals are exempt: they are bit
+/// masks and encoding thresholds (UTF-8 boundaries, epoll flags), not
+/// capacity knobs.
+constexpr unsigned long long kLimitLiteralThreshold = 64;
 
-void CheckServerLimits(const std::string& path, const std::string& stripped,
-                       std::vector<Violation>* out) {
+/// Flags every decimal integer literal >= kLimitLiteralThreshold under
+/// `rule`; `where` completes the message ("integer literal N <where>").
+void CheckLimitLiterals(const std::string& path, const std::string& stripped,
+                        const char* rule, const std::string& where,
+                        std::vector<Violation>* out) {
   auto digit = [](char c) {
     return std::isdigit(static_cast<unsigned char>(c)) != 0;
   };
@@ -355,16 +359,23 @@ void CheckServerLimits(const std::string& path, const std::string& stripped,
     // Integer suffixes (u/l/z combinations).
     while (j < stripped.size() && IsIdentChar(stripped[j])) ++j;
     i = j;
-    if (value >= kServerLimitsThreshold) {
-      out->push_back(
-          {path, LineOfOffset(stripped, literal_at), "server-limits",
-           "integer literal " + digits +
-               " in src/server/ outside limits.h — every hard limit of "
-               "the daemon lives in src/server/limits.h with a provenance "
-               "comment (hex bit-mask literals are exempt)"});
+    if (value >= kLimitLiteralThreshold) {
+      out->push_back({path, LineOfOffset(stripped, literal_at), rule,
+                      "integer literal " + digits + " " + where});
     }
   }
 }
+
+const char kServerLimitsWhere[] =
+    "in src/server/ outside limits.h — every hard limit of the daemon "
+    "lives in src/server/limits.h with a provenance comment (hex "
+    "bit-mask literals are exempt)";
+
+const char kSnapshotLimitsWhere[] =
+    "in the snapshot layer outside snapshot.h — every constant of the "
+    "on-disk format (alignment, section count, hash parameters) lives "
+    "in src/graph/snapshot.h, the header docs/SNAPSHOT_FORMAT.md is "
+    "checked against (hex bit-mask literals are exempt)";
 
 // ---------------------------------------------------------------------------
 // Rule: nodespan-member
@@ -657,7 +668,13 @@ std::vector<Violation> LintFile(const std::string& path,
     CheckNodeSpanMembers(path, stripped, &out);
   }
   if (StartsWith(path, "src/server/") && path != "src/server/limits.h") {
-    CheckServerLimits(path, stripped, &out);
+    CheckLimitLiterals(path, stripped, "server-limits", kServerLimitsWhere,
+                       &out);
+  }
+  if (StartsWith(path, "src/graph/snapshot.") &&
+      path != "src/graph/snapshot.h") {
+    CheckLimitLiterals(path, stripped, "snapshot-limits",
+                       kSnapshotLimitsWhere, &out);
   }
   if (is_header && (in_src || StartsWith(path, "tools/"))) {
     CheckHeaderGuard(path, stripped, &out);

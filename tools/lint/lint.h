@@ -32,6 +32,11 @@
 //                    centralized limits header with a provenance comment.
 //                    Hex/binary literals are exempt (bit masks and UTF-8
 //                    thresholds, not capacity knobs).
+//   snapshot-limits  the same pigeonhole for the on-disk snapshot format:
+//                    no decimal integer literal >= 64 in the snapshot
+//                    layer outside src/graph/snapshot.h — alignment,
+//                    section counts, and hash parameters live in the one
+//                    header docs/SNAPSHOT_FORMAT.md is checked against.
 //
 // The linter deliberately avoids libclang: it lexes comments/strings away
 // and works on the token stream plus brace structure, which is exact for

@@ -21,11 +21,19 @@
 //                  [--drain-ms=D] [--stats-json=FILE] [--stats-period-ms=D]
 //                  [--workers=N] [--queue=N] [--cache=N] [--deadline-ms=D]
 //                  [--slow-ms=D] [common]
+//   whyq_cli snapshot build GRAPH --out=FILE
+//   whyq_cli snapshot info FILE
 //   whyq_cli figure1 --out=PREFIX
 //   whyq_cli demo
 //   whyq_cli --version
 // Common flags: --budget=B --guard=M --semantics=iso|sim --threads=N
-//               --trace
+//               --trace --snapshot
+// --snapshot makes every GRAPH positional (dot/stats/query/why/whynot/
+// whyempty/whysomany/serve-batch/serve) load a frozen snapshot image
+// (docs/SNAPSHOT_FORMAT.md) via mmap instead of parsing the text format —
+// O(ms) cold start, one physical copy shared across server processes.
+// snapshot build freezes a text graph into such an image; snapshot info
+// prints an image's header and section table without loading the graph.
 // --trace prints the per-request stage breakdown (queue/parse/prepare/
 // search) and hot-loop work counters after each why/whynot/whyempty/
 // whysomany answer, and per-request under serve-batch.
@@ -80,6 +88,7 @@
 #include <vector>
 
 #include "gen/figure1.h"
+#include "graph/snapshot.h"
 #include "server/server.h"
 #include "whyq.h"
 
@@ -126,6 +135,7 @@ struct Options {
   std::string stats_json;
   double slow_ms = 0;
   bool trace = false;
+  bool snapshot = false;  // GRAPH positionals are snapshot images
   size_t port = 0;  // serve: 0 binds an ephemeral port
   size_t max_conns = whyq::server::kMaxConnections;
   double idle_ms = whyq::server::kIdleTimeoutMs;
@@ -258,6 +268,8 @@ bool ParseArgs(int argc, char** argv, Options* o, std::string* error) {
       ok = ParseDouble(v, &o->stats_period_ms) && o->stats_period_ms > 0;
     } else if (a == "--trace") {
       o->trace = true;
+    } else if (a == "--snapshot") {
+      o->snapshot = true;
     } else if (a.rfind("--", 0) == 0) {
       *error = "unknown flag " + a;
       return false;
@@ -282,6 +294,43 @@ std::optional<Graph> LoadGraph(const std::string& path) {
   std::optional<Graph> g = ReadGraphFromFile(path, &err);
   if (!g.has_value()) std::fprintf(stderr, "whyq: %s\n", err.c_str());
   return g;
+}
+
+// A graph loaded either from the text format (heap-built) or, with
+// --snapshot, from a frozen snapshot image whose POD columns borrow the
+// mmap'ed bytes. get() lends the graph to one-shot commands; share()
+// hands ownership to long-lived services (for snapshots, an aliasing
+// shared_ptr keeps the mapping alive as long as the graph is referenced).
+struct LoadedGraph {
+  std::optional<Graph> owned;
+  std::shared_ptr<GraphSnapshot> snap;
+
+  const Graph& get() const {
+    return snap != nullptr ? snap->graph() : *owned;
+  }
+  std::shared_ptr<const Graph> share() {
+    if (snap != nullptr) {
+      return std::shared_ptr<const Graph>(snap, &snap->graph());
+    }
+    return std::make_shared<const Graph>(std::move(*owned));
+  }
+};
+
+std::optional<LoadedGraph> LoadGraphAuto(const Options& o,
+                                         const std::string& path) {
+  LoadedGraph lg;
+  if (o.snapshot) {
+    std::string err;
+    lg.snap = GraphSnapshot::Load(path, &err);
+    if (lg.snap == nullptr) {
+      std::fprintf(stderr, "whyq: %s\n", err.c_str());
+      return std::nullopt;
+    }
+  } else {
+    lg.owned = LoadGraph(path);
+    if (!lg.owned.has_value()) return std::nullopt;
+  }
+  return lg;
 }
 
 std::optional<Query> LoadQuery(const std::string& path, const Graph& g) {
@@ -363,36 +412,38 @@ int CmdImport(const Options& o) {
 
 int CmdDot(const Options& o) {
   if (o.positional.size() < 2) return Fail("dot needs GRAPH QUERYFILE");
-  std::optional<Graph> g = LoadGraph(o.positional[0]);
-  if (!g.has_value()) return 1;
-  std::optional<Query> q = LoadQuery(o.positional[1], *g);
+  std::optional<LoadedGraph> lg = LoadGraphAuto(o, o.positional[0]);
+  if (!lg.has_value()) return 1;
+  const Graph& g = lg->get();
+  std::optional<Query> q = LoadQuery(o.positional[1], g);
   if (!q.has_value()) return 1;
-  std::printf("%s", QueryToDot(*q, *g).c_str());
+  std::printf("%s", QueryToDot(*q, g).c_str());
   return 0;
 }
 
 int CmdStats(const Options& o) {
   if (o.positional.empty()) return Fail("stats needs a graph file");
-  std::optional<Graph> g = LoadGraph(o.positional[0]);
-  if (!g.has_value()) return 1;
-  std::printf("%s\n", ComputeStats(*g).ToString().c_str());
+  std::optional<LoadedGraph> lg = LoadGraphAuto(o, o.positional[0]);
+  if (!lg.has_value()) return 1;
+  std::printf("%s\n", ComputeStats(lg->get()).ToString().c_str());
   return 0;
 }
 
 int CmdQuery(const Options& o) {
   if (o.positional.size() < 2) return Fail("query needs GRAPH QUERYFILE");
-  std::optional<Graph> g = LoadGraph(o.positional[0]);
-  if (!g.has_value()) return 1;
-  std::optional<Query> q = LoadQuery(o.positional[1], *g);
+  std::optional<LoadedGraph> lg = LoadGraphAuto(o, o.positional[0]);
+  if (!lg.has_value()) return 1;
+  const Graph& g = lg->get();
+  std::optional<Query> q = LoadQuery(o.positional[1], g);
   if (!q.has_value()) return 1;
-  std::unique_ptr<MatchEngine> engine = MakeMatchEngine(*g, o.semantics);
+  std::unique_ptr<MatchEngine> engine = MakeMatchEngine(g, o.semantics);
   std::vector<NodeId> answers = engine->MatchOutput(*q);
   std::printf("%zu answers (%s semantics)\n", answers.size(),
               MatchSemanticsName(o.semantics));
   for (size_t i = 0; i < answers.size() && i < o.limit; ++i) {
     std::printf("  node %u", answers[i]);
-    for (const AttrEntry& e : g->attrs(answers[i])) {
-      std::printf(" %s=%s", g->AttrName(e.attr).c_str(),
+    for (const AttrEntry& e : g.attrs(answers[i])) {
+      std::printf(" %s=%s", g.AttrName(e.attr).c_str(),
                   e.value.ToString().c_str());
     }
     std::printf("\n");
@@ -407,15 +458,16 @@ int CmdQuery(const Options& o) {
 int CmdWhy(const Options& o, bool why_not) {
   if (o.positional.size() < 2) return Fail("needs GRAPH QUERYFILE");
   if (o.entities.empty()) return Fail("needs --entities=ID,ID,...");
-  std::optional<Graph> g = LoadGraph(o.positional[0]);
-  if (!g.has_value()) return 1;
+  std::optional<LoadedGraph> lg = LoadGraphAuto(o, o.positional[0]);
+  if (!lg.has_value()) return 1;
+  const Graph& g = lg->get();
   RequestTrace trace;
   Timer stage;
-  std::optional<Query> q = LoadQuery(o.positional[1], *g);
+  std::optional<Query> q = LoadQuery(o.positional[1], g);
   if (!q.has_value()) return 1;
   trace.parse_ms = stage.ElapsedMillis();
   stage.Reset();
-  std::unique_ptr<MatchEngine> engine = MakeMatchEngine(*g, o.semantics);
+  std::unique_ptr<MatchEngine> engine = MakeMatchEngine(g, o.semantics);
   std::vector<NodeId> answers = engine->MatchOutput(*q);
   trace.answer_match_ms = stage.ElapsedMillis();
   trace.prepare_ms = trace.answer_match_ms;
@@ -426,20 +478,20 @@ int CmdWhy(const Options& o, bool why_not) {
     WhyNotQuestion w;
     w.missing = o.entities;
     if (o.algo == "exact") {
-      a = ExactWhyNot(*g, *q, answers, w, cfg);
+      a = ExactWhyNot(g, *q, answers, w, cfg);
     } else if (o.algo == "iso") {
-      a = IsoWhyNot(*g, *q, answers, w, cfg);
+      a = IsoWhyNot(g, *q, answers, w, cfg);
     } else {
-      a = FastWhyNot(*g, *q, answers, w, cfg);
+      a = FastWhyNot(g, *q, answers, w, cfg);
     }
   } else {
     WhyQuestion w{o.entities};
     if (o.algo == "exact") {
-      a = ExactWhy(*g, *q, answers, w, cfg);
+      a = ExactWhy(g, *q, answers, w, cfg);
     } else if (o.algo == "iso") {
-      a = IsoWhy(*g, *q, answers, w, cfg);
+      a = IsoWhy(g, *q, answers, w, cfg);
     } else {
-      a = ApproxWhy(*g, *q, answers, w, cfg);
+      a = ApproxWhy(g, *q, answers, w, cfg);
     }
   }
   trace.search_ms = stage.ElapsedMillis();
@@ -453,22 +505,23 @@ int CmdWhy(const Options& o, bool why_not) {
   trace.ctx_misses = a.ctx_misses;
   trace.ctx_delta_builds = a.ctx_delta_builds;
   trace.ctx_pruned = a.ctx_pruned;
-  PrintAnswer(*g, *q, a);
+  PrintAnswer(g, *q, a);
   if (o.trace) std::printf("%s", trace.ToString().c_str());
   return a.found ? 0 : 2;
 }
 
 int CmdWhyEmpty(const Options& o) {
   if (o.positional.size() < 2) return Fail("needs GRAPH QUERYFILE");
-  std::optional<Graph> g = LoadGraph(o.positional[0]);
-  if (!g.has_value()) return 1;
+  std::optional<LoadedGraph> lg = LoadGraphAuto(o, o.positional[0]);
+  if (!lg.has_value()) return 1;
+  const Graph& g = lg->get();
   RequestTrace trace;
   Timer stage;
-  std::optional<Query> q = LoadQuery(o.positional[1], *g);
+  std::optional<Query> q = LoadQuery(o.positional[1], g);
   if (!q.has_value()) return 1;
   trace.parse_ms = stage.ElapsedMillis();
   stage.Reset();
-  WhyEmptyResult r = AnswerWhyEmpty(*g, *q, MakeConfig(o));
+  WhyEmptyResult r = AnswerWhyEmpty(g, *q, MakeConfig(o));
   trace.search_ms = stage.ElapsedMillis();
   if (o.trace) std::printf("%s", trace.ToString().c_str());
   if (!r.found) {
@@ -479,8 +532,8 @@ int CmdWhyEmpty(const Options& o) {
     std::printf("the query already has answers\n");
   } else {
     std::printf("repaired at cost %.2f via { %s }\n", r.cost,
-                DescribeOperators(r.ops, *g).c_str());
-    std::printf("%s", ExplainRewrite(*g, *q, r.ops).ToString().c_str());
+                DescribeOperators(r.ops, g).c_str());
+    std::printf("%s", ExplainRewrite(g, *q, r.ops).ToString().c_str());
   }
   std::printf("%zu sample answers\n", r.sample_answers.size());
   return 0;
@@ -488,25 +541,26 @@ int CmdWhyEmpty(const Options& o) {
 
 int CmdWhySoMany(const Options& o) {
   if (o.positional.size() < 2) return Fail("needs GRAPH QUERYFILE");
-  std::optional<Graph> g = LoadGraph(o.positional[0]);
-  if (!g.has_value()) return 1;
+  std::optional<LoadedGraph> lg = LoadGraphAuto(o, o.positional[0]);
+  if (!lg.has_value()) return 1;
+  const Graph& g = lg->get();
   RequestTrace trace;
   Timer stage;
-  std::optional<Query> q = LoadQuery(o.positional[1], *g);
+  std::optional<Query> q = LoadQuery(o.positional[1], g);
   if (!q.has_value()) return 1;
   trace.parse_ms = stage.ElapsedMillis();
   stage.Reset();
-  Matcher matcher(*g);
+  Matcher matcher(g);
   std::vector<NodeId> answers = matcher.MatchOutput(*q);
   trace.answer_match_ms = stage.ElapsedMillis();
   trace.prepare_ms = trace.answer_match_ms;
   stage.Reset();
   WhySoManyResult r =
-      AnswerWhySoMany(*g, *q, answers, o.target, MakeConfig(o));
+      AnswerWhySoMany(g, *q, answers, o.target, MakeConfig(o));
   trace.search_ms = stage.ElapsedMillis();
   std::printf("%zu -> %zu answers via { %s }\n", r.before, r.after,
-              DescribeOperators(r.ops, *g).c_str());
-  std::printf("%s", ExplainRewrite(*g, *q, r.ops).ToString().c_str());
+              DescribeOperators(r.ops, g).c_str());
+  std::printf("%s", ExplainRewrite(g, *q, r.ops).ToString().c_str());
   if (o.trace) std::printf("%s", trace.ToString().c_str());
   return r.found ? 0 : 2;
 }
@@ -594,8 +648,8 @@ int CmdServeBatch(const Options& o) {
   if (o.positional.size() < 2) {
     return Fail("serve-batch needs GRAPH QUESTIONSFILE");
   }
-  std::optional<Graph> g = LoadGraph(o.positional[0]);
-  if (!g.has_value()) return 1;
+  std::optional<LoadedGraph> lg = LoadGraphAuto(o, o.positional[0]);
+  if (!lg.has_value()) return 1;
   std::ifstream qs(o.positional[1]);
   if (!qs) return Fail("cannot open " + o.positional[1]);
 
@@ -606,7 +660,7 @@ int CmdServeBatch(const Options& o) {
   sc.cache_capacity = o.cache;
   sc.intra_threads = o.threads;
   sc.slow_query_ms = o.slow_ms;
-  WhyqService service(std::move(*g), sc);
+  WhyqService service(lg->share(), sc);
 
   std::map<std::string, std::string> texts;
   std::vector<std::future<ServiceResponse>> futures;
@@ -714,16 +768,15 @@ int CmdServe(const Options& o) {
   if (o.positional.empty()) return Fail("serve needs at least one GRAPH");
   std::vector<std::pair<std::string, std::shared_ptr<const Graph>>> graphs;
   for (const std::string& path : o.positional) {
-    std::optional<Graph> g = LoadGraph(path);
-    if (!g.has_value()) return 1;
+    std::optional<LoadedGraph> lg = LoadGraphAuto(o, path);
+    if (!lg.has_value()) return 1;
     std::string name = GraphName(path);
     for (const auto& [existing, unused] : graphs) {
       if (existing == name) {
         return Fail("duplicate graph name '" + name + "'");
       }
     }
-    graphs.emplace_back(name,
-                        std::make_shared<const Graph>(std::move(*g)));
+    graphs.emplace_back(name, lg->share());
   }
   server::ServerConfig sc;
   sc.port = static_cast<uint16_t>(o.port);
@@ -763,6 +816,72 @@ int CmdServe(const Options& o) {
       static_cast<unsigned long long>(snap.bad_lines),
       static_cast<unsigned long long>(snap.responded));
   return rc;
+}
+
+// snapshot build GRAPH --out=FILE freezes a text-format graph into a
+// frozen snapshot image; snapshot info FILE prints an image's header and
+// section table (format: docs/SNAPSHOT_FORMAT.md) without loading the
+// graph payload.
+int CmdSnapshot(const Options& o) {
+  if (o.positional.empty()) return Fail("snapshot needs build|info");
+  const std::string& verb = o.positional[0];
+  std::string err;
+  if (verb == "build") {
+    if (o.positional.size() < 2) return Fail("snapshot build needs GRAPH");
+    if (o.out.empty()) return Fail("snapshot build needs --out=FILE");
+    std::optional<Graph> g = LoadGraph(o.positional[1]);
+    if (!g.has_value()) return 1;
+    if (!GraphSnapshot::Write(*g, o.out, &err)) return Fail(err);
+    GraphSnapshot::Info info;
+    if (!GraphSnapshot::ReadInfo(o.out, &info, &err)) return Fail(err);
+    std::printf(
+        "wrote %s: v%u, %llu nodes, %llu edges, %llu bytes, "
+        "fingerprint %016llx\n",
+        o.out.c_str(), info.version,
+        static_cast<unsigned long long>(info.node_count),
+        static_cast<unsigned long long>(info.edge_count),
+        static_cast<unsigned long long>(info.file_bytes),
+        static_cast<unsigned long long>(info.fingerprint));
+    return 0;
+  }
+  if (verb == "info") {
+    if (o.positional.size() < 2) return Fail("snapshot info needs FILE");
+    GraphSnapshot::Info info;
+    if (!GraphSnapshot::ReadInfo(o.positional[1], &info, &err)) {
+      return Fail(err);
+    }
+    static const char* const kSectionNames[kSnapshotSectionCount] = {
+        "node_labels",      "out_edges",       "in_edges",
+        "out_edge_range",   "in_edge_range",   "out_nbrs",
+        "in_nbrs",          "out_slices",      "in_slices",
+        "out_slice_range",  "in_slice_range",  "bucket_nodes",
+        "bucket_range",     "attr_ranges",     "attr_entries",
+        "attr_entry_range", "string_pool",     "node_label_dict",
+        "edge_label_dict",  "attr_name_dict",
+    };
+    std::printf("%s: snapshot v%u\n", o.positional[1].c_str(), info.version);
+    std::printf("  file_bytes   %llu\n",
+                static_cast<unsigned long long>(info.file_bytes));
+    std::printf("  node_count   %llu\n",
+                static_cast<unsigned long long>(info.node_count));
+    std::printf("  edge_count   %llu\n",
+                static_cast<unsigned long long>(info.edge_count));
+    std::printf("  fingerprint  %016llx\n",
+                static_cast<unsigned long long>(info.fingerprint));
+    std::printf("  payload_hash %016llx\n",
+                static_cast<unsigned long long>(info.payload_hash));
+    std::printf("  %-3s %-16s %12s %12s\n", "id", "section", "offset",
+                "bytes");
+    for (const SnapSection& s : info.sections) {
+      const char* name =
+          s.id < kSnapshotSectionCount ? kSectionNames[s.id] : "?";
+      std::printf("  %-3u %-16s %12llu %12llu\n", s.id, name,
+                  static_cast<unsigned long long>(s.offset),
+                  static_cast<unsigned long long>(s.bytes));
+    }
+    return 0;
+  }
+  return Fail("snapshot needs build|info");
 }
 
 // Writes the paper's running example (Fig. 1) to PREFIX.graph and
@@ -821,8 +940,8 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: whyq_cli "
                  "generate|import|dot|stats|query|why|whynot|whyempty|"
-                 "whysomany|serve-batch|serve|figure1|demo|--version "
-                 "...\n");
+                 "whysomany|serve-batch|serve|snapshot|figure1|demo|"
+                 "--version ...\n");
     return 1;
   }
   if (std::strcmp(argv[1], "--version") == 0) {
@@ -844,6 +963,7 @@ int Main(int argc, char** argv) {
   if (cmd == "whysomany") return CmdWhySoMany(o);
   if (cmd == "serve-batch") return CmdServeBatch(o);
   if (cmd == "serve") return CmdServe(o);
+  if (cmd == "snapshot") return CmdSnapshot(o);
   if (cmd == "figure1") return CmdFigure1(o);
   if (cmd == "demo") return CmdDemo();
   return Fail("unknown command " + cmd);
