@@ -12,9 +12,14 @@
 //           (clients == workers) and at 2x overload against a small
 //           admission queue, where rejected-with-retry_after_ms responses
 //           shed the excess instead of queueing it.
+//   part e: incremental updates — Graph::ApplyUpdate vs the full-rebuild
+//           reference across batch sizes, then update/read interference:
+//           closed-loop readers with and without a concurrent writer
+//           publishing epochs through WhyqService::ApplyUpdate.
 //
 // EXPERIMENTS.md records the shapes: >1x scaling 1 -> 4 workers, a
-// visible cache-hit speedup, and overload shedding via admission control.
+// visible cache-hit speedup, overload shedding via admission control,
+// and incremental beating rebuild on small batches.
 
 #include <sys/socket.h>
 
@@ -29,6 +34,7 @@
 
 #include "bench/bench_common.h"
 #include "common/net.h"
+#include "graph/update.h"
 #include "server/json.h"
 #include "server/limits.h"
 #include "server/server.h"
@@ -336,6 +342,162 @@ void PartSocket(const Flags& flags,
           .c_str());
 }
 
+// A batch of `ops` mutations valid against any epoch of `g`: new nodes
+// under a bench-only label, an attribute on each, and a chain edge back to
+// the previously added node. Everything lives on symbols no workload query
+// mentions, so against the prepared cache the batch is pure rekey traffic —
+// the interference measured below is the epoch publish itself, not cache
+// rebuild work.
+UpdateBatch MakeUpdateBatch(const Graph& g, size_t ops) {
+  UpdateBatch b;
+  NodeId next = static_cast<NodeId>(g.node_count());
+  NodeId prev = kInvalidNode;
+  for (size_t i = 0; i < ops; ++i) {
+    switch (i % 3) {
+      case 0:
+        b.ops.push_back(UpdateOp::AddNode("BenchNode"));
+        prev = next++;
+        break;
+      case 1:
+        b.ops.push_back(UpdateOp::SetAttr(
+            prev, "bench_heat", Value(static_cast<int64_t>(i))));
+        break;
+      default:
+        if (next >= g.node_count() + 2) {
+          b.ops.push_back(UpdateOp::AddEdge(prev, prev - 1, "bench_link"));
+        } else {
+          b.ops.push_back(UpdateOp::SetAttr(
+              prev, "bench_cold", Value(static_cast<int64_t>(i))));
+        }
+        break;
+    }
+  }
+  return b;
+}
+
+void PartUpdates(const Flags& flags,
+                 const std::shared_ptr<const Graph>& graph,
+                 const Workload& w) {
+  // --- e1: incremental ApplyUpdate vs. the full-rebuild reference --------
+  // Same batch, same base epoch, mean over kReps applications. The
+  // incremental path splices only the touched label runs; the rebuild pays
+  // the whole graph every time, so its cost is flat in the batch size.
+  constexpr int kReps = 5;
+  TextTable t({"batch_ops", "incremental_ms", "rebuild_ms", "speedup"});
+  for (size_t ops : {1u, 8u, 64u, 512u}) {
+    UpdateBatch batch = MakeUpdateBatch(*graph, ops);
+    double inc_ms = 0.0;
+    double reb_ms = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Graph next;
+      UpdateResult r;
+      Timer timer;
+      if (!graph->ApplyUpdate(batch, &next, &r)) {
+        std::fprintf(stderr, "incremental apply failed: %s\n",
+                     r.error.c_str());
+        return;
+      }
+      inc_ms += timer.ElapsedMillis();
+      Graph rebuilt;
+      Timer timer2;
+      if (!ApplyUpdateByRebuild(*graph, batch, &rebuilt, &r)) {
+        std::fprintf(stderr, "rebuild apply failed: %s\n", r.error.c_str());
+        return;
+      }
+      reb_ms += timer2.ElapsedMillis();
+    }
+    inc_ms /= kReps;
+    reb_ms /= kReps;
+    t.AddRow({std::to_string(ops), TextTable::Num(inc_ms, 3),
+              TextTable::Num(reb_ms, 3),
+              TextTable::Num(inc_ms > 0 ? reb_ms / inc_ms : 0.0)});
+  }
+  std::printf(
+      "%s\n",
+      t.ToString("Part e1: ApplyUpdate incremental vs. full rebuild")
+          .c_str());
+
+  // --- e2: update/read interference --------------------------------------
+  // Closed-loop readers against one service, first with the writer idle,
+  // then with a writer publishing 8-op epochs as fast as it can. The
+  // batches are footprint-disjoint from the probe, so surviving cache
+  // entries are rekeyed and reads keep hitting — the p95 delta isolates
+  // the cost of concurrent epoch publishes on the read path.
+  ServiceRequest probe;
+  probe.kind = RequestKind::kWhySoMany;
+  probe.query_text = WriteQuery(w.items[0].gq.query, *graph);
+  probe.target_k = graph->node_count();  // already satisfied: trivial search
+  probe.config = DefaultAnswerConfig();
+
+  constexpr size_t kReaders = 2;
+  constexpr size_t kReadsPerReader = 2000;
+  TextTable t2({"writer", "reads_per_s", "read_p95_ms", "cache_hits",
+                "updates", "updates_per_s"});
+  for (bool with_writer : {false, true}) {
+    ServiceConfig sc;
+    sc.workers = kReaders;
+    sc.cache_capacity = 64;
+    WhyqService service(graph, sc);
+    service.Execute(probe);  // warm the prepared cache
+
+    std::atomic<bool> readers_done{false};
+    std::vector<std::vector<double>> lat(kReaders);
+    std::vector<std::thread> readers;
+    Timer timer;
+    for (size_t i = 0; i < kReaders; ++i) {
+      readers.emplace_back([&, i] {
+        lat[i].reserve(kReadsPerReader);
+        for (size_t r = 0; r < kReadsPerReader; ++r) {
+          Timer one;
+          service.Execute(probe);
+          lat[i].push_back(one.ElapsedMillis());
+        }
+      });
+    }
+    uint64_t updates = 0;
+    if (with_writer) {
+      // Publish epochs until the readers finish; each batch is built
+      // against the epoch it will apply to (node ids shift per publish).
+      std::thread monitor([&] {
+        for (std::thread& th : readers) th.join();
+        readers_done.store(true);
+      });
+      while (!readers_done.load()) {
+        UpdateResult ur;
+        UpdateBatch batch = MakeUpdateBatch(*service.graph(), 8);
+        if (!service.ApplyUpdate(batch, &ur)) {
+          std::fprintf(stderr, "writer apply failed: %s\n", ur.error.c_str());
+          break;
+        }
+        ++updates;
+      }
+      monitor.join();
+    } else {
+      for (std::thread& th : readers) th.join();
+    }
+    double elapsed_ms = timer.ElapsedMillis();
+
+    std::vector<double> all;
+    for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    double p95 = all.empty() ? 0.0 : all[all.size() * 95 / 100];
+    StatsSnapshot s = service.Stats();
+    t2.AddRow({with_writer ? "on" : "off",
+               TextTable::Num(1000.0 * static_cast<double>(all.size()) /
+                                  elapsed_ms,
+                              1),
+               TextTable::Num(p95, 3), std::to_string(s.cache_hits),
+               std::to_string(updates),
+               TextTable::Num(1000.0 * static_cast<double>(updates) /
+                                  elapsed_ms,
+                              1)});
+  }
+  std::printf(
+      "%s\n",
+      t2.ToString("Part e2: read latency with a concurrent epoch writer")
+          .c_str());
+}
+
 int Main(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv);
   BsbmConfig bc;
@@ -360,6 +522,7 @@ int Main(int argc, char** argv) {
   if (RunPart(flags, "b")) PartCache(flags, graph, w);
   if (RunPart(flags, "c")) PartCoreBudget(flags, graph, reqs);
   if (RunPart(flags, "d")) PartSocket(flags, graph, reqs);
+  if (RunPart(flags, "e")) PartUpdates(flags, graph, w);
   return 0;
 }
 

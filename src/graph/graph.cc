@@ -1,16 +1,73 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/check.h"
 
 namespace whyq {
 
-namespace {
+namespace graph_internal {
 
 bool HalfEdgeLess(const HalfEdge& a, const HalfEdge& b) {
   return a.other != b.other ? a.other < b.other : a.label < b.label;
 }
+
+void FoldAttrRange(std::vector<AttrRange>& ranges, SymbolId attr,
+                   const Value& value) {
+  if (static_cast<size_t>(attr) >= ranges.size()) {
+    ranges.resize(attr + 1);
+  }
+  AttrRange& r = ranges[attr];
+  if (value.is_numeric()) {
+    double x = value.numeric();
+    if (r.count == 0 || !r.numeric) {
+      if (r.count == 0) {
+        r.min = r.max = x;
+        r.numeric = 1;
+      }
+      // A previously-string attribute stays non-numeric.
+    } else {
+      r.min = std::min(r.min, x);
+      r.max = std::max(r.max, x);
+    }
+  } else {
+    r.numeric = 0;
+  }
+  ++r.count;
+}
+
+void PartitionAdjacency(const HalfEdge* adj, size_t count,
+                        std::vector<HalfEdge>& scratch,
+                        std::vector<NodeId>& nbrs,
+                        std::vector<Graph::LabelSlice>& slices) {
+  scratch.assign(adj, adj + count);
+  std::stable_sort(scratch.begin(), scratch.end(),
+                   [](const HalfEdge& a, const HalfEdge& b) {
+                     return a.label < b.label;
+                   });
+  for (size_t i = 0; i < scratch.size();) {
+    Graph::LabelSlice s;
+    s.label = scratch[i].label;
+    s.begin = nbrs.size();
+    for (; i < scratch.size() && scratch[i].label == s.label; ++i) {
+      nbrs.push_back(scratch[i].other);
+    }
+    s.end = nbrs.size();
+    slices.push_back(s);
+  }
+}
+
+uint64_t NextGraphIdentity() {
+  static std::atomic<uint64_t> counter{0};
+  return ++counter;
+}
+
+}  // namespace graph_internal
+
+namespace {
+
+using graph_internal::HalfEdgeLess;
 
 }  // namespace
 
@@ -126,26 +183,15 @@ Graph GraphBuilder::Build() {
   // stable sort by label over the (other, label)-sorted lists keeps each
   // label's run in ascending-NodeId order, so a label slice enumerates the
   // same neighbors in the same order as a filtered full-adjacency scan.
+  // The partition step is shared with the incremental updater, which must
+  // reproduce this exact layout (src/graph/update.cc).
   std::vector<HalfEdge> by_label;
   auto partition = [&by_label](const std::vector<HalfEdge>& adj,
                                std::vector<NodeId>& nbrs,
                                std::vector<Graph::LabelSlice>& slices,
                                std::vector<uint64_t>& range) {
-    by_label.assign(adj.begin(), adj.end());
-    std::stable_sort(by_label.begin(), by_label.end(),
-                     [](const HalfEdge& a, const HalfEdge& b) {
-                       return a.label < b.label;
-                     });
-    for (size_t i = 0; i < by_label.size();) {
-      Graph::LabelSlice s;
-      s.label = by_label[i].label;
-      s.begin = nbrs.size();
-      for (; i < by_label.size() && by_label[i].label == s.label; ++i) {
-        nbrs.push_back(by_label[i].other);
-      }
-      s.end = nbrs.size();
-      slices.push_back(s);
-    }
+    graph_internal::PartitionAdjacency(adj.data(), adj.size(), by_label, nbrs,
+                                       slices);
     range.push_back(slices.size());
   };
 
@@ -173,26 +219,7 @@ Graph GraphBuilder::Build() {
     ++bucket_count[labels_[v]];
 
     for (const AttrEntry& e : tuple) {
-      if (static_cast<size_t>(e.attr) >= attr_ranges.size()) {
-        attr_ranges.resize(e.attr + 1);
-      }
-      AttrRange& r = attr_ranges[e.attr];
-      if (e.value.is_numeric()) {
-        double x = e.value.numeric();
-        if (r.count == 0 || !r.numeric) {
-          if (r.count == 0) {
-            r.min = r.max = x;
-            r.numeric = 1;
-          }
-          // A previously-string attribute stays non-numeric.
-        } else {
-          r.min = std::min(r.min, x);
-          r.max = std::max(r.max, x);
-        }
-      } else {
-        r.numeric = 0;
-      }
-      ++r.count;
+      graph_internal::FoldAttrRange(attr_ranges, e.attr, e.value);
     }
 
     for (AttrEntry& e : tuple) attr_pool.push_back(std::move(e));
@@ -212,8 +239,9 @@ Graph GraphBuilder::Build() {
   }
 
   g.node_label_.Own(std::move(labels_));
-  g.attr_pool_ = std::move(attr_pool);
-  g.attr_pool_.shrink_to_fit();
+  attr_pool.shrink_to_fit();
+  g.attr_pool_ =
+      std::make_shared<const std::vector<AttrEntry>>(std::move(attr_pool));
   g.attr_range_.Own(std::move(attr_range));
   g.out_pool_.Own(std::move(out_pool));
   g.in_pool_.Own(std::move(in_pool));
@@ -232,6 +260,7 @@ Graph GraphBuilder::Build() {
   g.node_labels_ = std::move(node_labels_);
   g.edge_labels_ = std::move(edge_labels_);
   g.attr_names_ = std::move(attr_names_);
+  g.identity_ = graph_internal::NextGraphIdentity();
 
   labels_ = std::vector<SymbolId>();
   attrs_.clear();

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -74,25 +75,36 @@ struct AttrRange {
   uint64_t count = 0;    // number of nodes carrying A
 };
 
-/// One frozen column of trivially-copyable rows. Either owns a heap vector
-/// (graphs assembled by GraphBuilder) or borrows a read-only region that
-/// must outlive the Graph (snapshot-backed graphs, where the rows live in
-/// the mmap'ed image — see docs/SNAPSHOT_FORMAT.md).
+/// One frozen column of trivially-copyable rows. Either owns heap storage
+/// (graphs assembled by GraphBuilder), shares another column's heap storage
+/// (copy-on-write update epochs, src/graph/update.cc), or borrows a
+/// read-only region that must outlive the Graph (snapshot-backed graphs,
+/// where the rows live in the mmap'ed image — see docs/SNAPSHOT_FORMAT.md).
 template <typename T>
 class Column {
  public:
   Column() = default;
 
   void Own(std::vector<T>&& rows) {
-    owned_ = std::move(rows);
-    owned_.shrink_to_fit();
-    ptr_ = owned_.data();
-    count_ = owned_.size();
+    rows.shrink_to_fit();
+    owned_ = std::make_shared<const std::vector<T>>(std::move(rows));
+    ptr_ = owned_->data();
+    count_ = owned_->size();
   }
   void Borrow(const T* rows, size_t count) {
-    owned_ = std::vector<T>();
+    owned_.reset();
     ptr_ = rows;
     count_ = count;
+  }
+  /// Aliases `other`'s rows, sharing ownership of its heap storage: the
+  /// backbone of copy-on-write update epochs — every column an update batch
+  /// does not touch is shared, not copied, and the storage lives until the
+  /// last sharing epoch dies. Sharing from a Borrow()ed column propagates
+  /// the borrow (same external region, same lifetime requirement).
+  void ShareFrom(const Column& other) {
+    owned_ = other.owned_;
+    ptr_ = other.ptr_;
+    count_ = other.count_;
   }
 
   const T* data() const { return ptr_; }
@@ -102,13 +114,16 @@ class Column {
   bool empty() const { return count_ == 0; }
   const T& operator[](size_t i) const { return ptr_[i]; }
   ConstSpan<T> span() const { return ConstSpan<T>(ptr_, count_); }
-  bool borrowed() const { return ptr_ != nullptr && owned_.data() != ptr_; }
+  bool borrowed() const { return ptr_ != nullptr && owned_ == nullptr; }
 
  private:
-  std::vector<T> owned_;
+  std::shared_ptr<const std::vector<T>> owned_;
   const T* ptr_ = nullptr;
   size_t count_ = 0;
 };
+
+struct UpdateBatch;
+struct UpdateResult;
 
 /// A directed multi-attributed graph G = (V, E, L, F_A): labeled nodes and
 /// edges, each node carrying a tuple of typed attribute values (Section II).
@@ -124,7 +139,11 @@ class Column {
 /// read accessors are const with no hidden mutable or lazily-built state
 /// (the label index and attribute ranges are finalized in Build()), so any
 /// number of threads may query one Graph concurrently with no locking —
-/// the invariant the service's shared-graph architecture rests on.
+/// the invariant the service's shared-graph architecture rests on. Updates
+/// never mutate in place: ApplyUpdate() produces a NEW Graph value (the next
+/// epoch) that shares untouched columns copy-on-write, so readers pinned on
+/// the old epoch keep a fully consistent view (docs/ARCHITECTURE.md
+/// "Mutable graphs & epochs").
 class Graph {
  public:
   Graph() = default;
@@ -142,7 +161,7 @@ class Graph {
   /// The attribute tuple F_A(v), sorted by attribute id.
   AttrSpan attrs(NodeId v) const {
     uint64_t b = attr_range_[v];
-    return AttrSpan(attr_pool_.data() + b, attr_range_[v + 1] - b);
+    return AttrSpan(attr_pool_->data() + b, attr_range_[v + 1] - b);
   }
 
   /// Value of v.A, or nullptr when v does not carry attribute A.
@@ -191,9 +210,29 @@ class Graph {
   std::string EdgeLabelName(SymbolId id) const;
   std::string AttrName(SymbolId id) const;
 
- private:
-  friend class GraphBuilder;
-  friend class GraphSnapshot;
+  /// Stable identity of the logical graph this epoch chain descends from:
+  /// process-unique for built graphs, the content fingerprint for
+  /// snapshot-backed graphs. Folded (with generation()) into prepared-query
+  /// cache keys so one graph's entries can never serve another.
+  uint64_t identity() const { return identity_; }
+
+  /// Update epoch: 0 for a freshly built or loaded graph, bumped once per
+  /// ApplyUpdate(). The pair (identity, generation) names one immutable
+  /// graph value.
+  uint64_t generation() const { return generation_; }
+
+  /// True for snapshot-backed graphs whose columns borrow the read-only
+  /// mapped image: they cannot be updated (ApplyUpdate reports kFrozen
+  /// instead of faulting on the PROT_READ pages).
+  bool frozen() const { return frozen_; }
+
+  /// Applies `batch` incrementally (src/graph/update.cc): on success fills
+  /// `*out` with the next-epoch graph — only touched column groups rebuilt,
+  /// untouched ones shared copy-on-write, generation bumped — and returns
+  /// true. On failure returns false with result->status/error set and *out
+  /// untouched. This graph itself is never modified either way.
+  bool ApplyUpdate(const UpdateBatch& batch, Graph* out,
+                   UpdateResult* result) const;
 
   // One label's run inside a node's slice of the partitioned neighbor
   // array; per-node runs are sorted by label (binary-searched on lookup).
@@ -205,6 +244,11 @@ class Graph {
     uint64_t begin = 0;
     uint64_t end = 0;
   };
+
+ private:
+  friend class GraphBuilder;
+  friend class GraphSnapshot;
+  friend class GraphUpdater;
 
   // Shared lookup for LabeledOutNeighbors / LabeledInNeighbors. Inline:
   // the matcher's Extend() fetches a slice per backtracking step, and the
@@ -240,8 +284,10 @@ class Graph {
   // (node_count + 1 offsets). The pool is always heap-owned — AttrEntry
   // holds a Value (possibly a string), so snapshot loads materialize it
   // from the interned on-disk attribute column — but the offsets column is
-  // borrowable.
-  std::vector<AttrEntry> attr_pool_;
+  // borrowable. Held by shared_ptr so update epochs that leave every
+  // attribute untouched alias the pool instead of deep-copying its strings.
+  std::shared_ptr<const std::vector<AttrEntry>> attr_pool_ =
+      std::make_shared<const std::vector<AttrEntry>>();
   Column<uint64_t> attr_range_;
 
   // Full adjacency: per-node runs of (other, label) rows sorted by
@@ -275,6 +321,12 @@ class Graph {
   Dictionary node_labels_;
   Dictionary edge_labels_;
   Dictionary attr_names_;
+
+  // Epoch bookkeeping (see identity()/generation()/frozen()). Stamped by
+  // GraphBuilder::Build(), GraphSnapshot::Load() and ApplyUpdate().
+  uint64_t identity_ = 0;
+  uint64_t generation_ = 0;
+  bool frozen_ = false;
 };
 
 /// Incrementally assembles a Graph. Duplicate edges (same endpoints + label)
@@ -318,6 +370,36 @@ class GraphBuilder {
   std::vector<std::vector<HalfEdge>> out_;
   std::vector<std::vector<HalfEdge>> in_;
 };
+
+namespace graph_internal {
+
+/// Canonical adjacency order: by far endpoint, then edge label. Every
+/// per-node adjacency run (builder output and incremental-update overlays
+/// alike) is sorted by this predicate.
+bool HalfEdgeLess(const HalfEdge& a, const HalfEdge& b);
+
+/// Folds one attribute value into the per-attribute domain ranges, growing
+/// `ranges` on demand. GraphBuilder::Build() and the incremental updater
+/// (src/graph/update.cc) share this fold so a rescanned range is bit-equal
+/// to a rebuilt one — the fold is order-dependent for attributes mixing
+/// string and numeric values, so rescans must visit nodes in id order.
+void FoldAttrRange(std::vector<AttrRange>& ranges, SymbolId attr,
+                   const Value& value);
+
+/// Appends the label-partitioned mirror of one node's (other, label)-sorted
+/// adjacency run: neighbors grouped by label (stable, so each label's run
+/// stays ascending by NodeId) into `nbrs`, one LabelSlice per distinct
+/// label into `slices`. `scratch` is caller-provided to amortize the
+/// per-node sort buffer. Shared by Build() and the incremental updater.
+void PartitionAdjacency(const HalfEdge* adj, size_t count,
+                        std::vector<HalfEdge>& scratch,
+                        std::vector<NodeId>& nbrs,
+                        std::vector<Graph::LabelSlice>& slices);
+
+/// Next process-unique graph identity (used by GraphBuilder::Build()).
+uint64_t NextGraphIdentity();
+
+}  // namespace graph_internal
 
 }  // namespace whyq
 

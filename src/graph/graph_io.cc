@@ -157,4 +157,132 @@ std::optional<Graph> ReadGraphFromFile(const std::string& path,
   return ReadGraph(is, error);
 }
 
+namespace {
+
+std::optional<NodeId> ParseNodeId(const std::string& tok) {
+  uint32_t v = 0;
+  auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc() || ptr != tok.data() + tok.size()) return std::nullopt;
+  return static_cast<NodeId>(v);
+}
+
+}  // namespace
+
+void WriteUpdateBatch(const UpdateBatch& batch, std::ostream& os) {
+  os << "# whyq update-batch v1\n";
+  for (const UpdateOp& op : batch.ops) {
+    switch (op.kind) {
+      case UpdateOp::kAddNode:
+        os << "AN " << op.name << '\n';
+        break;
+      case UpdateOp::kDeleteNode:
+        os << "DN " << op.node << '\n';
+        break;
+      case UpdateOp::kAddEdge:
+        os << "AE " << op.node << ' ' << op.other << ' ' << op.name << '\n';
+        break;
+      case UpdateOp::kDeleteEdge:
+        os << "DE " << op.node << ' ' << op.other << ' ' << op.name << '\n';
+        break;
+      case UpdateOp::kSetAttr:
+        os << "SA " << op.node << ' ' << op.name << '='
+           << FormatTypedValue(op.value) << '\n';
+        break;
+      case UpdateOp::kDelAttr:
+        os << "DA " << op.node << ' ' << op.name << '\n';
+        break;
+    }
+  }
+}
+
+bool WriteUpdateBatchToFile(const UpdateBatch& batch,
+                            const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  WriteUpdateBatch(batch, os);
+  return static_cast<bool>(os);
+}
+
+std::optional<UpdateBatch> ReadUpdateBatch(std::istream& is,
+                                           std::string* error) {
+  UpdateBatch batch;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> toks = Tokenize(line);
+    if (toks.empty()) continue;
+    const std::string& kind = toks[0];
+    if (kind == "AN") {
+      if (toks.size() != 2) {
+        if (error) *error = LineError(line_no, "AN needs a label");
+        return std::nullopt;
+      }
+      batch.ops.push_back(UpdateOp::AddNode(toks[1]));
+    } else if (kind == "DN") {
+      std::optional<NodeId> v = toks.size() == 2 ? ParseNodeId(toks[1])
+                                                 : std::nullopt;
+      if (!v) {
+        if (error) *error = LineError(line_no, "DN needs a node id");
+        return std::nullopt;
+      }
+      batch.ops.push_back(UpdateOp::DeleteNode(*v));
+    } else if (kind == "AE" || kind == "DE") {
+      std::optional<NodeId> u =
+          toks.size() == 4 ? ParseNodeId(toks[1]) : std::nullopt;
+      std::optional<NodeId> v =
+          toks.size() == 4 ? ParseNodeId(toks[2]) : std::nullopt;
+      if (!u || !v) {
+        if (error) {
+          *error = LineError(line_no, kind + " needs src dst label");
+        }
+        return std::nullopt;
+      }
+      batch.ops.push_back(kind == "AE"
+                              ? UpdateOp::AddEdge(*u, *v, toks[3])
+                              : UpdateOp::DeleteEdge(*u, *v, toks[3]));
+    } else if (kind == "SA") {
+      std::optional<NodeId> v =
+          toks.size() == 3 ? ParseNodeId(toks[1]) : std::nullopt;
+      size_t eq = toks.size() == 3 ? toks[2].find('=') : std::string::npos;
+      if (!v || eq == std::string::npos || eq == 0) {
+        if (error) {
+          *error = LineError(line_no, "SA needs node attr=typed-value");
+        }
+        return std::nullopt;
+      }
+      std::optional<Value> val = ParseTypedValue(toks[2].substr(eq + 1));
+      if (!val) {
+        if (error) *error = LineError(line_no, "bad value " + toks[2]);
+        return std::nullopt;
+      }
+      batch.ops.push_back(
+          UpdateOp::SetAttr(*v, toks[2].substr(0, eq), std::move(*val)));
+    } else if (kind == "DA") {
+      std::optional<NodeId> v =
+          toks.size() == 3 ? ParseNodeId(toks[1]) : std::nullopt;
+      if (!v) {
+        if (error) *error = LineError(line_no, "DA needs node attr");
+        return std::nullopt;
+      }
+      batch.ops.push_back(UpdateOp::DelAttr(*v, toks[2]));
+    } else {
+      if (error) *error = LineError(line_no, "unknown update op " + kind);
+      return std::nullopt;
+    }
+  }
+  return batch;
+}
+
+std::optional<UpdateBatch> ReadUpdateBatchFromFile(const std::string& path,
+                                                   std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return ReadUpdateBatch(is, error);
+}
+
 }  // namespace whyq

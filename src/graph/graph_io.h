@@ -6,6 +6,7 @@
 #include <string>
 
 #include "graph/graph.h"
+#include "graph/update.h"
 
 namespace whyq {
 
@@ -32,6 +33,29 @@ std::optional<Graph> ReadGraphFromFile(const std::string& path,
 std::optional<Value> ParseTypedValue(const std::string& token);
 /// Formats a value as a typed token.
 std::string FormatTypedValue(const Value& v);
+
+/// Text serialization of update batches (docs/ARCHITECTURE.md "Mutable
+/// graphs & epochs"). Line-oriented op mnemonics, applied in file order;
+/// `#` lines are comments. Typed values use the same `i:`/`d:`/`s:` forms
+/// as the graph format.
+///   AN <label>                          add node (id = node count at apply)
+///   DN <node-id>                        delete (tombstone) node
+///   AE <src-id> <dst-id> <edge-label>   add edge src -> dst
+///   DE <src-id> <dst-id> <edge-label>   delete edge src -> dst
+///   SA <node-id> <attr>=<typed-value>   set (or overwrite) attribute
+///   DA <node-id> <attr>                 delete attribute
+///
+/// Write and read round-trip exactly (modulo comment lines).
+void WriteUpdateBatch(const UpdateBatch& batch, std::ostream& os);
+bool WriteUpdateBatchToFile(const UpdateBatch& batch, const std::string& path);
+
+/// Parses an update batch; on malformed input returns std::nullopt and,
+/// when `error` is non-null, a line-numbered message. Ops are validated
+/// against a concrete graph only at ApplyUpdate time, not here.
+std::optional<UpdateBatch> ReadUpdateBatch(std::istream& is,
+                                           std::string* error);
+std::optional<UpdateBatch> ReadUpdateBatchFromFile(const std::string& path,
+                                                   std::string* error);
 
 }  // namespace whyq
 

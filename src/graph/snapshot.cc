@@ -227,8 +227,8 @@ bool GraphSnapshot::Write(const Graph& g, const std::string& path,
   // Stage the interned attribute column and the string pool.
   StringPool pool;
   std::vector<SnapAttrEntry> attr_entries;
-  attr_entries.reserve(g.attr_pool_.size());
-  for (const AttrEntry& e : g.attr_pool_) {
+  attr_entries.reserve(g.attr_pool_->size());
+  for (const AttrEntry& e : *g.attr_pool_) {
     SnapAttrEntry row{};
     row.attr = e.attr;
     if (e.value.is_int()) {
@@ -600,9 +600,17 @@ std::unique_ptr<GraphSnapshot> GraphSnapshot::Load(const std::string& path,
                          bucket_offsets);
   g.attr_ranges_.Borrow(sec[kSecAttrRanges].Rows<AttrRange>(),
                         sec[kSecAttrRanges].RowCount<AttrRange>());
-  g.attr_pool_ = std::move(attr_pool);
+  g.attr_pool_ =
+      std::make_shared<const std::vector<AttrEntry>>(std::move(attr_pool));
   g.attr_range_.Borrow(sec[kSecAttrEntryRange].Rows<uint64_t>(), n + 1);
   g.edge_count_ = e;
+  // Snapshot-backed graphs are frozen: most columns alias the PROT_READ
+  // mapping, so ApplyUpdate must refuse them (UpdateStatus::kFrozen) rather
+  // than fault. Identity is the content fingerprint — two loads of the same
+  // image are the same logical graph and may share cached prepared queries.
+  g.identity_ = hdr->fingerprint;
+  g.generation_ = 0;
+  g.frozen_ = true;
   snap->fingerprint_ = hdr->fingerprint;
   return snap;
 }

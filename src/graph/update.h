@@ -1,0 +1,125 @@
+#ifndef WHYQ_GRAPH_UPDATE_H_
+#define WHYQ_GRAPH_UPDATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/value.h"
+#include "graph/graph.h"
+
+namespace whyq {
+
+/// Reserved node label a deleted node is re-bucketed under. Node ids are
+/// dense and stable across updates, so deletion is a tombstone: the node
+/// keeps its id, loses its edges and attributes, and moves from its label's
+/// bucket to the tombstone bucket — matchers never see it again because
+/// candidate enumeration starts from label buckets and adjacency, both of
+/// which no longer reach it.
+inline constexpr std::string_view kTombstoneLabel = "__deleted__";
+
+/// One mutation of a live graph. Ops in a batch apply sequentially: a node
+/// added by op i may be referenced by ops > i (its id is node_count() at the
+/// time of the add), and validation sees the graph as left by earlier ops.
+struct UpdateOp {
+  enum Kind : uint8_t {
+    kAddNode = 0,   // name = node label; yields id node_count()+adds so far
+    kDeleteNode,    // node; tombstones it (id stays allocated)
+    kAddEdge,       // node -> other, name = edge label; duplicate is a no-op
+    kDeleteEdge,    // node -> other, name = edge label; must exist
+    kSetAttr,       // node, name = attribute, value; add or overwrite
+    kDelAttr,       // node, name = attribute; must be present
+  };
+
+  Kind kind = kAddNode;
+  NodeId node = kInvalidNode;   // subject node (unused for kAddNode)
+  NodeId other = kInvalidNode;  // far edge endpoint (edge ops only)
+  std::string name;             // label or attribute name (see Kind)
+  Value value;                  // kSetAttr payload
+
+  static UpdateOp AddNode(std::string_view label);
+  static UpdateOp DeleteNode(NodeId v);
+  static UpdateOp AddEdge(NodeId u, NodeId v, std::string_view label);
+  static UpdateOp DeleteEdge(NodeId u, NodeId v, std::string_view label);
+  static UpdateOp SetAttr(NodeId v, std::string_view attr, Value value);
+  static UpdateOp DelAttr(NodeId v, std::string_view attr);
+};
+
+/// An ordered batch of mutations, applied atomically: either every op
+/// validates and the whole batch becomes one new graph epoch, or nothing is
+/// applied and the first bad op is reported.
+struct UpdateBatch {
+  std::vector<UpdateOp> ops;
+
+  bool empty() const { return ops.empty(); }
+  size_t size() const { return ops.size(); }
+};
+
+/// Typed ApplyUpdate outcome. Everything except kOk leaves the input graph
+/// the only epoch; kFrozen is the snapshot-backed case (columns alias a
+/// read-only mapping, so updating must go through a thawed copy instead).
+enum class UpdateStatus : uint8_t {
+  kOk = 0,
+  kFrozen,      // graph borrows a PROT_READ snapshot image; not updatable
+  kNoSuchNode,  // op references an out-of-range or tombstoned node
+  kNoSuchEdge,  // delete of an edge that does not exist
+  kNoSuchAttr,  // delete of an attribute the node does not carry
+  kBadOp,       // malformed op (empty name, reserved tombstone label)
+};
+
+const char* UpdateStatusName(UpdateStatus s);
+
+/// The (label, literal) footprint of one applied batch: every node label,
+/// edge label, and attribute name whose derived structures (buckets,
+/// adjacency slices, domain ranges) the batch touched. Sorted, unique.
+/// Prepared-query cache invalidation intersects this with each entry's
+/// SymbolFootprint — disjoint entries provably kept their answers.
+struct UpdateDelta {
+  std::vector<SymbolId> node_labels;
+  std::vector<SymbolId> edge_labels;
+  std::vector<SymbolId> attrs;
+
+  size_t nodes_added = 0;
+  size_t nodes_deleted = 0;
+  size_t edges_added = 0;    // counts only edges that did not already exist
+  size_t edges_deleted = 0;
+  size_t attrs_set = 0;
+  size_t attrs_deleted = 0;
+
+  std::string ToString() const;
+};
+
+/// The symbol sets a prepared query's cached artifacts depend on: the query
+/// pattern's node labels, edge labels, and literal attributes (all resolved
+/// against the graph's dictionaries). Sound because every cached structure —
+/// answer set, output candidates, PathIndex samples — is derived from label
+/// buckets, labeled adjacency, and literal evaluation over exactly these
+/// symbols; an update disjoint from them cannot change any of it.
+struct SymbolFootprint {
+  std::vector<SymbolId> node_labels;  // sorted, unique
+  std::vector<SymbolId> edge_labels;
+  std::vector<SymbolId> attrs;
+
+  bool Intersects(const UpdateDelta& delta) const;
+};
+
+/// Outcome of one ApplyUpdate / ApplyUpdateByRebuild call.
+struct UpdateResult {
+  UpdateStatus status = UpdateStatus::kOk;
+  std::string error;       // empty iff status == kOk
+  size_t failed_op = 0;    // index of the rejected op (validation failures)
+  UpdateDelta delta;       // populated iff status == kOk
+};
+
+/// Reference implementation of Graph::ApplyUpdate: identical op semantics
+/// and validation (the two share one staging pass), but materializes the
+/// next epoch through a full GraphBuilder rebuild instead of incremental
+/// splices. The equivalence property the test suite pins: both paths yield
+/// byte-identical snapshot images and fingerprints for every valid batch.
+bool ApplyUpdateByRebuild(const Graph& g, const UpdateBatch& batch, Graph* out,
+                          UpdateResult* result);
+
+}  // namespace whyq
+
+#endif  // WHYQ_GRAPH_UPDATE_H_

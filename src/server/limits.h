@@ -119,6 +119,15 @@ inline constexpr size_t kMaxEntities = 1024;
 /// poll granularity.
 inline constexpr size_t kMaxMbsVisits = 200000;
 
+/// Update operations per {"op":"update"} wire request. One op touches a
+/// constant number of rows, but the batch is applied on the event-loop
+/// thread (updates serialize against each other anyway, and the loop is
+/// the natural serialization point) — so a batch bounds how long the loop
+/// stalls. 65536 ops apply in well under the poll tick on the evaluation
+/// graphs; clients stream larger changes as multiple batches, each an
+/// atomic epoch.
+inline constexpr size_t kMaxUpdateOps = 65536;
+
 /// Default AnswerConfig::exact_time_limit_ms stamped onto wire requests —
 /// the same 30 s ceiling the CLI applies (tools/whyq_cli.cc MakeConfig),
 /// so an exact enumeration without an explicit deadline still terminates.

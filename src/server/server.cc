@@ -30,6 +30,7 @@ std::string ServerSnapshot::ToJson() const {
   o += ",\"admitted\":" + std::to_string(admitted);
   o += ",\"rejected\":" + std::to_string(rejected);
   o += ",\"bad_lines\":" + std::to_string(bad_lines);
+  o += ",\"updates\":" + std::to_string(updates);
   o += ",\"drained\":" + std::to_string(drained);
   o += "}";
   return o;
@@ -98,6 +99,7 @@ ServerSnapshot WhyqServer::Snapshot() const {
   s.admitted = admitted_.Value();
   s.rejected = rejected_.Value();
   s.bad_lines = bad_lines_.Value();
+  s.updates = updates_.Value();
   s.drained = drained_.Value();
   return s;
 }
@@ -225,15 +227,40 @@ void WhyqServer::HandleLine(uint64_t id, Conn* conn,
     }
   }
   WhyqService* svc = services_[idx].get();
-  const Graph* g = &svc->graph();
+  if (wr.is_update) {
+    // Applied inline on the loop thread: updates serialize against each
+    // other anyway (WhyqService::ApplyUpdate holds update_mu_), batches are
+    // bounded by kMaxUpdateOps, and in-flight reads keep their pinned epoch
+    // — the loop stalls for the apply, readers never do.
+    UpdateResult result;
+    bool applied = svc->ApplyUpdate(wr.update, &result);
+    uint64_t generation = applied ? svc->graph()->generation() : 0;
+    if (applied) {
+      updates_.Add();
+    } else {
+      bad_lines_.Add();
+    }
+    QueueResponse(id, conn,
+                  EncodeUpdateResponse(wr.id_json, applied, generation,
+                                       result));
+    return;
+  }
   std::string id_json = wr.id_json;
   RequestKind kind = wr.request.kind;
-  // The response is encoded on the worker thread (it holds the Graph and
-  // the answer), then handed to the loop via the completion queue.
+  // The response is encoded on the worker thread (it holds the answer and
+  // the graph epoch the request pinned), then handed to the loop via the
+  // completion queue.
   SubmitResult admitted = svc->TrySubmit(
       std::move(wr.request),
-      [this, id, id_json, kind, g](ServiceResponse resp) {
-        std::string encoded = EncodeResponse(id_json, kind, resp, *g);
+      [this, id, id_json, kind](ServiceResponse resp) {
+        // resp.graph is the epoch the request ran against — the service's
+        // current graph may be generations newer by now. It is null only on
+        // the contained-exception path, whose status never renders graph
+        // content.
+        std::string encoded =
+            resp.graph != nullptr
+                ? EncodeResponse(id_json, kind, resp, *resp.graph)
+                : EncodeErrorLine(id_json, "bad_request", resp.error);
         {
           std::lock_guard<std::mutex> lock(completions_mu_);
           completions_.emplace_back(id, std::move(encoded));

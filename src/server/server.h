@@ -40,7 +40,8 @@ struct ServerConfig {
 /// Monotonic daemon counters, snapshotted for the stats JSON ("server"
 /// block; see docs/ARCHITECTURE.md glossary). Connection counters satisfy
 /// accepted = closed + live; request counters satisfy
-/// requests = admitted + rejected + bad_lines + stats-requests and
+/// requests = admitted + rejected + bad_lines + stats-requests + updates
+/// (a failed update counts under bad_lines instead of updates) and
 /// responded counts every response line queued toward a client.
 struct ServerSnapshot {
   uint64_t accepted = 0;     // connections accepted
@@ -52,6 +53,7 @@ struct ServerSnapshot {
   uint64_t admitted = 0;     // requests admitted into a service queue
   uint64_t rejected = 0;     // admission-control rejections (queue full)
   uint64_t bad_lines = 0;    // malformed, oversized or invalid requests
+  uint64_t updates = 0;      // {"op":"update"} batches applied successfully
   uint64_t drained = 0;      // in-flight responses delivered during drain
 
   std::string ToJson() const;
@@ -154,7 +156,8 @@ class WhyqServer {
   // Counters are relaxed atomics (common/metrics.h) so Snapshot() from a
   // test/monitor thread never races the loop.
   Counter accepted_, refused_, closed_, idle_closed_;
-  Counter requests_, responded_, admitted_, rejected_, bad_lines_, drained_;
+  Counter requests_, responded_, admitted_, rejected_, bad_lines_, updates_,
+      drained_;
 
   // Declared last: destroying a service joins its workers, whose `done`
   // callbacks touch the completion queue and wake pipe above — those must

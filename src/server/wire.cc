@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "graph/graph_io.h"
 #include "query/query_parser.h"
 #include "server/limits.h"
 
@@ -69,16 +70,55 @@ bool ParseWireRequest(const std::string& line, WireRequest* out,
   if (!doc.is_object()) return Fail(error, "request must be a JSON object");
   if (const JsonValue* id = doc.Find("id")) out->id_json = id->Dump();
 
+  if (const JsonValue* g = doc.Find("graph")) {
+    if (!g->is_string()) return Fail(error, "'graph' must be a string");
+    out->graph = g->as_string();
+  }
+
+  if (const JsonValue* op = doc.Find("op")) {
+    if (!op->is_string() || op->as_string() != "update") {
+      return Fail(error, "unknown op (only \"update\")");
+    }
+    if (doc.Find("question") != nullptr) {
+      return Fail(error, "'op' and 'question' are mutually exclusive");
+    }
+    const JsonValue* ops = doc.Find("ops");
+    if (ops == nullptr || !ops->is_array() || ops->as_array().empty()) {
+      return Fail(error, "'op':'update' needs a non-empty 'ops' array");
+    }
+    if (ops->as_array().size() > kMaxUpdateOps) {
+      return Fail(error, "too many update ops (limit " +
+                             std::to_string(kMaxUpdateOps) + ")");
+    }
+    // Each array element is one update-batch line in the graph_io text
+    // format; the shared parser gives the wire and the CLI identical
+    // mnemonics and identical error messages.
+    std::string text;
+    for (const JsonValue& o : ops->as_array()) {
+      if (!o.is_string()) {
+        return Fail(error, "'ops' must hold update-batch line strings");
+      }
+      text += o.as_string();
+      text += '\n';
+    }
+    std::istringstream is(text);
+    std::string parse_error;
+    std::optional<UpdateBatch> batch = ReadUpdateBatch(is, &parse_error);
+    if (!batch.has_value()) return Fail(error, "bad update op: " + parse_error);
+    if (batch->size() > kMaxUpdateOps) {  // multi-line strings slip the count
+      return Fail(error, "too many update ops (limit " +
+                             std::to_string(kMaxUpdateOps) + ")");
+    }
+    out->update = std::move(*batch);
+    out->is_update = true;
+    return true;
+  }
+
   const JsonValue* question = doc.Find("question");
   if (question == nullptr || !question->is_string()) {
     return Fail(error, "missing string field 'question'");
   }
   const std::string& kind = question->as_string();
-
-  if (const JsonValue* g = doc.Find("graph")) {
-    if (!g->is_string()) return Fail(error, "'graph' must be a string");
-    out->graph = g->as_string();
-  }
 
   if (kind == "stats") {
     out->is_stats = true;
@@ -313,6 +353,28 @@ std::string EncodeStatsResponse(const std::string& id_json,
                                 const std::string& stats_json) {
   return "{\"id\":" + id_json + ",\"status\":\"ok\",\"stats\":" +
          stats_json + "}\n";
+}
+
+std::string EncodeUpdateResponse(const std::string& id_json, bool applied,
+                                 uint64_t generation,
+                                 const UpdateResult& result) {
+  if (!applied) {
+    return "{\"id\":" + id_json + ",\"status\":\"bad_request\"" +
+           ",\"update_status\":\"" +
+           JsonEscape(UpdateStatusName(result.status)) + "\",\"error\":\"" +
+           JsonEscape(result.error) + "\"}\n";
+  }
+  const UpdateDelta& d = result.delta;
+  std::string out = "{\"id\":" + id_json + ",\"status\":\"ok\"";
+  out += ",\"generation\":" + std::to_string(generation);
+  out += ",\"applied\":{\"nodes_added\":" + std::to_string(d.nodes_added);
+  out += ",\"nodes_deleted\":" + std::to_string(d.nodes_deleted);
+  out += ",\"edges_added\":" + std::to_string(d.edges_added);
+  out += ",\"edges_deleted\":" + std::to_string(d.edges_deleted);
+  out += ",\"attrs_set\":" + std::to_string(d.attrs_set);
+  out += ",\"attrs_deleted\":" + std::to_string(d.attrs_deleted);
+  out += "}}\n";
+  return out;
 }
 
 }  // namespace whyq::server

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "graph/update.h"
 #include "server/json.h"
 #include "service/request.h"
 
@@ -47,7 +48,9 @@ struct WireRequest {
   std::string id_json = "null";
   std::string graph;       // target graph name; "" = the server's default
   bool is_stats = false;   // {"question":"stats"} — snapshot, not a query
-  ServiceRequest request;  // meaningful when !is_stats
+  bool is_update = false;  // {"op":"update"} — graph mutation, not a query
+  UpdateBatch update;      // meaningful when is_update
+  ServiceRequest request;  // meaningful when !is_stats && !is_update
 };
 
 /// Parses and validates one request line against the limits.h envelope
@@ -57,6 +60,9 @@ struct WireRequest {
 /// it. Request fields:
 ///   id          any JSON value, echoed verbatim (optional)
 ///   question    "why" | "whynot" | "whyempty" | "whysomany" | "stats"
+///   op          "update" — graph mutation instead of a question; `ops` is
+///               an array of update-batch lines in the graph_io text format
+///               (graph/graph_io.h), at most kMaxUpdateOps of them
 ///   graph       graph name for multi-graph servers (optional)
 ///   query       query DSL text (required except for "stats")
 ///   entities    array of node ids (why/whynot)
@@ -98,6 +104,16 @@ std::string EncodeRejected(const std::string& id_json, double retry_after_ms);
 /// Encodes a stats snapshot reply; `stats_json` is embedded verbatim.
 std::string EncodeStatsResponse(const std::string& id_json,
                                 const std::string& stats_json);
+
+/// Encodes the outcome of an {"op":"update"} request. Success carries the
+/// new epoch's generation and the delta counts; failure carries the typed
+/// update status (e.g. "frozen" for snapshot-backed graphs) alongside the
+/// human-readable error, so clients can branch without parsing prose:
+///   {"id":..,"status":"ok","generation":..,"applied":{...}}
+///   {"id":..,"status":"bad_request","update_status":"frozen","error":".."}
+std::string EncodeUpdateResponse(const std::string& id_json, bool applied,
+                                 uint64_t generation,
+                                 const UpdateResult& result);
 
 }  // namespace whyq::server
 

@@ -1,5 +1,7 @@
 #include "service/prepared.h"
 
+#include <algorithm>
+#include <set>
 #include <utility>
 
 #include "common/cancel.h"
@@ -10,10 +12,36 @@
 
 namespace whyq {
 
+SymbolFootprint FootprintOfQuery(const Query& q) {
+  std::set<SymbolId> node_labels;
+  std::set<SymbolId> attrs;
+  std::set<SymbolId> edge_labels;
+  for (QNodeId u = 0; u < q.node_count(); ++u) {
+    const QueryNode& n = q.node(u);
+    if (n.label != kInvalidSymbol) node_labels.insert(n.label);
+    for (const Literal& l : n.literals) {
+      if (l.attr != kInvalidSymbol) attrs.insert(l.attr);
+    }
+  }
+  for (const QueryEdge& e : q.edges()) {
+    if (e.label != kInvalidSymbol) edge_labels.insert(e.label);
+  }
+  SymbolFootprint fp;
+  fp.node_labels.assign(node_labels.begin(), node_labels.end());
+  fp.edge_labels.assign(edge_labels.begin(), edge_labels.end());
+  fp.attrs.assign(attrs.begin(), attrs.end());
+  return fp;
+}
+
+std::string GraphEpochPrefix(const Graph& g) {
+  return "g=" + std::to_string(g.identity()) + "@" +
+         std::to_string(g.generation()) + "|";
+}
+
 std::string PreparedQueryKey(const Query& q, const Graph& g,
                              MatchSemantics semantics, size_t max_paths) {
-  return std::string(MatchSemanticsName(semantics)) + "|paths=" +
-         std::to_string(max_paths) + "\n" + WriteQuery(q, g);
+  return GraphEpochPrefix(g) + std::string(MatchSemanticsName(semantics)) +
+         "|paths=" + std::to_string(max_paths) + "\n" + WriteQuery(q, g);
 }
 
 std::shared_ptr<const PreparedQuery> PrepareQuery(const Graph& g, Query q,
@@ -99,6 +127,33 @@ void PreparedQueryCache::Put(const std::string& key,
 size_t PreparedQueryCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();
+}
+
+PreparedQueryCache::DeltaOutcome PreparedQueryCache::ApplyDelta(
+    const std::string& old_prefix, const std::string& new_prefix,
+    const UpdateDelta& delta) {
+  DeltaOutcome outcome;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.compare(0, old_prefix.size(), old_prefix) != 0) {
+      ++it;  // a different graph (or epoch) — not ours to touch
+      continue;
+    }
+    if (it->value->footprint.Intersects(delta)) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++outcome.invalidated;
+    } else {
+      std::string new_key =
+          new_prefix + it->key.substr(old_prefix.size());
+      index_.erase(it->key);
+      it->key = new_key;
+      index_[std::move(new_key)] = it;
+      ++it;
+      ++outcome.rekeyed;
+    }
+  }
+  return outcome;
 }
 
 }  // namespace whyq

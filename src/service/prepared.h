@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "graph/update.h"
 #include "matcher/match_engine.h"
 #include "matcher/path_index.h"
 #include "query/query.h"
@@ -16,6 +17,15 @@
 namespace whyq {
 
 class CancelToken;
+
+/// The symbol sets `q`'s cached artifacts depend on: its node labels, edge
+/// labels, and literal attributes. Answers and output candidates are
+/// derived from label buckets, labeled adjacency and literal evaluation
+/// over exactly these symbols; PathIndex samples are built from the query
+/// alone. An update whose delta is disjoint from this footprint therefore
+/// cannot change any cached artifact — the soundness argument behind
+/// PreparedQueryCache::ApplyDelta's precise invalidation.
+SymbolFootprint FootprintOfQuery(const Query& q);
 
 /// Per-(query, semantics) artifacts every question over that query needs:
 /// the parsed query, its answer set Q(u_o, G), the output node's candidate
@@ -32,14 +42,25 @@ struct PreparedQuery {
   std::vector<NodeId> answers;            // Q(u_o, G) under `semantics`
   std::vector<NodeId> output_candidates;  // label+literal candidates of u_o
   PathIndex path_index;
+  SymbolFootprint footprint;  // symbols the artifacts depend on (see below)
 
   PreparedQuery(Query q, MatchSemantics s, size_t max_paths)
-      : query(std::move(q)), semantics(s), path_index(query, max_paths) {}
+      : query(std::move(q)),
+        semantics(s),
+        path_index(query, max_paths),
+        footprint(FootprintOfQuery(query)) {}
 };
 
-/// Cache key: the query's canonical serialized form plus the semantics and
-/// the path-index size — two textual spellings of the same query share an
-/// entry; requests tuned differently do not.
+/// The `g=<identity>@<generation>|` key prefix naming one graph epoch.
+/// Folding it into every cache key makes stale hits structurally
+/// impossible: an updated (or merely different) graph never produces the
+/// key an older epoch's entry was stored under.
+std::string GraphEpochPrefix(const Graph& g);
+
+/// Cache key: the graph epoch prefix, then the semantics, the path-index
+/// size, and the query's canonical serialized form — two textual spellings
+/// of the same query share an entry; requests tuned differently, or aimed
+/// at a different graph (or epoch of one), do not.
 std::string PreparedQueryKey(const Query& q, const Graph& g,
                              MatchSemantics semantics, size_t max_paths);
 
@@ -74,6 +95,22 @@ class PreparedQueryCache {
            std::shared_ptr<const PreparedQuery> value);
 
   size_t size() const;
+
+  /// Outcome of one ApplyDelta pass over the old epoch's entries.
+  struct DeltaOutcome {
+    size_t invalidated = 0;  // dropped: footprint intersected the delta
+    size_t rekeyed = 0;      // carried to the new epoch: provably unaffected
+  };
+
+  /// Precise invalidation after a graph update: every entry keyed under
+  /// `old_prefix` either intersects `delta` with its footprint (dropped) or
+  /// provably kept its answers (rekeyed under `new_prefix`, artifacts —
+  /// including the query-only PathIndex samples — reused verbatim, no
+  /// re-preparation and no re-sampling). Entries of other graphs are
+  /// untouched.
+  DeltaOutcome ApplyDelta(const std::string& old_prefix,
+                          const std::string& new_prefix,
+                          const UpdateDelta& delta);
 
  private:
   struct Entry {

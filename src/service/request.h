@@ -1,6 +1,7 @@
 #ifndef WHYQ_SERVICE_REQUEST_H_
 #define WHYQ_SERVICE_REQUEST_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,12 @@ struct ServiceResponse {
   RequestTrace trace;
 
   std::vector<NodeId> base_answers;  // Q(u_o, G) the question ran against
+
+  /// The graph epoch the request ran against, pinned for the request's
+  /// lifetime. Consumers rendering node ids / labels (the daemon's encode
+  /// callback) must read THIS graph, not the service's current one — an
+  /// update may have published a newer epoch since the request started.
+  std::shared_ptr<const Graph> graph;
 
   RewriteAnswer answer;         // kWhy / kWhyNot
   WhyEmptyResult why_empty;     // kWhyEmpty

@@ -213,11 +213,45 @@ void WhyqService::WorkerLoop() {
   }
 }
 
+std::shared_ptr<const Graph> WhyqService::graph() const {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  return graph_;
+}
+
+bool WhyqService::ApplyUpdate(const UpdateBatch& batch, UpdateResult* result) {
+  // Writers serialize across the whole sequence; readers keep pinning the
+  // published epoch without ever taking update_mu_.
+  std::lock_guard<std::mutex> serialize(update_mu_);
+  std::shared_ptr<const Graph> base = graph();
+  auto next = std::make_shared<Graph>();
+  if (!base->ApplyUpdate(batch, next.get(), result)) return false;
+  // Invalidate before publishing: entries of the old epoch either carry
+  // over (rekeyed under the new prefix, artifacts reused) or drop. A
+  // concurrent old-epoch request finishing in this window can re-insert
+  // under the old prefix; such an entry is unreachable once the swap lands
+  // and ages out of the LRU.
+  PreparedQueryCache::DeltaOutcome outcome = cache_.ApplyDelta(
+      GraphEpochPrefix(*base), GraphEpochPrefix(*next), result->delta);
+  uint64_t generation = next->generation();
+  {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    graph_ = std::move(next);
+  }
+  stats_.RecordUpdate(generation, outcome.invalidated, outcome.rekeyed);
+  return true;
+}
+
 ServiceResponse WhyqService::Run(const ServiceRequest& req,
                                  const CancelToken* token,
                                  const Timer& timer, double queue_ms) {
-  const Graph& g = *graph_;
+  // Pin the current epoch for the whole request: ApplyUpdate publishes a
+  // NEW graph value instead of mutating this one, so everything below —
+  // including the prepared artifacts keyed by this epoch's prefix — reads
+  // one consistent graph no matter how many updates land meanwhile.
+  std::shared_ptr<const Graph> pinned = graph();
+  const Graph& g = *pinned;
   ServiceResponse resp;
+  resp.graph = pinned;
   resp.trace.queue_ms = queue_ms;
   // Stage clock, restarted at each boundary. The three stages below plus
   // queue_ms partition latency_ms (validation counts toward parse).

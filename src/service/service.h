@@ -64,14 +64,19 @@ enum class SubmitResult {
 /// its deadline unwinds mid-search and reports its best-so-far rewrite with
 /// `truncated` set — a slow question degrades, it never wedges a worker.
 ///
-/// Sharing rule: the Graph (and every cached PreparedQuery) is immutable
-/// after construction and shared across workers; all per-request state
-/// (engines, evaluators, matchers) is worker-local.
+/// Sharing rule: every graph EPOCH (and every cached PreparedQuery) is
+/// immutable and shared across workers; all per-request state (engines,
+/// evaluators, matchers) is worker-local. ApplyUpdate() never mutates the
+/// published graph — it builds the next epoch (untouched columns shared
+/// copy-on-write) and swaps the shared_ptr; each request pins the epoch
+/// current at the moment it starts running and keeps it until its response
+/// is delivered, so readers never observe a half-applied batch
+/// (docs/ARCHITECTURE.md "Mutable graphs & epochs").
 ///
 /// Thread-safety: every public method may be called concurrently from any
-/// thread — Submit/Execute/Stats/Stop synchronize internally. Destruction
-/// (or Stop) must not race with Submit from a thread that expects the
-/// request to be accepted; late Submits resolve with kShutdown.
+/// thread — Submit/Execute/Stats/Stop/ApplyUpdate synchronize internally.
+/// Destruction (or Stop) must not race with Submit from a thread that
+/// expects the request to be accepted; late Submits resolve with kShutdown.
 class WhyqService {
  public:
   /// The service shares ownership of the graph; callers may keep using it
@@ -125,9 +130,28 @@ class WhyqService {
   /// and joins them. Idempotent.
   void Stop();
 
+  /// Applies `batch` to the current epoch and atomically publishes the next
+  /// one. In-flight requests keep the epoch they pinned (they never observe
+  /// a half-applied batch); requests starting after the swap see the new
+  /// epoch. The prepared-query cache is invalidated precisely: entries
+  /// whose footprint intersects the batch delta are dropped (counted
+  /// cache_invalidated), provably-unaffected entries are rekeyed to the new
+  /// epoch (counted cache_rekeyed) with their artifacts — including the
+  /// query-only PathIndex samples — reused verbatim. Updates serialize
+  /// against each other; reads never block. Returns false with
+  /// result->status/error set on validation failure or a frozen
+  /// (snapshot-backed) graph, leaving the published epoch unchanged.
+  bool ApplyUpdate(const UpdateBatch& batch, UpdateResult* result);
+
   StatsSnapshot Stats() const { return stats_.Snapshot(); }
   size_t cache_size() const { return cache_.size(); }
-  const Graph& graph() const { return *graph_; }
+
+  /// Pins the current graph epoch: the returned shared_ptr keeps that
+  /// epoch's columns alive across any number of concurrent ApplyUpdate
+  /// publishes. Callers needing a stable view across several calls must
+  /// hold one pin rather than re-fetching.
+  std::shared_ptr<const Graph> graph() const;
+
   const ServiceConfig& config() const { return cfg_; }
 
  private:
@@ -155,7 +179,13 @@ class WhyqService {
                                double queue_ms);
   void WorkerLoop();
 
+  // The published epoch. graph_mu_ guards only the pointer swap/read (pin
+  // and publish are O(1) under it); the Graph objects themselves are
+  // immutable. update_mu_ serializes writers across the whole
+  // apply-invalidate-publish sequence so deltas land in order.
+  mutable std::mutex graph_mu_;
   std::shared_ptr<const Graph> graph_;
+  std::mutex update_mu_;
   ServiceConfig cfg_;
   PreparedQueryCache cache_;
   ServiceStats stats_;

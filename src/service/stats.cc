@@ -138,6 +138,15 @@ void ServiceStats::RecordCompleted(const std::string& klass,
   }
 }
 
+void ServiceStats::RecordUpdate(uint64_t generation, size_t invalidated,
+                                size_t rekeyed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++updates_applied_;
+  graph_generation_ = generation;
+  cache_invalidated_ += invalidated;
+  cache_rekeyed_ += rekeyed;
+}
+
 StatsSnapshot ServiceStats::Snapshot() const {
   StatsSnapshot out;
   {
@@ -146,6 +155,10 @@ StatsSnapshot ServiceStats::Snapshot() const {
     out.truncated = truncated_;
     out.cache_hits = cache_hits_;
     out.cache_misses = cache_misses_;
+    out.updates_applied = updates_applied_;
+    out.graph_generation = graph_generation_;
+    out.cache_invalidated = cache_invalidated_;
+    out.cache_rekeyed = cache_rekeyed_;
     out.stages = stages_;
     out.work = work_;
     out.slow_threshold_ms = slow_threshold_ms_;
@@ -193,6 +206,12 @@ std::string StatsSnapshot::ToString() const {
        << "% hit rate)";
   }
   os << "\n";
+  if (updates_applied > 0) {
+    os << "updates: applied=" << updates_applied
+       << " generation=" << graph_generation
+       << " cache-invalidated=" << cache_invalidated
+       << " cache-rekeyed=" << cache_rekeyed << "\n";
+  }
   for (const auto& [klass, s] : latency) {
     os << "  " << klass << ": n=" << s.count << " min="
        << TextTable::Num(s.min_ms, 2) << "ms mean="
@@ -251,7 +270,11 @@ std::string StatsSnapshot::ToJson() const {
      << ",\"completed\":" << completed << ",\"truncated\":" << truncated
      << ",\"bad_requests\":" << bad_requests
      << ",\"cache_hits\":" << cache_hits
-     << ",\"cache_misses\":" << cache_misses << "}";
+     << ",\"cache_misses\":" << cache_misses
+     << ",\"updates_applied\":" << updates_applied
+     << ",\"graph_generation\":" << graph_generation
+     << ",\"cache_invalidated\":" << cache_invalidated
+     << ",\"cache_rekeyed\":" << cache_rekeyed << "}";
   os << ",\"latency_ms\":{";
   bool first = true;
   for (const auto& [klass, s] : latency) {

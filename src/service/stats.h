@@ -87,6 +87,19 @@ struct StatsSnapshot {
   uint64_t cache_hits = 0;    // prepared-question artifacts reused
   uint64_t cache_misses = 0;  // built fresh (and inserted when complete)
 
+  /// Graph-update counters (docs/ARCHITECTURE.md "Mutable graphs &
+  /// epochs"). graph_generation is the published epoch's generation();
+  /// for a text-loaded graph it equals updates_applied (every successful
+  /// ApplyUpdate bumps both by one). cache_invalidated counts prepared
+  /// entries dropped because their footprint intersected an update delta
+  /// — each will cost a later cache miss if its query returns, so
+  /// cache_invalidated <= cache_misses once those queries have re-run.
+  /// cache_rekeyed counts entries carried across an epoch verbatim.
+  uint64_t updates_applied = 0;    // successful ApplyUpdate publishes
+  uint64_t graph_generation = 0;   // generation() of the published epoch
+  uint64_t cache_invalidated = 0;  // prepared entries dropped by updates
+  uint64_t cache_rekeyed = 0;      // prepared entries carried across epochs
+
   /// Keyed by "<kind>/<algo>" (e.g. "why/auto", "whynot/exact").
   std::map<std::string, LatencySummary> latency;
 
@@ -127,6 +140,9 @@ class ServiceStats {
                        bool truncated, bool cache_hit) {
     RecordCompleted(klass, latency_ms, truncated, cache_hit, RequestTrace());
   }
+  /// One successful ApplyUpdate publish: the new epoch's generation and
+  /// the cache ApplyDelta outcome (entries dropped / carried over).
+  void RecordUpdate(uint64_t generation, size_t invalidated, size_t rekeyed);
 
   StatsSnapshot Snapshot() const;
 
@@ -145,6 +161,10 @@ class ServiceStats {
   uint64_t truncated_ = 0;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
+  uint64_t updates_applied_ = 0;
+  uint64_t graph_generation_ = 0;
+  uint64_t cache_invalidated_ = 0;
+  uint64_t cache_rekeyed_ = 0;
   StageTotals stages_;
   WorkTotals work_;
   std::map<std::string, StreamingHistogram> latency_;

@@ -1,0 +1,22 @@
+// Fixture (never compiled): code outside the graph core reaching into
+// the Graph's derived-storage columns — rule "graph-mutation" must flag
+// every member reference (lines 10, 13 and 19). Label buckets,
+// adjacency runs and attribute indexes are maintained only by
+// GraphBuilder, GraphUpdater and the snapshot codec.
+#include "graph/graph.h"
+
+namespace whyq {
+
+size_t PeekBucket(const Graph& g) { return g.bucket_nodes_.size(); }
+
+void SpliceEdge(Graph* g, NodeId u, NodeId v) {
+  g->out_nbrs_.push_back(v);  // also bumps out_range_ by hand below
+  (void)u;
+}
+
+struct IndexPatcher {
+  std::vector<uint32_t>* attr_ranges_view;  // ok: different identifier
+  void Patch(Graph* g) { g->attr_range_.clear(); }
+};
+
+}  // namespace whyq

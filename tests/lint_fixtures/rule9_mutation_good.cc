@@ -1,0 +1,27 @@
+// Fixture (never compiled): the sanctioned ways to read and mutate a
+// graph outside the graph core — public accessors for reads, an
+// UpdateBatch through Graph::ApplyUpdate for writes. Rule
+// "graph-mutation" must accept all of it, including identifiers that
+// merely contain a storage-member name as a substring.
+#include "graph/graph.h"
+#include "graph/update.h"
+
+namespace whyq {
+
+size_t PeekBucket(const Graph& g, SymbolId label) {
+  return g.NodesWithLabel(label).size();
+}
+
+bool AddEdgeProperly(Graph& g, NodeId u, NodeId v, Graph* next,
+                     UpdateResult* result) {
+  UpdateBatch batch;
+  batch.ops.push_back(UpdateOp::AddEdge(u, v, "knows"));
+  return g.ApplyUpdate(batch, next, result);
+}
+
+struct RangeStats {
+  size_t my_attr_range_width = 0;  // substring of attr_range_ is fine
+  size_t in_pool_total = 0;        // in_pool_ needs word boundaries to match
+};
+
+}  // namespace whyq

@@ -351,6 +351,44 @@ TEST(LintSnapshotLimitsTest, HeaderAndOtherGraphFilesAreExempt) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 9: graph-mutation
+// ---------------------------------------------------------------------------
+
+TEST(LintGraphMutationTest, FlagsStorageMemberReferencesOutsideGraphCore) {
+  std::vector<Violation> v =
+      LintFile("src/service/fixture.cc", ReadFixture("rule9_mutation_bad.cc"));
+  ExpectAllRule(v, "graph-mutation");
+  // bucket_nodes_ on 10, out_nbrs_ on 13, attr_range_ on 19; the
+  // out_range_ mention on 13 is in a comment and the attr_ranges_view
+  // identifier on 18 only contains a member name as a substring —
+  // neither may fire. Violations come out in token order, so sort.
+  std::vector<int> lines = Lines(v);
+  std::sort(lines.begin(), lines.end());
+  EXPECT_EQ(lines, (std::vector<int>{10, 13, 19}));
+}
+
+TEST(LintGraphMutationTest, AcceptsPublicApiAndSubstringIdentifiers) {
+  std::vector<Violation> v =
+      LintFile("src/service/fixture.cc", ReadFixture("rule9_mutation_good.cc"));
+  EXPECT_TRUE(v.empty()) << v.front().message;
+}
+
+TEST(LintGraphMutationTest, GraphCoreFilesAreExempt) {
+  // Builder, updater and snapshot codec are the sanctioned writers...
+  EXPECT_TRUE(LintFile("src/graph/update.cc",
+                       ReadFixture("rule9_mutation_bad.cc"))
+                  .empty());
+  EXPECT_TRUE(LintFile("src/graph/snapshot.cc",
+                       ReadFixture("rule9_mutation_bad.cc"))
+                  .empty());
+  // ...but the exemption is per-file, not all of src/graph/.
+  std::vector<Violation> v =
+      LintFile("src/graph/graph_io.cc", ReadFixture("rule9_mutation_bad.cc"));
+  ExpectAllRule(v, "graph-mutation");
+  EXPECT_EQ(v.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
 // The real tree must be clean — same invariant as the lint_tree ctest
 // entry, but failing inside the suite gives a better signal locally.
 // ---------------------------------------------------------------------------

@@ -349,6 +349,89 @@ TEST(ProtocolWireRequestTest, CountQueryNodesMatchesDsl) {
 }
 
 // ---------------------------------------------------------------------------
+// The {"op":"update"} wire verb
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolWireUpdateTest, ParsesUpdateRequest) {
+  WireRequest wr;
+  std::string error;
+  ASSERT_TRUE(ParseWireRequest(
+      "{\"id\":3,\"op\":\"update\",\"graph\":\"g1\","
+      "\"ops\":[\"AN Review\",\"SA 0 rating=i:5\",\"DE 1 2 next\"]}",
+      &wr, &error))
+      << error;
+  EXPECT_TRUE(wr.is_update);
+  EXPECT_FALSE(wr.is_stats);
+  EXPECT_EQ(wr.id_json, "3");
+  EXPECT_EQ(wr.graph, "g1");
+  ASSERT_EQ(wr.update.size(), 3u);
+  EXPECT_EQ(wr.update.ops[0].kind, UpdateOp::kAddNode);
+  EXPECT_EQ(wr.update.ops[0].name, "Review");
+  EXPECT_EQ(wr.update.ops[1].kind, UpdateOp::kSetAttr);
+  EXPECT_EQ(wr.update.ops[1].value.as_int(), 5);
+  EXPECT_EQ(wr.update.ops[2].kind, UpdateOp::kDeleteEdge);
+}
+
+TEST(ProtocolWireUpdateTest, RejectsMalformedUpdateRequests) {
+  WireRequest wr;
+  std::string error;
+  // Unknown verb.
+  EXPECT_FALSE(ParseWireRequest(
+      "{\"op\":\"mutate\",\"ops\":[\"AN a\"]}", &wr, &error));
+  // A request is a question or an update, never both.
+  EXPECT_FALSE(ParseWireRequest(
+      "{\"op\":\"update\",\"question\":\"why\",\"ops\":[\"AN a\"]}", &wr,
+      &error));
+  // ops must be a non-empty array of strings.
+  EXPECT_FALSE(ParseWireRequest("{\"op\":\"update\"}", &wr, &error));
+  EXPECT_FALSE(ParseWireRequest(
+      "{\"op\":\"update\",\"ops\":[]}", &wr, &error));
+  EXPECT_FALSE(ParseWireRequest(
+      "{\"op\":\"update\",\"ops\":[42]}", &wr, &error));
+  // Mnemonic lines go through the real batch parser.
+  EXPECT_FALSE(ParseWireRequest(
+      "{\"op\":\"update\",\"ops\":[\"XX nonsense\"]}", &wr, &error));
+  EXPECT_NE(error.find("op"), std::string::npos) << error;
+}
+
+TEST(ProtocolWireUpdateTest, EnforcesOpCapAcrossEmbeddedNewlines) {
+  // One array element may hold several batch-file lines; the cap counts
+  // parsed ops, not array elements, so newline-packing cannot slip it.
+  std::string packed;
+  for (size_t i = 0; i < kMaxUpdateOps + 1; ++i) packed += "AN a\\n";
+  WireRequest wr;
+  std::string error;
+  EXPECT_FALSE(ParseWireRequest(
+      "{\"op\":\"update\",\"ops\":[\"" + packed + "\"]}", &wr, &error));
+  EXPECT_NE(error.find("ops"), std::string::npos) << error;
+}
+
+TEST(ProtocolWireUpdateTest, EncodesAppliedAndFailedUpdates) {
+  UpdateResult result;
+  result.delta.nodes_added = 2;
+  result.delta.edges_added = 1;
+  result.delta.attrs_set = 3;
+  JsonValue ok = MustParse(EncodeUpdateResponse("7", true, 4, result));
+  EXPECT_DOUBLE_EQ(ok.Find("id")->as_number(), 7.0);
+  EXPECT_EQ(ok.Find("status")->as_string(), "ok");
+  EXPECT_DOUBLE_EQ(ok.Find("generation")->as_number(), 4.0);
+  const JsonValue* applied = ok.Find("applied");
+  ASSERT_NE(applied, nullptr);
+  EXPECT_DOUBLE_EQ(applied->Find("nodes_added")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(applied->Find("edges_added")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(applied->Find("attrs_set")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(applied->Find("nodes_deleted")->as_number(), 0.0);
+
+  UpdateResult failed;
+  failed.status = UpdateStatus::kFrozen;
+  failed.error = "snapshot-backed graph";
+  JsonValue bad = MustParse(EncodeUpdateResponse("7", false, 0, failed));
+  EXPECT_EQ(bad.Find("status")->as_string(), "bad_request");
+  EXPECT_EQ(bad.Find("update_status")->as_string(), "frozen");
+  EXPECT_EQ(bad.Find("error")->as_string(), "snapshot-backed graph");
+}
+
+// ---------------------------------------------------------------------------
 // Encoders
 // ---------------------------------------------------------------------------
 

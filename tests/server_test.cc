@@ -233,6 +233,45 @@ TEST_F(ServerTest, MalformedAndInvalidLinesGetErrors) {
   EXPECT_GE(server_->Snapshot().bad_lines, 3u);
 }
 
+TEST_F(ServerTest, UpdateVerbAppliesBatchesAndCountsThem) {
+  StartServer(ServerConfig{});
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.ok());
+  std::string line;
+
+  // A valid batch: applied inline, new generation reported.
+  ASSERT_TRUE(client.Send(
+      "{\"id\":1,\"op\":\"update\",\"graph\":\"fig1\","
+      "\"ops\":[\"AN Paper\",\"AN Paper\"]}\n"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  JsonValue v = ParseLine(line);
+  EXPECT_EQ(StatusOf(v), "ok");
+  EXPECT_DOUBLE_EQ(v.Find("id")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(v.Find("generation")->as_number(), 1.0);
+  const JsonValue* applied = v.Find("applied");
+  ASSERT_NE(applied, nullptr);
+  EXPECT_DOUBLE_EQ(applied->Find("nodes_added")->as_number(), 2.0);
+
+  // A batch that fails validation: typed rejection, nothing applied.
+  ASSERT_TRUE(client.Send(
+      "{\"id\":2,\"op\":\"update\",\"graph\":\"fig1\","
+      "\"ops\":[\"DN 999999\"]}\n"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  v = ParseLine(line);
+  EXPECT_EQ(StatusOf(v), "bad_request");
+  EXPECT_EQ(v.Find("update_status")->as_string(), "no-such-node");
+
+  // Questions keep working against the updated graph.
+  ASSERT_TRUE(client.Send(WhyLine("3")));
+  ASSERT_TRUE(client.ReadLine(&line));
+  v = ParseLine(line);
+  EXPECT_EQ(StatusOf(v), "ok");
+
+  ServerSnapshot snap = server_->Snapshot();
+  EXPECT_EQ(snap.updates, 1u);
+  EXPECT_GE(snap.bad_lines, 1u);
+}
+
 TEST_F(ServerTest, StatsQuestionReturnsDocument) {
   StartServer(ServerConfig{});
   TestClient client(server_->port());

@@ -10,7 +10,11 @@
 #   4. docs/SNAPSHOT_FORMAT.md stays honest: every `Struct.field` row of
 #      its field-index appendix and every kSnapshot* constant it cites
 #      must literally exist in src/graph/snapshot.h (the header is the
-#      format's single source of truth — renames must update the spec).
+#      format's single source of truth — renames must update the spec);
+#   5. the update-batch text format stays honest: every op mnemonic the
+#      parser in src/graph/graph_io.cc accepts must be documented in the
+#      graph_io.h grammar comment AND in README.md, and vice versa — a
+#      mnemonic README documents must be parsed.
 # Pure grep/sed — no dependencies beyond POSIX sh.
 set -u
 
@@ -97,7 +101,25 @@ else
   err "missing $spec or $hdr"
 fi
 
+# --- 5. update-batch mnemonics <-> docs -----------------------------------
+io_cc=src/graph/graph_io.cc
+io_h=src/graph/graph_io.h
+parsed=$(grep -o 'kind == "[A-Z][A-Z]"' "$io_cc" | grep -o '"[A-Z][A-Z]"' |
+         tr -d '"' | sort -u)
+[ -n "$parsed" ] || err "no update-op mnemonics extracted from $io_cc"
+for op in $parsed; do
+  grep -q "^///   $op " "$io_h" ||
+    err "$io_h: update op '$op' missing from the grammar comment"
+  grep -q "^$op " README.md ||
+    err "README.md: update op '$op' undocumented"
+done
+# README's fenced grammar lines (two capitals at column 0) must be parsed.
+for op in $(grep -o '^[A-Z][A-Z] ' README.md | tr -d ' ' | sort -u); do
+  echo "$parsed" | grep -qx "$op" ||
+    err "README.md documents update op '$op' but $io_cc does not parse it"
+done
+
 if [ "$fail" -eq 0 ]; then
-  echo "check_docs: OK (links, subcommands, flags, snapshot spec in sync)"
+  echo "check_docs: OK (links, subcommands, flags, snapshot spec, update ops in sync)"
 fi
 exit "$fail"

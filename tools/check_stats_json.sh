@@ -14,6 +14,11 @@
 # it must appear within a few periods even with no traffic, carry the
 # server + per-graph service blocks, and — because the writer renames a
 # temp file into place — every concurrent read must parse cleanly.
+# A third phase drives a {"op":"update"} batch through the daemon and
+# validates the update counters reconcile: graph_generation equals
+# updates_applied (text-loaded graphs start at generation 0),
+# cache_invalidated never exceeds cache_misses (only built entries can be
+# dropped), and the server's `updates` counter matches.
 # Usage: check_stats_json.sh PATH_TO_WHYQ_CLI [WORKDIR]
 set -u
 
@@ -62,6 +67,15 @@ check(c["cache_hits"] + c["cache_misses"] == c["completed"],
 check(c["rejected"] == 0 and c["shutdown"] == 0,
       "unexpected rejected/shutdown on an uncontended batch")
 check(c["completed"] == 6, f"expected 6 completed, got {c['completed']}")
+# No updates ran in this batch: the epoch counters must sit at zero and
+# still reconcile (generation == applied for text-loaded graphs).
+for key in ("updates_applied", "graph_generation", "cache_invalidated",
+            "cache_rekeyed"):
+    check(key in c, f"counters missing {key}")
+check(c["graph_generation"] == c["updates_applied"],
+      f"generation {c['graph_generation']} != applied {c['updates_applied']}")
+check(c["cache_invalidated"] <= c["cache_misses"],
+      f"invalidated {c['cache_invalidated']} > misses {c['cache_misses']}")
 
 hist_total = 0
 for klass, h in d["latency_ms"].items():
@@ -135,7 +149,8 @@ for attempt in range(20):
 
 srv = d.get("server", {})
 for key in ("accepted", "refused", "closed", "idle_closed", "requests",
-            "responded", "admitted", "rejected", "bad_lines", "drained"):
+            "responded", "admitted", "rejected", "bad_lines", "updates",
+            "drained"):
     if key not in srv:
         print(f"check_stats_json: FAIL: daemon dump server block missing "
               f"'{key}'", file=sys.stderr)
@@ -146,6 +161,75 @@ if "sj_f1" not in svc or "counters" not in svc["sj_f1"]:
           f"block: {sorted(d)}", file=sys.stderr)
     sys.exit(1)
 print("check_stats_json: OK (daemon dump present, atomic, well-formed)")
+EOF
+rc=$?
+if [ "$rc" -ne 0 ]; then
+  kill -TERM "$pid" 2>/dev/null
+  wait "$pid" 2>/dev/null
+  exit 1
+fi
+
+# --- phase 3: updates over the wire reconcile in the dump ----------------
+python3 - "$a5" "$s5" <<'EOF'
+import json, re, socket, sys, time
+
+a5, s5 = int(sys.argv[1]), int(sys.argv[2])
+log = open("sj_f1.daemon.log").read()
+m = re.search(r"listening on 127\.0\.0\.1:(\d+)", log)
+if not m:
+    print("check_stats_json: FAIL: no listening line in daemon log",
+          file=sys.stderr)
+    sys.exit(1)
+
+def fail(msg):
+    print("check_stats_json: FAIL:", msg, file=sys.stderr)
+    sys.exit(1)
+
+s = socket.create_connection(("127.0.0.1", int(m.group(1))), timeout=10)
+f = s.makefile("rw")
+
+def ask(req):
+    f.write(json.dumps(req) + "\n")
+    f.flush()
+    return json.loads(f.readline())
+
+# Populate the prepared-query cache, then mutate the graph.
+query = open("sj_f1.query").read()
+r = ask({"id": 1, "question": "why", "query": query,
+         "entities": [a5, s5], "guard": 0})
+if r.get("status") != "ok":
+    fail(f"why over the wire failed: {r}")
+r = ask({"id": 2, "op": "update", "graph": "sj_f1", "ops": ["AN Paper"]})
+if r.get("status") != "ok" or r.get("generation") != 1:
+    fail(f"update not applied: {r}")
+if r.get("applied", {}).get("nodes_added") != 1:
+    fail(f"wrong applied delta: {r}")
+# A batch that fails validation changes nothing and reports its type.
+r = ask({"id": 3, "op": "update", "ops": ["DN 999999"]})
+if r.get("status") != "bad_request" or r.get("update_status") != "no-such-node":
+    fail(f"invalid update not rejected cleanly: {r}")
+
+# The next periodic dump must reconcile the new counters.
+deadline = time.time() + 10
+while True:
+    d = json.load(open("sj_f1.daemon.json"))
+    srv = d.get("server", {})
+    c = d.get("service", {}).get("sj_f1", {}).get("counters", {})
+    if srv.get("updates") == 1 and c.get("updates_applied") == 1:
+        break
+    if time.time() > deadline:
+        fail(f"dump never reflected the update: server={srv} counters={c}")
+    time.sleep(0.05)
+if c["graph_generation"] != c["updates_applied"]:
+    fail(f"generation {c['graph_generation']} != applied "
+         f"{c['updates_applied']}")
+if c["cache_invalidated"] > c["cache_misses"]:
+    fail(f"invalidated {c['cache_invalidated']} > misses "
+         f"{c['cache_misses']}")
+if c["cache_invalidated"] + c["cache_rekeyed"] == 0:
+    fail("update ran against a populated cache but touched no entry")
+print("check_stats_json: OK (wire update applied; epoch counters "
+      "reconcile: generation == applied, invalidated <= misses)")
 EOF
 rc=$?
 kill -TERM "$pid" 2>/dev/null

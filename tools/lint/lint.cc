@@ -378,6 +378,44 @@ const char kSnapshotLimitsWhere[] =
     "checked against (hex bit-mask literals are exempt)";
 
 // ---------------------------------------------------------------------------
+// Rule: graph-mutation
+// ---------------------------------------------------------------------------
+
+// The Graph's derived-storage columns: label buckets, label-partitioned
+// adjacency runs, attribute indexes, and the raw edge pools they are built
+// from. They are private and only reachable from the graph core's friends,
+// but a friend declaration is one line — this rule makes the boundary
+// auditable: any *textual* reference to these members outside the graph
+// core (builder, updater, snapshot codec) is flagged, so every structure
+// write provably flows through GraphBuilder::Build or Graph::ApplyUpdate
+// and the incremental-vs-rebuild equivalence tests cover it.
+const char* const kGraphStorageMembers[] = {
+    "node_label_",      "attr_range_",    "attr_pool_",
+    "attr_ranges_",     "out_pool_",      "in_pool_",
+    "out_range_",       "in_range_",      "out_nbrs_",
+    "in_nbrs_",         "out_slices_",    "in_slices_",
+    "out_slice_range_", "in_slice_range_", "bucket_nodes_",
+    "bucket_range_",
+};
+
+void CheckGraphMutation(const std::string& path, const std::string& stripped,
+                        std::vector<Violation>* out) {
+  for (const char* t : kGraphStorageMembers) {
+    for (size_t pos = FindToken(stripped, t); pos != std::string::npos;
+         pos = FindToken(stripped, t, pos + 1)) {
+      out->push_back(
+          {path, LineOfOffset(stripped, pos), "graph-mutation",
+           std::string(t) +
+               " referenced outside the graph core — label buckets, "
+               "adjacency runs and attribute indexes are maintained only "
+               "by GraphBuilder (src/graph/graph.cc), GraphUpdater "
+               "(src/graph/update.cc) and the snapshot codec; mutate live "
+               "graphs through Graph::ApplyUpdate"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: nodespan-member
 // ---------------------------------------------------------------------------
 
@@ -666,6 +704,13 @@ std::vector<Violation> LintFile(const std::string& path,
   }
   if (in_src && !StartsWith(path, "src/graph/")) {
     CheckNodeSpanMembers(path, stripped, &out);
+  }
+  bool graph_core = path == "src/graph/graph.h" ||
+                    path == "src/graph/graph.cc" ||
+                    path == "src/graph/update.cc" ||
+                    path == "src/graph/snapshot.cc";
+  if (in_src && !graph_core) {
+    CheckGraphMutation(path, stripped, &out);
   }
   if (StartsWith(path, "src/server/") && path != "src/server/limits.h") {
     CheckLimitLiterals(path, stripped, "server-limits", kServerLimitsWhere,

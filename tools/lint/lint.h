@@ -22,6 +22,13 @@
 //                    ARCHITECTURE.md stats glossary.
 //   nodespan-member  no class outside src/graph/ may store a borrowed
 //                    NodeSpan as a data member.
+//   graph-mutation   no reference to the Graph's derived-storage members
+//                    (label buckets, adjacency runs, attribute indexes)
+//                    outside the graph core: GraphBuilder (graph.cc),
+//                    GraphUpdater (src/graph/update.cc) and the snapshot
+//                    codec are the only writers, so every structure
+//                    mutation flows through Build or ApplyUpdate and the
+//                    incremental-vs-rebuild equivalence tests cover it.
 //   header-guard     every header under src/ carries the canonical
 //                    WHYQ_<PATH>_H_ include guard (the companion
 //                    one-TU-per-header compile check proves

@@ -23,6 +23,7 @@
 //                  [--slow-ms=D] [common]
 //   whyq_cli snapshot build GRAPH --out=FILE
 //   whyq_cli snapshot info FILE
+//   whyq_cli update GRAPH BATCHFILE [--out=FILE]
 //   whyq_cli figure1 --out=PREFIX
 //   whyq_cli demo
 //   whyq_cli --version
@@ -41,6 +42,12 @@
 // per-class latency histograms with p50/p95/p99, per-stage time totals,
 // slow-query log) as JSON; --slow-ms=D retains traces of requests slower
 // than D ms in the stats block and the JSON.
+// update applies an update-batch file (format: graph/graph_io.h — AN/DN/
+// AE/DE/SA/DA mnemonics, one op per line, docs/ARCHITECTURE.md "Mutable
+// graphs & epochs") to a text-format graph, prints the applied delta and
+// the new generation, and with --out=FILE writes the updated graph back.
+// A --snapshot graph is frozen (its columns alias the read-only mapped
+// image) and is rejected with a typed error, not a crash.
 // figure1 writes the paper's Fig. 1 example as PREFIX.graph/PREFIX.query
 // and prints the node ids the paper's questions use.
 // Algorithms: exact | approx/fast | iso (default approx/fast).
@@ -713,7 +720,10 @@ int CmdServeBatch(const Options& o) {
       break;  // stop signal: drain what was already admitted
     }
   }
-  const Graph& graph = service.graph();
+  // Pin one epoch for rendering every response's explanation (serve-batch
+  // never updates the graph, so this is the only epoch there is).
+  std::shared_ptr<const Graph> pinned = service.graph();
+  const Graph& graph = *pinned;
   for (size_t i = 0; i < futures.size(); ++i) {
     ServiceResponse r = futures[i].get();
     if (r.status != ResponseStatus::kOk) {
@@ -884,6 +894,37 @@ int CmdSnapshot(const Options& o) {
   return Fail("snapshot needs build|info");
 }
 
+// update GRAPH BATCHFILE applies an update batch (graph_io.h text format)
+// and reports the delta; --out=FILE writes the updated graph. Frozen
+// (--snapshot) graphs are rejected with the typed kFrozen error.
+int CmdUpdate(const Options& o) {
+  if (o.positional.size() < 2) return Fail("update needs GRAPH BATCHFILE");
+  std::optional<LoadedGraph> lg = LoadGraphAuto(o, o.positional[0]);
+  if (!lg.has_value()) return 1;
+  std::string err;
+  std::optional<UpdateBatch> batch =
+      ReadUpdateBatchFromFile(o.positional[1], &err);
+  if (!batch.has_value()) return Fail(err);
+  Graph next;
+  UpdateResult result;
+  if (!lg->get().ApplyUpdate(*batch, &next, &result)) {
+    return Fail("update failed (" +
+                std::string(UpdateStatusName(result.status)) +
+                "): " + result.error);
+  }
+  std::printf("applied %zu ops: %s\n", batch->size(),
+              result.delta.ToString().c_str());
+  std::printf("generation %llu -> %llu\n",
+              static_cast<unsigned long long>(lg->get().generation()),
+              static_cast<unsigned long long>(next.generation()));
+  if (!o.out.empty()) {
+    if (!WriteGraphToFile(next, o.out)) return Fail("cannot write " + o.out);
+    std::printf("wrote %s: %s\n", o.out.c_str(),
+                ComputeStats(next).ToString().c_str());
+  }
+  return 0;
+}
+
 // Writes the paper's running example (Fig. 1) to PREFIX.graph and
 // PREFIX.query and prints the node ids its Why/Why-not questions use, so
 // scripts (tools/check_stats_json.sh) can drive file-based subcommands
@@ -940,7 +981,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: whyq_cli "
                  "generate|import|dot|stats|query|why|whynot|whyempty|"
-                 "whysomany|serve-batch|serve|snapshot|figure1|demo|"
+                 "whysomany|serve-batch|serve|snapshot|update|figure1|demo|"
                  "--version ...\n");
     return 1;
   }
@@ -964,6 +1005,7 @@ int Main(int argc, char** argv) {
   if (cmd == "serve-batch") return CmdServeBatch(o);
   if (cmd == "serve") return CmdServe(o);
   if (cmd == "snapshot") return CmdSnapshot(o);
+  if (cmd == "update") return CmdUpdate(o);
   if (cmd == "figure1") return CmdFigure1(o);
   if (cmd == "demo") return CmdDemo();
   return Fail("unknown command " + cmd);
