@@ -16,15 +16,21 @@
 //           reference across batch sizes, then update/read interference:
 //           closed-loop readers with and without a concurrent writer
 //           publishing epochs through WhyqService::ApplyUpdate.
+//   part f: persistent plan store across restarts — per-query store-load
+//           vs PrepareQuery cost, then a simulated cold restart (fresh
+//           service, warm vs absent store): time-to-first-hit and p95
+//           over the first request round.
 //
 // EXPERIMENTS.md records the shapes: >1x scaling 1 -> 4 workers, a
 // visible cache-hit speedup, overload shedding via admission control,
-// and incremental beating rebuild on small batches.
+// incremental beating rebuild on small batches, and a store-warmed
+// restart reaching steady-state cache-hit latency on its first request.
 
 #include <sys/socket.h>
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <optional>
@@ -38,6 +44,7 @@
 #include "server/json.h"
 #include "server/limits.h"
 #include "server/server.h"
+#include "service/plan.h"
 
 namespace whyq::bench {
 namespace {
@@ -498,6 +505,137 @@ void PartUpdates(const Flags& flags,
           .c_str());
 }
 
+// Persistent plan store across restarts (docs/PLAN_FORMAT.md). f1 prices
+// the two ways a process can obtain a prepared question — build it
+// (PrepareQuery: answer match + candidates + PathIndex sample) or load it
+// from the store (read + validate + re-parse) — per workload query.
+// f2 simulates the deploy/crash cycle the store exists for: a fresh
+// service (empty in-memory cache, the "restarted process") answers the
+// first request round with no store and with the store a previous
+// "process" left behind; with warm-load the very first request is already
+// a prepared-cache hit, so time-to-first-hit collapses from a cold build
+// to steady-state latency.
+void PartPlanStore(const Flags& flags,
+                   const std::shared_ptr<const Graph>& graph,
+                   const Workload& w) {
+  const uint64_t fp = GraphFingerprint(*graph);
+  const AnswerConfig base_cfg = DefaultAnswerConfig();
+  const MatchSemantics sem = base_cfg.semantics;
+  const size_t max_paths = base_cfg.path_index_paths;
+  const PlanStamp stamp{fp, graph->identity(), graph->generation()};
+
+  // --- f1: store load vs PrepareQuery, per query --------------------------
+  const std::string cost_dir = "bench_plans_cost";
+  std::filesystem::remove_all(cost_dir);
+  {
+    PlanStore store(cost_dir);
+    constexpr int kLoadReps = 20;
+    TextTable t({"query", "prepare_ms", "store_load_ms", "load_speedup"});
+    double prep_total = 0.0;
+    double load_total = 0.0;
+    for (size_t i = 0; i < w.items.size(); ++i) {
+      const Query& q = w.items[i].gq.query;
+      std::string canonical = WriteQuery(q, *graph);
+      bool complete = false;
+      Timer prep_timer;
+      std::shared_ptr<const PreparedQuery> built =
+          PrepareQuery(*graph, Query(q), sem, max_paths,
+                       /*cancel=*/nullptr, &complete);
+      double prep_ms = prep_timer.ElapsedMillis();
+      if (!complete) {
+        std::fprintf(stderr, "part f: PrepareQuery did not complete\n");
+        return;
+      }
+      store.SaveAsync(built, canonical, max_paths, stamp);
+      store.Flush();
+      Timer load_timer;
+      for (int rep = 0; rep < kLoadReps; ++rep) {
+        if (store.TryLoad(*graph, fp, sem, max_paths, canonical) == nullptr) {
+          std::fprintf(stderr, "part f: store probe missed a saved plan\n");
+          return;
+        }
+      }
+      double load_ms = load_timer.ElapsedMillis() / kLoadReps;
+      prep_total += prep_ms;
+      load_total += load_ms;
+      t.AddRow({"q" + std::to_string(i), TextTable::Num(prep_ms, 3),
+                TextTable::Num(load_ms, 3),
+                TextTable::Num(load_ms > 0 ? prep_ms / load_ms : 0.0, 1)});
+    }
+    t.AddRow({"total", TextTable::Num(prep_total, 3),
+              TextTable::Num(load_total, 3),
+              TextTable::Num(load_total > 0 ? prep_total / load_total : 0.0,
+                             1)});
+    std::printf(
+        "%s\n",
+        t.ToString("Part f1: PrepareQuery vs. plan-store load, per query")
+            .c_str());
+  }
+  std::filesystem::remove_all(cost_dir);
+
+  // --- f2: cold restart, with vs. without a warm store --------------------
+  // One probe per distinct workload query, each with a trivial search
+  // (why-so-many already at its target, the part-b pattern): the measured
+  // latency is the per-request *fixed* cost — answer match + candidates +
+  // PathIndex — which is exactly what the store persists. A heavy
+  // why-question would hide the restart cost behind its search phase.
+  std::vector<ServiceRequest> probes;
+  probes.reserve(w.items.size());
+  for (const Workload::Item& item : w.items) {
+    ServiceRequest probe;
+    probe.kind = RequestKind::kWhySoMany;
+    probe.query_text = WriteQuery(item.gq.query, *graph);
+    probe.target_k = graph->node_count();  // already satisfied
+    probe.config = base_cfg;
+    probes.push_back(probe);
+  }
+  const size_t first_round = probes.size();
+  const std::string store_dir = "bench_plans_restart";
+  std::filesystem::remove_all(store_dir);
+  {
+    // The "previous process": populate the store, then shut down.
+    ServiceConfig sc;
+    sc.workers = 1;
+    sc.cache_capacity = 64;
+    sc.plan_store = std::make_shared<PlanStore>(store_dir);
+    WhyqService service(graph, sc);
+    for (size_t i = 0; i < first_round; ++i) service.Execute(probes[i]);
+    sc.plan_store->Flush();
+  }
+
+  TextTable t({"store", "first_req_ms", "p95_first_round_ms", "cache_hits",
+               "cache_misses"});
+  for (bool with_store : {false, true}) {
+    ServiceConfig sc;
+    sc.workers = 1;
+    sc.cache_capacity = 64;
+    if (with_store) sc.plan_store = std::make_shared<PlanStore>(store_dir);
+    WhyqService service(graph, sc);  // the restarted process
+    std::vector<double> lat;
+    lat.reserve(first_round);
+    for (size_t i = 0; i < first_round; ++i) {
+      Timer one;
+      service.Execute(probes[i]);
+      lat.push_back(one.ElapsedMillis());
+    }
+    double first_ms = lat[0];
+    std::sort(lat.begin(), lat.end());
+    double p95 = lat[lat.size() * 95 / 100];
+    // Boot warm-load fills the in-memory cache, so a store-warmed restart
+    // shows up as cache_hits == the whole round (store counters untouched:
+    // warm loads are neither probes nor misses).
+    StatsSnapshot s = service.Stats();
+    t.AddRow({with_store ? "warm" : "none", TextTable::Num(first_ms, 3),
+              TextTable::Num(p95, 3), std::to_string(s.cache_hits),
+              std::to_string(s.cache_misses)});
+  }
+  std::filesystem::remove_all(store_dir);
+  std::printf(
+      "%s\n",
+      t.ToString("Part f2: cold restart, first round with/without the store")
+          .c_str());
+}
+
 int Main(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv);
   BsbmConfig bc;
@@ -523,6 +661,7 @@ int Main(int argc, char** argv) {
   if (RunPart(flags, "c")) PartCoreBudget(flags, graph, reqs);
   if (RunPart(flags, "d")) PartSocket(flags, graph, reqs);
   if (RunPart(flags, "e")) PartUpdates(flags, graph, w);
+  if (RunPart(flags, "f")) PartPlanStore(flags, graph, w);
   return 0;
 }
 

@@ -27,6 +27,12 @@ bool StepEdgePresent(const Query& q, const PathIndex::Step& s) {
 
 }  // namespace
 
+PathIndex PathIndex::FromPaths(std::vector<std::vector<Step>> paths) {
+  PathIndex index;
+  index.paths_ = std::move(paths);
+  return index;
+}
+
 PathIndex::PathIndex(const Query& q, size_t max_paths) {
   if (q.output() == kInvalidQNode || q.node_count() == 0) return;
   // DFS from the output node over undirected edges, collecting maximal

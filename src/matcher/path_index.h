@@ -48,6 +48,13 @@ class PathIndex {
   /// enumerated deterministically (DFS over undirected query edges).
   PathIndex(const Query& q, size_t max_paths);
 
+  /// Rebuilds an index from previously sampled steps — the plan-store load
+  /// path (service/plan.cc), which deserializes the exact paths a prior
+  /// process enumerated so a loaded plan probes identically to the build it
+  /// caches. The caller is responsible for having validated every step's
+  /// query-node ids against the query the index will be probed with.
+  static PathIndex FromPaths(std::vector<std::vector<Step>> paths);
+
   /// Path test of v against rewrite `rewritten` (see class comment). When
   /// `ctx` is given, per-step node-candidacy tests probe the context's
   /// memoized bitmaps (O(1) after the first build) instead of re-evaluating
@@ -71,6 +78,8 @@ class PathIndex {
   std::string ToString(const Graph& g) const;
 
  private:
+  PathIndex() = default;  // FromPaths
+
   bool WalkMatches(const Graph& g, const Query& rewritten,
                    const std::vector<Step>& path, size_t pos, NodeId at,
                    MatchContext* ctx) const;

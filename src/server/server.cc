@@ -8,6 +8,8 @@
 #include <fstream>
 #include <utility>
 
+#include "service/plan.h"
+
 namespace whyq::server {
 
 namespace {
@@ -57,8 +59,16 @@ WhyqServer::WhyqServer(
     : cfg_(std::move(cfg)), next_conn_(kFirstConnTag) {
   for (auto& [name, graph] : graphs) {
     names_.push_back(name);
+    ServiceConfig sc = cfg_.service;
+    if (!cfg_.plan_store_dir.empty()) {
+      // Per-graph store: plans compiled against one graph never collide
+      // with (or evict) another's, and each service's Stats() reports its
+      // own store counters.
+      sc.plan_store =
+          std::make_shared<PlanStore>(cfg_.plan_store_dir + "/" + name);
+    }
     services_.push_back(
-        std::make_unique<WhyqService>(std::move(graph), cfg_.service));
+        std::make_unique<WhyqService>(std::move(graph), std::move(sc)));
   }
 }
 

@@ -35,6 +35,14 @@ struct ServerConfig {
 
   /// Applied to every per-graph WhyqService the server builds.
   ServiceConfig service;
+
+  /// Non-empty: every per-graph service gets its own persistent PlanStore
+  /// at `plan_store_dir/<graph name>` (created if missing). Boot warm-loads
+  /// each service's prepared cache from its store, completed builds persist
+  /// across restarts, and each graph's stats block reports its own
+  /// plan_store_* counters. `service.plan_store` must stay null — stores
+  /// are per-graph, never shared.
+  std::string plan_store_dir;
 };
 
 /// Monotonic daemon counters, snapshotted for the stats JSON ("server"

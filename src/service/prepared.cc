@@ -38,10 +38,16 @@ std::string GraphEpochPrefix(const Graph& g) {
          std::to_string(g.generation()) + "|";
 }
 
+std::string PreparedQueryKeyBody(MatchSemantics semantics, size_t max_paths,
+                                 const std::string& canonical_text) {
+  return std::string(MatchSemanticsName(semantics)) +
+         "|paths=" + std::to_string(max_paths) + "\n" + canonical_text;
+}
+
 std::string PreparedQueryKey(const Query& q, const Graph& g,
                              MatchSemantics semantics, size_t max_paths) {
-  return GraphEpochPrefix(g) + std::string(MatchSemanticsName(semantics)) +
-         "|paths=" + std::to_string(max_paths) + "\n" + WriteQuery(q, g);
+  return GraphEpochPrefix(g) +
+         PreparedQueryKeyBody(semantics, max_paths, WriteQuery(q, g));
 }
 
 std::shared_ptr<const PreparedQuery> PrepareQuery(const Graph& g, Query q,
@@ -139,18 +145,30 @@ PreparedQueryCache::DeltaOutcome PreparedQueryCache::ApplyDelta(
       ++it;  // a different graph (or epoch) — not ours to touch
       continue;
     }
+    std::string body = it->key.substr(old_prefix.size());
     if (it->value->footprint.Intersects(delta)) {
       index_.erase(it->key);
       it = lru_.erase(it);
       ++outcome.invalidated;
+      outcome.dropped_bodies.push_back(std::move(body));
     } else {
-      std::string new_key =
-          new_prefix + it->key.substr(old_prefix.size());
+      std::string new_key = new_prefix + body;
       index_.erase(it->key);
-      it->key = new_key;
-      index_[std::move(new_key)] = it;
-      ++it;
+      if (index_.count(new_key) != 0) {
+        // An entry already lives under the new epoch's key. Keep it (and
+        // its recency): inserting a second list node for the same key would
+        // orphan one of the two, and evicting the orphan later would erase
+        // the survivor's index record.
+        it = lru_.erase(it);
+      } else {
+        // In-place rekey: the list node is untouched, so the carried entry
+        // keeps its exact LRU recency (see the DeltaOutcome contract).
+        it->key = new_key;
+        index_[std::move(new_key)] = it;
+        ++it;
+      }
       ++outcome.rekeyed;
+      outcome.rekeyed_bodies.push_back(std::move(body));
     }
   }
   return outcome;

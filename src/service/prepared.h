@@ -49,6 +49,18 @@ struct PreparedQuery {
         semantics(s),
         path_index(query, max_paths),
         footprint(FootprintOfQuery(query)) {}
+
+  /// Artifact-loading constructor (service/plan.cc): every field was
+  /// deserialized from a validated CompiledPlan instead of being built.
+  PreparedQuery(Query q, MatchSemantics s, std::vector<NodeId> answers_in,
+                std::vector<NodeId> candidates, PathIndex index,
+                SymbolFootprint fp)
+      : query(std::move(q)),
+        semantics(s),
+        answers(std::move(answers_in)),
+        output_candidates(std::move(candidates)),
+        path_index(std::move(index)),
+        footprint(std::move(fp)) {}
 };
 
 /// The `g=<identity>@<generation>|` key prefix naming one graph epoch.
@@ -56,6 +68,15 @@ struct PreparedQuery {
 /// impossible: an updated (or merely different) graph never produces the
 /// key an older epoch's entry was stored under.
 std::string GraphEpochPrefix(const Graph& g);
+
+/// The epoch-free part of a cache key: the semantics, the path-index size,
+/// and the query's canonical serialized form (`canonical_text` must be the
+/// WriteQuery serialization). This is what survives a graph epoch change —
+/// ApplyDelta rekeys by swapping the prefix around an unchanged body — and
+/// what the plan store content-addresses files by (paired with the graph
+/// fingerprint; see service/plan.h).
+std::string PreparedQueryKeyBody(MatchSemantics semantics, size_t max_paths,
+                                 const std::string& canonical_text);
 
 /// Cache key: the graph epoch prefix, then the semantics, the path-index
 /// size, and the query's canonical serialized form — two textual spellings
@@ -96,18 +117,25 @@ class PreparedQueryCache {
 
   size_t size() const;
 
-  /// Outcome of one ApplyDelta pass over the old epoch's entries.
+  /// Outcome of one ApplyDelta pass over the old epoch's entries. The
+  /// `*_bodies` vectors carry each verdict's epoch-free key body
+  /// (PreparedQueryKeyBody) so the caller can mirror the same drop/restamp
+  /// decisions onto persisted plan files (PlanStore::OnUpdate).
   struct DeltaOutcome {
     size_t invalidated = 0;  // dropped: footprint intersected the delta
     size_t rekeyed = 0;      // carried to the new epoch: provably unaffected
+    std::vector<std::string> dropped_bodies;
+    std::vector<std::string> rekeyed_bodies;
   };
 
   /// Precise invalidation after a graph update: every entry keyed under
   /// `old_prefix` either intersects `delta` with its footprint (dropped) or
   /// provably kept its answers (rekeyed under `new_prefix`, artifacts —
   /// including the query-only PathIndex samples — reused verbatim, no
-  /// re-preparation and no re-sampling). Entries of other graphs are
-  /// untouched.
+  /// re-preparation and no re-sampling). Rekeying mutates each list node in
+  /// place, so a carried entry keeps its exact LRU recency relative to
+  /// every other entry — an update never perturbs eviction order. Entries
+  /// of other graphs are untouched.
   DeltaOutcome ApplyDelta(const std::string& old_prefix,
                           const std::string& new_prefix,
                           const UpdateDelta& delta);

@@ -3,7 +3,9 @@
 #include <chrono>
 #include <utility>
 
+#include "graph/snapshot.h"
 #include "query/query_parser.h"
+#include "service/plan.h"
 #include "why/whynot_algorithms.h"
 
 namespace whyq {
@@ -59,6 +61,18 @@ WhyqService::WhyqService(std::shared_ptr<const Graph> graph,
   if (cfg_.queue_capacity == 0) cfg_.queue_capacity = 1;
   if (cfg_.workers == 0) cfg_.workers = 1;
   stats_.ConfigureSlowLog(cfg_.slow_query_ms, cfg_.slow_log_capacity);
+  if (cfg_.plan_store != nullptr) {
+    // One content hash per epoch: frozen (snapshot-backed) graphs already
+    // carry it as identity(); heap graphs pay one fingerprint pass here
+    // (and one per update) so every request can stamp/validate plans
+    // without rehashing the graph.
+    plan_fp_ = graph_->frozen() ? graph_->identity()
+                                : GraphFingerprint(*graph_);
+    // Warm the prepared cache from the store before the workers exist:
+    // the first repeated question after a restart hits memory, not disk.
+    cfg_.plan_store->WarmLoad(*graph_, plan_fp_, cfg_.cache_capacity,
+                              &cache_);
+  }
   workers_.reserve(cfg_.workers);
   for (size_t i = 0; i < cfg_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -218,6 +232,25 @@ std::shared_ptr<const Graph> WhyqService::graph() const {
   return graph_;
 }
 
+std::pair<std::shared_ptr<const Graph>, uint64_t> WhyqService::PinEpoch()
+    const {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  return {graph_, plan_fp_};
+}
+
+StatsSnapshot WhyqService::Stats() const {
+  StatsSnapshot s = stats_.Snapshot();
+  if (cfg_.plan_store != nullptr) {
+    PlanStore::Counters c = cfg_.plan_store->counters();
+    s.plan_store_hits = c.hits;
+    s.plan_store_misses = c.misses;
+    s.plan_store_writes = c.writes;
+    s.plan_store_evictions = c.evictions;
+    s.plan_store_invalid = c.invalid;
+  }
+  return s;
+}
+
 bool WhyqService::ApplyUpdate(const UpdateBatch& batch, UpdateResult* result) {
   // Writers serialize across the whole sequence; readers keep pinning the
   // published epoch without ever taking update_mu_.
@@ -233,11 +266,30 @@ bool WhyqService::ApplyUpdate(const UpdateBatch& batch, UpdateResult* result) {
   PreparedQueryCache::DeltaOutcome outcome = cache_.ApplyDelta(
       GraphEpochPrefix(*base), GraphEpochPrefix(*next), result->delta);
   uint64_t generation = next->generation();
+  uint64_t old_fp = 0;
+  uint64_t new_fp = 0;
+  if (cfg_.plan_store != nullptr) {
+    // The new epoch's content hash (an update never targets a frozen
+    // graph, so this is always a real fingerprint pass).
+    new_fp = GraphFingerprint(*next);
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    old_fp = plan_fp_;
+  }
+  PlanStamp new_stamp{new_fp, next->identity(), generation};
   {
     std::lock_guard<std::mutex> lock(graph_mu_);
     graph_ = std::move(next);
+    plan_fp_ = new_fp;
   }
   stats_.RecordUpdate(generation, outcome.invalidated, outcome.rekeyed);
+  if (cfg_.plan_store != nullptr) {
+    // Mirror the cache's verdicts onto the stored files: dropped plans are
+    // deleted (their epoch is gone — a stale plan must never be servable),
+    // carried plans are restamped to the new fingerprint/generation.
+    cfg_.plan_store->OnUpdate(old_fp, new_stamp,
+                              std::move(outcome.dropped_bodies),
+                              std::move(outcome.rekeyed_bodies));
+  }
   return true;
 }
 
@@ -248,7 +300,7 @@ ServiceResponse WhyqService::Run(const ServiceRequest& req,
   // NEW graph value instead of mutating this one, so everything below —
   // including the prepared artifacts keyed by this epoch's prefix — reads
   // one consistent graph no matter how many updates land meanwhile.
-  std::shared_ptr<const Graph> pinned = graph();
+  auto [pinned, plan_fp] = PinEpoch();
   const Graph& g = *pinned;
   ServiceResponse resp;
   resp.graph = pinned;
@@ -288,16 +340,34 @@ ServiceResponse WhyqService::Run(const ServiceRequest& req,
   // clipped by the deadline stays request-local (never cached).
   AnswerConfig cfg = req.config;
   if (cfg.threads == 0) cfg.threads = cfg_.intra_threads;
+  std::string canonical = WriteQuery(*parsed, g);
   std::string key =
-      PreparedQueryKey(*parsed, g, cfg.semantics, cfg.path_index_paths);
+      GraphEpochPrefix(g) +
+      PreparedQueryKeyBody(cfg.semantics, cfg.path_index_paths, canonical);
   std::shared_ptr<const PreparedQuery> prepared = cache_.Get(key);
   resp.cache_hit = prepared != nullptr;
+  if (prepared == nullptr && cfg_.plan_store != nullptr) {
+    // Store consult on a memory miss: a validated load replaces the whole
+    // build below for the cost of reading one file. It still counts as a
+    // cache miss (the hits/misses partition of completed is untouched);
+    // the store's own hit/miss counters tell the two miss flavors apart.
+    prepared = cfg_.plan_store->TryLoad(g, plan_fp, cfg.semantics,
+                                        cfg.path_index_paths, canonical);
+    if (prepared != nullptr) cache_.Put(key, prepared);
+  }
   if (prepared == nullptr) {
     bool complete = false;
     prepared = PrepareQuery(g, std::move(*parsed), cfg.semantics,
                             cfg.path_index_paths, token, &complete,
                             cfg.threads, &resp.trace);
-    if (complete) cache_.Put(key, prepared);
+    if (complete) {
+      cache_.Put(key, prepared);
+      if (cfg_.plan_store != nullptr) {
+        cfg_.plan_store->SaveAsync(
+            prepared, std::move(canonical), cfg.path_index_paths,
+            PlanStamp{plan_fp, g.identity(), g.generation()});
+      }
+    }
   }
   resp.trace.prepare_ms = stage.ElapsedMillis();
   resp.trace.matcher_candidates = prepared->output_candidates.size();

@@ -20,6 +20,8 @@
 
 namespace whyq {
 
+class PlanStore;
+
 /// Tuning for one WhyqService instance.
 struct ServiceConfig {
   size_t workers = 4;          // fixed-size pool (inter-request parallelism)
@@ -39,6 +41,16 @@ struct ServiceConfig {
   /// per-stage RequestTrace) and surfaced by Stats(). 0 disables the log.
   double slow_query_ms = 0;
   size_t slow_log_capacity = 32;
+
+  /// Optional persistent plan store (service/plan.h). When set, a
+  /// prepared-cache miss consults the store before building (a validated
+  /// load costs file I/O instead of an answer match), completed builds are
+  /// persisted off the worker's critical path, boot warm-loads up to
+  /// cache_capacity stored plans into the cache, and ApplyUpdate mirrors
+  /// its drop/rekey verdicts onto the stored files. Give each service its
+  /// own store (or directory): the store's counters are reported through
+  /// this service's Stats().
+  std::shared_ptr<PlanStore> plan_store = nullptr;
 };
 
 /// The outcome of a non-blocking TrySubmit: exactly what happened to the
@@ -143,7 +155,9 @@ class WhyqService {
   /// (snapshot-backed) graph, leaving the published epoch unchanged.
   bool ApplyUpdate(const UpdateBatch& batch, UpdateResult* result);
 
-  StatsSnapshot Stats() const { return stats_.Snapshot(); }
+  /// Counter/latency snapshot; plan-store counters (when configured) are
+  /// merged into the plan_store_* fields.
+  StatsSnapshot Stats() const;
   size_t cache_size() const { return cache_.size(); }
 
   /// Pins the current graph epoch: the returned shared_ptr keeps that
@@ -170,6 +184,10 @@ class WhyqService {
 
   ServiceResponse Run(const ServiceRequest& req, const CancelToken* token,
                       const Timer& timer, double queue_ms);
+  /// Pins the published graph together with the plan fingerprint computed
+  /// for that same epoch — one lock acquisition, so a request can never
+  /// pair a new graph with an older epoch's fingerprint.
+  std::pair<std::shared_ptr<const Graph>, uint64_t> PinEpoch() const;
   /// Run() with per-request failures contained as kBadRequest responses —
   /// the one execution path shared by WorkerLoop() and Execute(), so an
   /// exception escaping an algorithm is reported (and counted) the same
@@ -185,6 +203,10 @@ class WhyqService {
   // apply-invalidate-publish sequence so deltas land in order.
   mutable std::mutex graph_mu_;
   std::shared_ptr<const Graph> graph_;
+  // The published epoch's GraphFingerprint (frozen graphs reuse identity(),
+  // which already is the content hash). Only meaningful when a plan store
+  // is configured; guarded by graph_mu_ and republished with the graph.
+  uint64_t plan_fp_ = 0;
   std::mutex update_mu_;
   ServiceConfig cfg_;
   PreparedQueryCache cache_;

@@ -206,6 +206,14 @@ std::string StatsSnapshot::ToString() const {
        << "% hit rate)";
   }
   os << "\n";
+  if (plan_store_hits + plan_store_misses + plan_store_writes +
+          plan_store_evictions + plan_store_invalid >
+      0) {
+    os << "plan store: hits=" << plan_store_hits
+       << " misses=" << plan_store_misses << " writes=" << plan_store_writes
+       << " evictions=" << plan_store_evictions
+       << " invalid=" << plan_store_invalid << "\n";
+  }
   if (updates_applied > 0) {
     os << "updates: applied=" << updates_applied
        << " generation=" << graph_generation
@@ -274,7 +282,12 @@ std::string StatsSnapshot::ToJson() const {
      << ",\"updates_applied\":" << updates_applied
      << ",\"graph_generation\":" << graph_generation
      << ",\"cache_invalidated\":" << cache_invalidated
-     << ",\"cache_rekeyed\":" << cache_rekeyed << "}";
+     << ",\"cache_rekeyed\":" << cache_rekeyed
+     << ",\"plan_store_hits\":" << plan_store_hits
+     << ",\"plan_store_misses\":" << plan_store_misses
+     << ",\"plan_store_writes\":" << plan_store_writes
+     << ",\"plan_store_evictions\":" << plan_store_evictions
+     << ",\"plan_store_invalid\":" << plan_store_invalid << "}";
   os << ",\"latency_ms\":{";
   bool first = true;
   for (const auto& [klass, s] : latency) {

@@ -100,6 +100,17 @@ struct StatsSnapshot {
   uint64_t cache_invalidated = 0;  // prepared entries dropped by updates
   uint64_t cache_rekeyed = 0;      // prepared entries carried across epochs
 
+  /// Plan-store counters (service/plan.h), merged in by WhyqService::Stats
+  /// when a store is configured; all zero otherwise. Every cache miss makes
+  /// exactly one store probe, so with a store enabled
+  ///   plan_store_hits + plan_store_misses == cache_misses
+  /// (tools/check_stats_json.sh reconciles this on a live run).
+  uint64_t plan_store_hits = 0;    // store probes serving a validated plan
+  uint64_t plan_store_misses = 0;  // store probes finding nothing usable
+  uint64_t plan_store_writes = 0;  // plan files durably written
+  uint64_t plan_store_evictions = 0;  // files dropped by the byte budget
+  uint64_t plan_store_invalid = 0;    // files rejected or update-staled
+
   /// Keyed by "<kind>/<algo>" (e.g. "why/auto", "whynot/exact").
   std::map<std::string, LatencySummary> latency;
 

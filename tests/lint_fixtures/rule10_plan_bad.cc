@@ -1,0 +1,22 @@
+// Fixture (never compiled): on-disk format constants inlined into the
+// plan serializer — rule "plan-limits" must flag each decimal literal
+// >= 64, linted under the virtual path src/service/plan.cc. Line
+// numbers are pinned by the test.
+#include <cstddef>
+
+namespace whyq {
+
+size_t StagePlanSections(size_t offset, size_t rows) {
+  size_t aligned = (offset + 63) & ~size_t{63};  // ok: 63 below threshold
+  size_t header = 64;                   // BAD: header size inline (line 11)
+  size_t budget = 268435456;            // BAD: store budget inline (line 12)
+  for (size_t i = 0; i < 9; ++i) {      // ok: small section count
+    aligned += i;
+  }
+  if (rows > 65536) {                   // BAD: row cap inline (line 16)
+    return 0;
+  }
+  return aligned + header + budget;
+}
+
+}  // namespace whyq

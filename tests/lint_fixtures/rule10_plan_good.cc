@@ -1,0 +1,24 @@
+// Fixture (never compiled): serializer code drawing every format
+// constant from plan.h — rule "plan-limits" must stay silent. Hex
+// masks, bit-shift expressions, small decimal constants, and literals
+// inside comments/strings ("section 128") are all legal.
+#include "service/plan.h"
+
+namespace whyq {
+
+size_t StagePlanSections(size_t offset, size_t rows) {
+  size_t align = kPlanSectionAlign;             // the constant, by name
+  size_t aligned = (offset + align - 1) / align * align;
+  uint64_t budget = kPlanStoreDefaultBudget;    // budget by name
+  uint64_t cap = 1ull << 30;                    // shifts are not decimals
+  for (size_t i = 0; i < rows; ++i) {
+    if ((i & 0xFFu) == 0x40u) ++aligned;        // hex masks exempt
+  }
+  double fill = 0.75 * 32;                      // small decimals are fine
+  const char* note = "pads to 4096 bytes";      // strings stripped first
+  (void)fill;
+  (void)note;
+  return aligned + (budget & cap);
+}
+
+}  // namespace whyq

@@ -389,6 +389,37 @@ TEST(LintGraphMutationTest, GraphCoreFilesAreExempt) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 10: plan-limits
+// ---------------------------------------------------------------------------
+
+TEST(LintPlanLimitsTest, FlagsInlineFormatConstantsInSerializer) {
+  std::vector<Violation> v = LintFile("src/service/plan.cc",
+                                      ReadFixture("rule10_plan_bad.cc"));
+  ExpectAllRule(v, "plan-limits");
+  EXPECT_EQ(Lines(v), (std::vector<int>{11, 12, 16}));
+}
+
+TEST(LintPlanLimitsTest, AcceptsNamedConstantsMasksAndSmallValues) {
+  std::vector<Violation> v = LintFile("src/service/plan.cc",
+                                      ReadFixture("rule10_plan_good.cc"));
+  EXPECT_TRUE(v.empty()) << v.front().message;
+}
+
+TEST(LintPlanLimitsTest, HeaderAndOtherServiceFilesAreExempt) {
+  // The pigeonhole itself may (must) hold the literals...
+  EXPECT_TRUE(LintFile("src/service/plan.h",
+                       "#ifndef WHYQ_SERVICE_PLAN_H_\n"
+                       "#define WHYQ_SERVICE_PLAN_H_\n"
+                       "inline constexpr int kAlign = 4096;\n#endif\n")
+                  .empty());
+  // ...and the rule binds to the plan layer only, not all of
+  // src/service/ (service.cc may size reserve() calls freely).
+  EXPECT_TRUE(LintFile("src/service/service.cc",
+                       ReadFixture("rule10_plan_bad.cc"))
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
 // The real tree must be clean — same invariant as the lint_tree ctest
 // entry, but failing inside the suite gives a better signal locally.
 // ---------------------------------------------------------------------------

@@ -14,7 +14,10 @@
 #   5. the update-batch text format stays honest: every op mnemonic the
 #      parser in src/graph/graph_io.cc accepts must be documented in the
 #      graph_io.h grammar comment AND in README.md, and vice versa — a
-#      mnemonic README documents must be parsed.
+#      mnemonic README documents must be parsed;
+#   6. docs/PLAN_FORMAT.md stays honest: every `Struct.field` row of its
+#      field-index appendix and every kPlan* constant it cites must
+#      literally exist in src/service/plan.h (same contract as 4).
 # Pure grep/sed — no dependencies beyond POSIX sh.
 set -u
 
@@ -119,7 +122,31 @@ for op in $(grep -o '^[A-Z][A-Z] ' README.md | tr -d ' ' | sort -u); do
     err "README.md documents update op '$op' but $io_cc does not parse it"
 done
 
+# --- 6. PLAN_FORMAT.md <-> plan.h -----------------------------------------
+pspec=docs/PLAN_FORMAT.md
+phdr=src/service/plan.h
+if [ -f "$pspec" ] && [ -f "$phdr" ]; then
+  pfields=$(sed -n '/^## Appendix: field index/,$p' "$pspec" |
+            grep -o '`[A-Za-z]*\.[a-z_]*`' | tr -d '\140' | sort -u)
+  [ -n "$pfields" ] ||
+    err "$pspec: no Struct.field entries found in the field-index appendix"
+  for f in $pfields; do
+    struct=${f%%.*}
+    field=${f#*.}
+    grep -q "struct $struct" "$phdr" ||
+      err "$pspec: struct '$struct' does not exist in $phdr"
+    grep -qw "$field" "$phdr" ||
+      err "$pspec: field '$f' — '$field' does not appear in $phdr"
+  done
+  for c in $(grep -o 'kPlan[A-Za-z]*' "$pspec" | sort -u); do
+    grep -qw "$c" "$phdr" ||
+      err "$pspec: constant '$c' does not exist in $phdr"
+  done
+else
+  err "missing $pspec or $phdr"
+fi
+
 if [ "$fail" -eq 0 ]; then
-  echo "check_docs: OK (links, subcommands, flags, snapshot spec, update ops in sync)"
+  echo "check_docs: OK (links, subcommands, flags, snapshot spec, update ops, plan spec in sync)"
 fi
 exit "$fail"

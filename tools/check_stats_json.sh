@@ -19,6 +19,13 @@
 # updates_applied (text-loaded graphs start at generation 0),
 # cache_invalidated never exceeds cache_misses (only built entries can be
 # dropped), and the server's `updates` counter matches.
+# A fourth phase runs serve-batch against a persistent plan store, twice:
+# every prepare attempt must probe the store (plan_store_hits +
+# plan_store_misses == cache_misses in both runs), the cold run must
+# persist without hitting (the memory cache absorbs repeats, so no probe
+# can land on a plan the same run wrote moments earlier), and the
+# restarted run (--cache=0: every request probes) must serve every
+# request from the store.
 # Usage: check_stats_json.sh PATH_TO_WHYQ_CLI [WORKDIR]
 set -u
 
@@ -70,8 +77,14 @@ check(c["completed"] == 6, f"expected 6 completed, got {c['completed']}")
 # No updates ran in this batch: the epoch counters must sit at zero and
 # still reconcile (generation == applied for text-loaded graphs).
 for key in ("updates_applied", "graph_generation", "cache_invalidated",
-            "cache_rekeyed"):
+            "cache_rekeyed", "plan_store_hits", "plan_store_misses",
+            "plan_store_writes", "plan_store_evictions",
+            "plan_store_invalid"):
     check(key in c, f"counters missing {key}")
+# No plan store was configured: every store counter must sit at zero.
+check(c["plan_store_hits"] + c["plan_store_misses"]
+      + c["plan_store_writes"] == 0,
+      "plan-store counters moved without a store configured")
 check(c["graph_generation"] == c["updates_applied"],
       f"generation {c['graph_generation']} != applied {c['updates_applied']}")
 check(c["cache_invalidated"] <= c["cache_misses"],
@@ -235,4 +248,55 @@ rc=$?
 kill -TERM "$pid" 2>/dev/null
 wait "$pid" 2>/dev/null
 [ "$rc" -eq 0 ] || exit 1
+
+# --- phase 4: plan-store counters reconcile on a live run ----------------
+rm -rf sj_f1.plans
+# Cold run: default memory cache. Repeated questions hit the cache and
+# never probe the store, so plan_store_hits == 0 deterministically —
+# with --cache=0 here, a repeat could legitimately hit a plan the
+# background writer flushed earlier in the same run.
+"$cli" serve-batch sj_f1.graph sj_f1.questions --workers=2 \
+  --plan-store=sj_f1.plans --stats-json=sj_f1.plan1.json > /dev/null ||
+  { echo "check_stats_json: serve-batch (cold plan store) failed" >&2
+    exit 1; }
+# Restarted run: --cache=0 so every request is a prepare attempt that
+# probes the now-warm store.
+"$cli" serve-batch sj_f1.graph sj_f1.questions --workers=2 --cache=0 \
+  --plan-store=sj_f1.plans --stats-json=sj_f1.plan2.json > /dev/null ||
+  { echo "check_stats_json: serve-batch (warm plan store) failed" >&2
+    exit 1; }
+
+python3 - <<'EOF'
+import json, sys
+
+def check(cond, msg):
+    if not cond:
+        print("check_stats_json: FAIL:", msg, file=sys.stderr)
+        sys.exit(1)
+
+r1 = json.load(open("sj_f1.plan1.json"))["counters"]
+r2 = json.load(open("sj_f1.plan2.json"))["counters"]
+# Every prepare attempt (== cache miss) probes the store exactly once,
+# hit or miss.
+for name, c in (("cold", r1), ("warm", r2)):
+    check(c["plan_store_hits"] + c["plan_store_misses"]
+          == c["cache_misses"],
+          f"{name} run: store hits {c['plan_store_hits']} + misses "
+          f"{c['plan_store_misses']} != prepare attempts "
+          f"{c['cache_misses']}")
+check(r1["plan_store_hits"] == 0,
+      f"cold run hit an empty store: {r1['plan_store_hits']}")
+check(r1["plan_store_writes"] >= 1,
+      f"cold run persisted nothing: writes={r1['plan_store_writes']}")
+check(r2["plan_store_hits"] >= 1,
+      f"restarted run never hit the store: {r2['plan_store_hits']}")
+check(r2["plan_store_misses"] == 0,
+      f"restarted run missed a warm store: {r2['plan_store_misses']}")
+check(r2["plan_store_invalid"] == 0,
+      f"restarted run rejected plans: {r2['plan_store_invalid']}")
+print("check_stats_json: OK (plan-store probes reconcile: "
+      f"cold misses={r1['plan_store_misses']} writes="
+      f"{r1['plan_store_writes']}; warm hits={r2['plan_store_hits']})")
+EOF
+[ $? -eq 0 ] || exit 1
 exit 0

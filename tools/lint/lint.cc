@@ -377,6 +377,12 @@ const char kSnapshotLimitsWhere[] =
     "in src/graph/snapshot.h, the header docs/SNAPSHOT_FORMAT.md is "
     "checked against (hex bit-mask literals are exempt)";
 
+const char kPlanLimitsWhere[] =
+    "in the plan layer outside plan.h — every constant of the on-disk "
+    "compiled-plan format (alignment, section count, size caps, store "
+    "budget) lives in src/service/plan.h, the header docs/PLAN_FORMAT.md "
+    "is checked against (hex bit-mask literals are exempt)";
+
 // ---------------------------------------------------------------------------
 // Rule: graph-mutation
 // ---------------------------------------------------------------------------
@@ -720,6 +726,9 @@ std::vector<Violation> LintFile(const std::string& path,
       path != "src/graph/snapshot.h") {
     CheckLimitLiterals(path, stripped, "snapshot-limits",
                        kSnapshotLimitsWhere, &out);
+  }
+  if (StartsWith(path, "src/service/plan.") && path != "src/service/plan.h") {
+    CheckLimitLiterals(path, stripped, "plan-limits", kPlanLimitsWhere, &out);
   }
   if (is_header && (in_src || StartsWith(path, "tools/"))) {
     CheckHeaderGuard(path, stripped, &out);

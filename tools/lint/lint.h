@@ -44,6 +44,11 @@
 //                    layer outside src/graph/snapshot.h — alignment,
 //                    section counts, and hash parameters live in the one
 //                    header docs/SNAPSHOT_FORMAT.md is checked against.
+//   plan-limits      the same pigeonhole for the on-disk compiled-plan
+//                    format: no decimal integer literal >= 64 in the plan
+//                    layer outside src/service/plan.h — alignment, section
+//                    counts, size caps, and the store byte budget live in
+//                    the one header docs/PLAN_FORMAT.md is checked against.
 //
 // The linter deliberately avoids libclang: it lexes comments/strings away
 // and works on the token stream plus brace structure, which is exact for

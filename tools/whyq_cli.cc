@@ -23,12 +23,13 @@
 //                  [--slow-ms=D] [common]
 //   whyq_cli snapshot build GRAPH --out=FILE
 //   whyq_cli snapshot info FILE
+//   whyq_cli explain-plan PLANFILE [GRAPH]
 //   whyq_cli update GRAPH BATCHFILE [--out=FILE]
 //   whyq_cli figure1 --out=PREFIX
 //   whyq_cli demo
 //   whyq_cli --version
 // Common flags: --budget=B --guard=M --semantics=iso|sim --threads=N
-//               --trace --snapshot
+//               --trace --snapshot --plan-store=DIR
 // --snapshot makes every GRAPH positional (dot/stats/query/why/whynot/
 // whyempty/whysomany/serve-batch/serve) load a frozen snapshot image
 // (docs/SNAPSHOT_FORMAT.md) via mmap instead of parsing the text format —
@@ -42,6 +43,16 @@
 // per-class latency histograms with p50/p95/p99, per-stage time totals,
 // slow-query log) as JSON; --slow-ms=D retains traces of requests slower
 // than D ms in the stats block and the JSON.
+// --plan-store=DIR persists compiled query plans (docs/PLAN_FORMAT.md)
+// across processes: why/whynot/whyempty/whysomany and serve-batch probe
+// DIR before preparing a query and persist completed builds, so a restarted
+// process answers a repeated question from a validated store load instead
+// of re-running the answer match. serve gives each graph its own store
+// under DIR/<graph name> and warm-loads its prepared cache from it at boot.
+// explain-plan pretty-prints one stored plan file — content address, graph
+// stamp, answer/candidate/path counts, footprint, canonical query — and,
+// given a GRAPH (honoring --snapshot), re-validates the plan against it,
+// exiting 2 when the plan is not servable for that graph.
 // update applies an update-batch file (format: graph/graph_io.h — AN/DN/
 // AE/DE/SA/DA mnemonics, one op per line, docs/ARCHITECTURE.md "Mutable
 // graphs & epochs") to a text-format graph, prints the applied delta and
@@ -97,6 +108,7 @@
 #include "gen/figure1.h"
 #include "graph/snapshot.h"
 #include "server/server.h"
+#include "service/plan.h"
 #include "whyq.h"
 
 namespace whyq::cli {
@@ -140,6 +152,7 @@ struct Options {
   double deadline_ms = 0;
   size_t threads = 1;
   std::string stats_json;
+  std::string plan_store;  // persistent compiled-plan directory (empty = off)
   double slow_ms = 0;
   bool trace = false;
   bool snapshot = false;  // GRAPH positionals are snapshot images
@@ -261,6 +274,8 @@ bool ParseArgs(int argc, char** argv, Options* o, std::string* error) {
       if (!ParseEntityList(v, &o->entities, error)) return false;
     } else if (const char* v = value_of("--stats-json")) {
       o->stats_json = v;
+    } else if (const char* v = value_of("--plan-store")) {
+      o->plan_store = v;
     } else if (const char* v = value_of("--slow-ms")) {
       ok = ParseDouble(v, &o->slow_ms);
     } else if (const char* v = value_of("--port")) {
@@ -362,6 +377,43 @@ AnswerConfig MakeConfig(const Options& o) {
   cfg.exact_time_limit_ms = 30000;
   cfg.threads = o.threads;
   return cfg;
+}
+
+// The graph's plan-relocation fingerprint: frozen (snapshot-backed) graphs
+// already carry the content hash as identity(); heap graphs pay one
+// GraphFingerprint pass (same rule as WhyqService).
+uint64_t PlanFingerprint(const Graph& g) {
+  return g.frozen() ? g.identity() : GraphFingerprint(g);
+}
+
+// A one-shot question's prepared artifacts routed through --plan-store:
+// probe the store, build and persist on a miss. The store handle is kept
+// alive until the command returns so the async save drains (its destructor
+// flushes the writer queue).
+struct StorePrepared {
+  std::shared_ptr<PlanStore> store;
+  std::shared_ptr<const PreparedQuery> prepared;
+};
+
+std::optional<StorePrepared> PrepareViaStore(const Options& o, const Graph& g,
+                                             const Query& q,
+                                             size_t max_paths) {
+  if (o.plan_store.empty()) return std::nullopt;
+  StorePrepared sp;
+  sp.store = std::make_shared<PlanStore>(o.plan_store);
+  uint64_t fp = PlanFingerprint(g);
+  std::string canonical = WriteQuery(q, g);
+  sp.prepared = sp.store->TryLoad(g, fp, o.semantics, max_paths, canonical);
+  if (sp.prepared == nullptr) {
+    bool complete = false;
+    sp.prepared = PrepareQuery(g, Query(q), o.semantics, max_paths,
+                               /*cancel=*/nullptr, &complete, o.threads);
+    if (complete) {
+      sp.store->SaveAsync(sp.prepared, std::move(canonical), max_paths,
+                          PlanStamp{fp, g.identity(), g.generation()});
+    }
+  }
+  return sp;
 }
 
 void PrintAnswer(const Graph& g, const Query& q, const RewriteAnswer& a) {
@@ -474,12 +526,23 @@ int CmdWhy(const Options& o, bool why_not) {
   if (!q.has_value()) return 1;
   trace.parse_ms = stage.ElapsedMillis();
   stage.Reset();
-  std::unique_ptr<MatchEngine> engine = MakeMatchEngine(g, o.semantics);
-  std::vector<NodeId> answers = engine->MatchOutput(*q);
+  AnswerConfig cfg = MakeConfig(o);
+  std::optional<StorePrepared> sp =
+      PrepareViaStore(o, g, *q, cfg.path_index_paths);
+  std::vector<NodeId> answers;
+  if (sp.has_value()) {
+    // Store-routed prepare: the answers and the sampled PathIndex come from
+    // the (loaded or freshly persisted) plan. Answers are byte-identical to
+    // the direct path — a fresh deterministic sample equals the stored one.
+    answers = sp->prepared->answers;
+    cfg.path_index = &sp->prepared->path_index;
+  } else {
+    std::unique_ptr<MatchEngine> engine = MakeMatchEngine(g, o.semantics);
+    answers = engine->MatchOutput(*q);
+  }
   trace.answer_match_ms = stage.ElapsedMillis();
   trace.prepare_ms = trace.answer_match_ms;
   stage.Reset();
-  AnswerConfig cfg = MakeConfig(o);
   RewriteAnswer a;
   if (why_not) {
     WhyNotQuestion w;
@@ -528,7 +591,11 @@ int CmdWhyEmpty(const Options& o) {
   if (!q.has_value()) return 1;
   trace.parse_ms = stage.ElapsedMillis();
   stage.Reset();
-  WhyEmptyResult r = AnswerWhyEmpty(g, *q, MakeConfig(o));
+  AnswerConfig cfg = MakeConfig(o);
+  std::optional<StorePrepared> sp =
+      PrepareViaStore(o, g, *q, cfg.path_index_paths);
+  if (sp.has_value()) cfg.path_index = &sp->prepared->path_index;
+  WhyEmptyResult r = AnswerWhyEmpty(g, *q, cfg);
   trace.search_ms = stage.ElapsedMillis();
   if (o.trace) std::printf("%s", trace.ToString().c_str());
   if (!r.found) {
@@ -557,13 +624,21 @@ int CmdWhySoMany(const Options& o) {
   if (!q.has_value()) return 1;
   trace.parse_ms = stage.ElapsedMillis();
   stage.Reset();
-  Matcher matcher(g);
-  std::vector<NodeId> answers = matcher.MatchOutput(*q);
+  AnswerConfig cfg = MakeConfig(o);
+  std::optional<StorePrepared> sp =
+      PrepareViaStore(o, g, *q, cfg.path_index_paths);
+  std::vector<NodeId> answers;
+  if (sp.has_value()) {
+    answers = sp->prepared->answers;
+    cfg.path_index = &sp->prepared->path_index;
+  } else {
+    Matcher matcher(g);
+    answers = matcher.MatchOutput(*q);
+  }
   trace.answer_match_ms = stage.ElapsedMillis();
   trace.prepare_ms = trace.answer_match_ms;
   stage.Reset();
-  WhySoManyResult r =
-      AnswerWhySoMany(g, *q, answers, o.target, MakeConfig(o));
+  WhySoManyResult r = AnswerWhySoMany(g, *q, answers, o.target, cfg);
   trace.search_ms = stage.ElapsedMillis();
   std::printf("%zu -> %zu answers via { %s }\n", r.before, r.after,
               DescribeOperators(r.ops, g).c_str());
@@ -667,6 +742,11 @@ int CmdServeBatch(const Options& o) {
   sc.cache_capacity = o.cache;
   sc.intra_threads = o.threads;
   sc.slow_query_ms = o.slow_ms;
+  std::shared_ptr<PlanStore> store;
+  if (!o.plan_store.empty()) {
+    store = std::make_shared<PlanStore>(o.plan_store);
+    sc.plan_store = store;
+  }
   WhyqService service(lg->share(), sc);
 
   std::map<std::string, std::string> texts;
@@ -748,6 +828,9 @@ int CmdServeBatch(const Options& o) {
                 r.cache_hit ? " cached" : "", detail.c_str());
     if (o.trace) std::printf("%s", r.trace.ToString().c_str());
   }
+  // Drain pending plan persists before snapshotting, so the printed stats
+  // (and the JSON scripts reconcile) include every durable write.
+  if (store != nullptr) store->Flush();
   StatsSnapshot snap = service.Stats();
   std::printf("\n%s\n", snap.ToString().c_str());
   if (!o.stats_json.empty()) {
@@ -801,6 +884,7 @@ int CmdServe(const Options& o) {
   sc.service.default_deadline_ms = o.deadline_ms;
   sc.service.intra_threads = o.threads;
   sc.service.slow_query_ms = o.slow_ms;
+  sc.plan_store_dir = o.plan_store;
   server::WhyqServer srv(std::move(graphs), sc);
   std::string err;
   if (!srv.Start(&err)) return Fail(err);
@@ -894,6 +978,82 @@ int CmdSnapshot(const Options& o) {
   return Fail("snapshot needs build|info");
 }
 
+// explain-plan PLANFILE [GRAPH] pretty-prints one persistent compiled plan
+// (docs/PLAN_FORMAT.md): the store content address it occupies, the graph
+// stamp it was compiled against, what PrepareQuery output it carries, and
+// the canonical query. With GRAPH (honoring --snapshot) the plan is
+// re-validated end to end — fingerprint, epoch, artifact coherence via
+// PreparedFromPlan — exiting 2 when it is not servable for that graph.
+int CmdExplainPlan(const Options& o) {
+  if (o.positional.empty()) return Fail("explain-plan needs PLANFILE [GRAPH]");
+  CompiledPlan plan;
+  PlanStamp stamp;
+  std::string err;
+  if (!LoadPlanFile(o.positional[0], &plan, &stamp, &err)) return Fail(err);
+  std::string body =
+      PreparedQueryKeyBody(plan.semantics, plan.max_paths, plan.query_text);
+  uint64_t key = PlanKeyHash(stamp.fingerprint, body);
+  size_t steps = 0;
+  size_t longest = 0;
+  for (const auto& path : plan.paths) {
+    steps += path.size();
+    if (path.size() > longest) longest = path.size();
+  }
+  std::printf("%s: compiled plan v%u\n", o.positional[0].c_str(),
+              kPlanVersion);
+  std::printf("  store key         %016llx (%s)\n",
+              static_cast<unsigned long long>(key), PlanFileName(key).c_str());
+  std::printf("  graph fingerprint %016llx\n",
+              static_cast<unsigned long long>(stamp.fingerprint));
+  std::printf("  graph epoch       %016llx@%llu\n",
+              static_cast<unsigned long long>(stamp.identity),
+              static_cast<unsigned long long>(stamp.generation));
+  std::printf("  semantics         %s\n", MatchSemanticsName(plan.semantics));
+  std::printf("  max_paths         %llu\n",
+              static_cast<unsigned long long>(plan.max_paths));
+  std::printf("  answers           %zu\n", plan.answers.size());
+  std::printf("  candidates        %zu\n", plan.output_candidates.size());
+  std::printf("  sampled paths     %zu (%zu steps, longest %zu)\n",
+              plan.paths.size(), steps, longest);
+  std::printf("  footprint         %zu node labels, %zu edge labels, "
+              "%zu attrs\n",
+              plan.footprint.node_labels.size(),
+              plan.footprint.edge_labels.size(),
+              plan.footprint.attrs.size());
+  std::printf("  query:\n");
+  std::stringstream lines(plan.query_text);
+  std::string qline;
+  while (std::getline(lines, qline)) {
+    std::printf("    %s\n", qline.c_str());
+  }
+  if (o.positional.size() < 2) return 0;
+  std::optional<LoadedGraph> lg = LoadGraphAuto(o, o.positional[1]);
+  if (!lg.has_value()) return 1;
+  const Graph& g = lg->get();
+  const char* graph_path = o.positional[1].c_str();
+  uint64_t fp = PlanFingerprint(g);
+  if (stamp.fingerprint != fp) {
+    std::printf("  INVALID for %s: fingerprint mismatch (graph is %016llx)\n",
+                graph_path, static_cast<unsigned long long>(fp));
+    return 2;
+  }
+  if (stamp.identity == g.identity() && stamp.generation != g.generation()) {
+    std::printf("  INVALID for %s: stale epoch (graph is at @%llu)\n",
+                graph_path,
+                static_cast<unsigned long long>(g.generation()));
+    return 2;
+  }
+  std::shared_ptr<const PreparedQuery> prepared =
+      PreparedFromPlan(plan, g, &err);
+  if (prepared == nullptr) {
+    std::printf("  INVALID for %s: %s\n", graph_path, err.c_str());
+    return 2;
+  }
+  std::printf("  valid for %s: ready to serve (%zu answers)\n", graph_path,
+              prepared->answers.size());
+  return 0;
+}
+
 // update GRAPH BATCHFILE applies an update batch (graph_io.h text format)
 // and reports the delta; --out=FILE writes the updated graph. Frozen
 // (--snapshot) graphs are rejected with the typed kFrozen error.
@@ -981,8 +1141,8 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: whyq_cli "
                  "generate|import|dot|stats|query|why|whynot|whyempty|"
-                 "whysomany|serve-batch|serve|snapshot|update|figure1|demo|"
-                 "--version ...\n");
+                 "whysomany|serve-batch|serve|snapshot|explain-plan|update|"
+                 "figure1|demo|--version ...\n");
     return 1;
   }
   if (std::strcmp(argv[1], "--version") == 0) {
@@ -1005,6 +1165,7 @@ int Main(int argc, char** argv) {
   if (cmd == "serve-batch") return CmdServeBatch(o);
   if (cmd == "serve") return CmdServe(o);
   if (cmd == "snapshot") return CmdSnapshot(o);
+  if (cmd == "explain-plan") return CmdExplainPlan(o);
   if (cmd == "update") return CmdUpdate(o);
   if (cmd == "figure1") return CmdFigure1(o);
   if (cmd == "demo") return CmdDemo();
