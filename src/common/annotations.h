@@ -1,0 +1,70 @@
+#ifndef WHYQ_COMMON_ANNOTATIONS_H_
+#define WHYQ_COMMON_ANNOTATIONS_H_
+
+// Clang thread-safety analysis attributes behind WHYQ_ macros, expanding
+// to nothing on compilers without the attribute (GCC accepts but ignores
+// most of them; MSVC rejects the syntax outright). The CI `thread-safety`
+// job compiles src/ with Clang and -Werror=thread-safety, turning the
+// lock-discipline comments of service/, server/ and common/thread_pool
+// into build failures: a member annotated WHYQ_GUARDED_BY(mu_) read
+// without mu_ held, or a WHYQ_REQUIRES(mu_) helper called without it, is
+// a compile error there (docs/ARCHITECTURE.md "Static analysis").
+//
+// The analysis only understands types annotated as capabilities, and
+// libstdc++'s std::mutex is not one — use whyq::Mutex / whyq::MutexLock /
+// whyq::CondVar (common/mutex.h), the annotated wrappers these macros
+// exist for. This header is the single place the raw attributes appear;
+// everything else speaks WHYQ_*.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define WHYQ_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define WHYQ_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+// On a type: instances are capabilities (lockable things). The string
+// names the capability kind in diagnostics ("mutex").
+#define WHYQ_CAPABILITY(x) WHYQ_THREAD_ANNOTATION(capability(x))
+
+// On a type: RAII object that acquires a capability in its constructor
+// and releases it in its destructor (std::lock_guard shape).
+#define WHYQ_SCOPED_CAPABILITY WHYQ_THREAD_ANNOTATION(scoped_lockable)
+
+// On a data member: reads and writes require holding the named capability.
+#define WHYQ_GUARDED_BY(x) WHYQ_THREAD_ANNOTATION(guarded_by(x))
+
+// On a pointer/reference member: the pointed-to data (not the pointer
+// itself) requires the capability.
+#define WHYQ_PT_GUARDED_BY(x) WHYQ_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// On a function: the caller must hold the capability on entry (and still
+// holds it on exit) — the contract of the private *Locked() helpers.
+#define WHYQ_REQUIRES(...) \
+  WHYQ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// On a function: acquires / releases the capability.
+#define WHYQ_ACQUIRE(...) \
+  WHYQ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define WHYQ_RELEASE(...) \
+  WHYQ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// On a function returning bool: acquires the capability when the return
+// value equals the first argument (try_lock shape).
+#define WHYQ_TRY_ACQUIRE(...) \
+  WHYQ_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// On a function: the caller must NOT hold the capability (deadlock guard
+// for public entry points that take the lock themselves).
+#define WHYQ_EXCLUDES(...) WHYQ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// On a function: returns a reference to the named capability (lets the
+// analysis see through accessors).
+#define WHYQ_RETURN_CAPABILITY(x) WHYQ_THREAD_ANNOTATION(lock_returned(x))
+
+// On a function: suppress the analysis. Deliberately unused in the tree —
+// the CI job's contract is zero suppressions outside this header — but
+// defined so an unavoidable future escape hatch is greppable.
+#define WHYQ_NO_THREAD_SAFETY_ANALYSIS \
+  WHYQ_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // WHYQ_COMMON_ANNOTATIONS_H_

@@ -1,0 +1,108 @@
+#ifndef WHYQ_COMMON_MUTEX_H_
+#define WHYQ_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace whyq {
+
+/// std::mutex annotated as a Clang thread-safety capability. libstdc++
+/// ships std::mutex without the capability attribute, so the analysis
+/// cannot see through it; this wrapper is what lets WHYQ_GUARDED_BY /
+/// WHYQ_REQUIRES declarations across service/, server/ and
+/// common/thread_pool actually be checked (see common/annotations.h).
+/// Same cost as the std types: the wrappers are empty shells around one
+/// std::mutex / std::condition_variable.
+class WHYQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() WHYQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() WHYQ_RELEASE() { mu_.unlock(); }
+  bool TryLock() WHYQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex (std::lock_guard shape), annotated as a scoped
+/// capability. Unlock()/Lock() allow a mid-scope release — the plan-store
+/// writer runs each task outside its queue lock — and the analysis tracks
+/// the held/released state across them.
+class WHYQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) WHYQ_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+  ~MutexLock() WHYQ_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Mid-scope release; the destructor then does nothing unless Lock()
+  /// re-acquires first. Calling Unlock() twice is a compile error under
+  /// the analysis (and UB at runtime — the analysis is the guard).
+  void Unlock() WHYQ_RELEASE() {
+    mu_.Unlock();
+    held_ = false;
+  }
+  void Lock() WHYQ_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable paired with whyq::Mutex. Wait/WaitUntil take the
+/// Mutex the caller already holds (WHYQ_REQUIRES enforces it) and return
+/// with it re-held, so guarded members stay accessible around the call.
+/// There is deliberately no predicate-lambda overload: capability state
+/// does not flow into lambdas under the analysis, so waiters spell the
+/// loop out — `while (!cond) cv_.Wait(mu_);` — which is also where the
+/// analysis proves `cond` reads its guarded members correctly.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires before returning.
+  void Wait(Mutex& mu) WHYQ_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock keeps ownership
+  }
+
+  /// Wait() with a deadline; false when it returned because the deadline
+  /// passed (the caller re-checks its predicate either way).
+  template <class Clock, class Duration>
+  bool WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline)
+      WHYQ_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace whyq
+
+#endif  // WHYQ_COMMON_MUTEX_H_

@@ -28,10 +28,10 @@ struct ThreadPool::ForState {
   std::atomic<size_t> next{0};     // next unclaimed index
   std::atomic<bool> abort{false};  // first exception stops further claims
 
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t executing = 0;  // helpers currently inside RunSlot
-  std::exception_ptr error;
+  Mutex mu;
+  CondVar cv;
+  size_t executing WHYQ_GUARDED_BY(mu) = 0;  // helpers inside RunSlot
+  std::exception_ptr error WHYQ_GUARDED_BY(mu);
 };
 
 ThreadPool::ThreadPool(size_t workers) {
@@ -43,10 +43,10 @@ ThreadPool::ThreadPool(size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
@@ -57,8 +57,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && tasks_.empty()) cv_.Wait(mu_);
       if (tasks_.empty()) return;  // stopping_ && drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -68,7 +68,7 @@ void ThreadPool::WorkerLoop() {
 }
 
 size_t ThreadPool::queued_tasks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tasks_.size();
 }
 
@@ -80,7 +80,7 @@ void ThreadPool::RunSlot(ForState& state, size_t slot) {
     try {
       state.body(i, slot);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(state.mu);
+      MutexLock lock(state.mu);
       if (!state.error) state.error = std::current_exception();
       state.abort.store(true);
     }
@@ -105,25 +105,25 @@ void ThreadPool::ParallelFor(
   state->n = n;
   state->body = body;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!stopping_) {
       for (size_t s = 1; s <= helpers; ++s) {
         tasks_.emplace_back([state, s] {
           {
-            std::lock_guard<std::mutex> slock(state->mu);
+            MutexLock slock(state->mu);
             ++state->executing;
           }
           RunSlot(*state, s);
           {
-            std::lock_guard<std::mutex> slock(state->mu);
+            MutexLock slock(state->mu);
             --state->executing;
           }
-          state->cv.notify_all();
+          state->cv.NotifyAll();
         });
       }
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 
   RunSlot(*state, 0);  // the caller is executor slot 0
 
@@ -131,8 +131,8 @@ void ThreadPool::ParallelFor(
   // helpers that are still running a claimed body. Helpers dequeued later
   // find the counter exhausted and never touch `body` again.
   {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->cv.wait(lock, [&] { return state->executing == 0; });
+    MutexLock lock(state->mu);
+    while (state->executing != 0) state->cv.Wait(state->mu);
     if (state->error) std::rethrow_exception(state->error);
   }
 }

@@ -1,13 +1,13 @@
 #ifndef WHYQ_COMMON_THREAD_POOL_H_
 #define WHYQ_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace whyq {
 
@@ -62,12 +62,13 @@ class ThreadPool {
   /// Blocks until every index has run. If any body throws, remaining
   /// indices are abandoned and the first exception is rethrown here.
   void ParallelFor(size_t n, size_t width,
-                   const std::function<void(size_t index, size_t slot)>& body);
+                   const std::function<void(size_t index, size_t slot)>& body)
+      WHYQ_EXCLUDES(mu_);
 
   /// Tasks currently enqueued but not yet started (test/debug
   /// introspection; completed ParallelFor calls may briefly leave already-
   /// satisfied helper stubs behind, which become no-ops when dequeued).
-  size_t queued_tasks() const;
+  size_t queued_tasks() const WHYQ_EXCLUDES(mu_);
 
   /// The process-wide shared pool, created on first use with
   /// max(hardware_concurrency, 4) - 1 workers. The floor of 3 workers keeps
@@ -81,11 +82,11 @@ class ThreadPool {
   void WorkerLoop();
   static void RunSlot(ForState& state, size_t slot);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> tasks_ WHYQ_GUARDED_BY(mu_);
+  bool stopping_ WHYQ_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written only by the constructor
 };
 
 /// Resolves an AnswerConfig::threads knob to an executor width for

@@ -272,7 +272,7 @@ void WhyqServer::HandleLine(uint64_t id, Conn* conn,
                 ? EncodeResponse(id_json, kind, resp, *resp.graph)
                 : EncodeErrorLine(id_json, "bad_request", resp.error);
         {
-          std::lock_guard<std::mutex> lock(completions_mu_);
+          MutexLock lock(completions_mu_);
           completions_.emplace_back(id, std::move(encoded));
         }
         wake_.Notify();
@@ -348,7 +348,7 @@ void WhyqServer::ReadConn(uint64_t id, Conn* conn) {
 void WhyqServer::FlushCompletions(bool draining) {
   std::vector<std::pair<uint64_t, std::string>> batch;
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
+    MutexLock lock(completions_mu_);
     batch.swap(completions_);
   }
   for (auto& [id, line] : batch) {

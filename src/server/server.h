@@ -5,12 +5,12 @@
 #include <csignal>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/net.h"
 #include "common/timer.h"
 #include "server/limits.h"
@@ -136,7 +136,7 @@ class WhyqServer {
   void HandleLine(uint64_t id, Conn* conn, const std::string& line);
   void QueueResponse(uint64_t id, Conn* conn, const std::string& line);
   void TryWrite(uint64_t id, Conn* conn);
-  void FlushCompletions(bool draining);
+  void FlushCompletions(bool draining) WHYQ_EXCLUDES(completions_mu_);
   void CloseConn(uint64_t id, bool idle);
   void ScanIdle();
   void DumpStatsIfDue(bool force);
@@ -154,8 +154,9 @@ class WhyqServer {
   uint64_t next_conn_ = 0;
 
   // Worker -> loop handoff: encoded responses keyed by connection id.
-  std::mutex completions_mu_;
-  std::vector<std::pair<uint64_t, std::string>> completions_;
+  Mutex completions_mu_;
+  std::vector<std::pair<uint64_t, std::string>> completions_
+      WHYQ_GUARDED_BY(completions_mu_);
 
   std::atomic<bool> stop_requested_{false};
   bool draining_ = false;

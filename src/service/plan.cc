@@ -514,17 +514,17 @@ PlanStore::PlanStore(std::string dir, uint64_t byte_budget)
 
 PlanStore::~PlanStore() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     stop_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   writer_.join();
 }
 
 void PlanStore::WriterMain() {
-  std::unique_lock<std::mutex> lock(queue_mu_);
+  MutexLock lock(queue_mu_);
   for (;;) {
-    queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) queue_cv_.Wait(queue_mu_);
     if (queue_.empty()) {
       if (stop_) return;
       continue;
@@ -532,30 +532,30 @@ void PlanStore::WriterMain() {
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     writer_busy_ = true;
-    lock.unlock();
+    lock.Unlock();
     task();
-    lock.lock();
+    lock.Lock();
     writer_busy_ = false;
-    if (queue_.empty()) idle_cv_.notify_all();
+    if (queue_.empty()) idle_cv_.NotifyAll();
   }
 }
 
 void PlanStore::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (stop_) return;
     queue_.push_back(std::move(task));
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
 }
 
 void PlanStore::Flush() {
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && !writer_busy_; });
+  MutexLock lock(queue_mu_);
+  while (!queue_.empty() || writer_busy_) idle_cv_.Wait(queue_mu_);
 }
 
 void PlanStore::IndexInsert(const std::string& name, uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(name);
   if (it != index_.end()) total_bytes_ -= it->second.bytes;
   index_[name] = FileInfo{bytes, ++use_counter_};
@@ -563,7 +563,7 @@ void PlanStore::IndexInsert(const std::string& name, uint64_t bytes) {
 }
 
 void PlanStore::IndexErase(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(name);
   if (it == index_.end()) return;
   total_bytes_ -= it->second.bytes;
@@ -576,22 +576,29 @@ void PlanStore::DeleteFile(const std::string& name, bool count_invalid) {
   if (count_invalid) invalid_.fetch_add(1, std::memory_order_relaxed);
 }
 
+std::string PlanStore::PickEvictionVictimLocked() const {
+  if (total_bytes_ <= byte_budget_ || index_.empty()) return std::string();
+  std::string victim;
+  uint64_t oldest = 0;
+  bool first = true;
+  for (const auto& [name, info] : index_) {
+    if (first || info.use_seq < oldest) {
+      oldest = info.use_seq;
+      victim = name;
+      first = false;
+    }
+  }
+  return victim;
+}
+
 void PlanStore::EvictOverBudget() {
   for (;;) {
     std::string victim;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (total_bytes_ <= byte_budget_ || index_.empty()) return;
-      uint64_t oldest = 0;
-      bool first = true;
-      for (const auto& [name, info] : index_) {
-        if (first || info.use_seq < oldest) {
-          oldest = info.use_seq;
-          victim = name;
-          first = false;
-        }
-      }
+      MutexLock lock(mu_);
+      victim = PickEvictionVictimLocked();
     }
+    if (victim.empty()) return;
     DeleteFile(victim, /*count_invalid=*/false);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -604,7 +611,7 @@ std::shared_ptr<const PreparedQuery> PlanStore::TryLoad(
       PreparedQueryKeyBody(semantics, max_paths, canonical_text);
   const std::string name = PlanFileName(PlanKeyHash(graph_fp, body));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(name);
     if (it == index_.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -656,7 +663,7 @@ void PlanStore::SaveAsync(std::shared_ptr<const PreparedQuery> prepared,
     const std::string name =
         PlanFileName(PlanKeyHash(stamp.fingerprint, body));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (index_.count(name) != 0) return;  // already persisted
     }
     CompiledPlan plan = PlanFromPrepared(*prepared, query_text, max_paths);
@@ -680,7 +687,7 @@ size_t PlanStore::WarmLoad(const Graph& g, uint64_t graph_fp,
   // store's recency order into the in-memory LRU.
   std::vector<std::pair<uint64_t, std::string>> names;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     names.reserve(index_.size());
     for (const auto& [name, info] : index_) {
       names.emplace_back(info.use_seq, name);
@@ -736,7 +743,7 @@ void PlanStore::OnUpdate(uint64_t old_fp, PlanStamp new_stamp,
       const std::string name = PlanFileName(PlanKeyHash(old_fp, body));
       bool indexed;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         indexed = index_.count(name) != 0;
       }
       // The update proved this plan's artifacts stale: its epoch is gone.
@@ -748,7 +755,7 @@ void PlanStore::OnUpdate(uint64_t old_fp, PlanStamp new_stamp,
           PlanFileName(PlanKeyHash(new_stamp.fingerprint, body));
       bool indexed;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         indexed = index_.count(old_name) != 0;
       }
       if (!indexed) continue;
@@ -784,12 +791,12 @@ PlanStore::Counters PlanStore::counters() const {
 }
 
 size_t PlanStore::file_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return index_.size();
 }
 
 uint64_t PlanStore::stored_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_bytes_;
 }
 

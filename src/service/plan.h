@@ -2,18 +2,17 @@
 #define WHYQ_SERVICE_PLAN_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "graph/snapshot.h"
 #include "graph/update.h"
 #include "matcher/path_index.h"
@@ -226,17 +225,17 @@ class PlanStore {
   /// returns a ready PreparedQuery — or null (a miss). A file that fails
   /// validation or echoes back different key fields (hash-collision
   /// defense) is deleted and counted invalid; the probe is still a miss.
-  std::shared_ptr<const PreparedQuery> TryLoad(const Graph& g,
-                                               uint64_t graph_fp,
-                                               MatchSemantics semantics,
-                                               size_t max_paths,
-                                               const std::string& canonical_text);
+  std::shared_ptr<const PreparedQuery> TryLoad(
+      const Graph& g, uint64_t graph_fp, MatchSemantics semantics,
+      size_t max_paths, const std::string& canonical_text)
+      WHYQ_EXCLUDES(mu_, queue_mu_);
 
   /// Enqueues a completed build for persistence (no-op if the store
   /// already holds a file for its key). Returns immediately; the write
   /// happens on the writer thread.
   void SaveAsync(std::shared_ptr<const PreparedQuery> prepared,
-                 std::string query_text, uint64_t max_paths, PlanStamp stamp);
+                 std::string query_text, uint64_t max_paths, PlanStamp stamp)
+      WHYQ_EXCLUDES(queue_mu_);
 
   /// Boot-time warm pass: loads up to `max_plans` stored plans matching
   /// `graph_fp` (most recent first) straight into `cache` under `g`'s
@@ -244,7 +243,7 @@ class PlanStore {
   /// plans for other graphs are skipped silently. Warm loads touch
   /// neither `hits` nor `misses`. Returns the number of plans loaded.
   size_t WarmLoad(const Graph& g, uint64_t graph_fp, size_t max_plans,
-                  PreparedQueryCache* cache);
+                  PreparedQueryCache* cache) WHYQ_EXCLUDES(mu_, queue_mu_);
 
   /// Applies a graph update's cache verdicts to the store, on the writer
   /// thread: plans whose footprint intersected the delta (`dropped_bodies`)
@@ -253,17 +252,18 @@ class PlanStore {
   /// `old_fp`-addressed file to the `new_stamp` address.
   void OnUpdate(uint64_t old_fp, PlanStamp new_stamp,
                 std::vector<std::string> dropped_bodies,
-                std::vector<std::string> rekeyed_bodies);
+                std::vector<std::string> rekeyed_bodies)
+      WHYQ_EXCLUDES(queue_mu_);
 
   /// Blocks until every previously enqueued writer task has completed.
-  void Flush();
+  void Flush() WHYQ_EXCLUDES(queue_mu_);
 
   Counters counters() const;
 
   /// Files currently indexed (tests/bench).
-  size_t file_count() const;
+  size_t file_count() const WHYQ_EXCLUDES(mu_);
   /// Sum of indexed file sizes in bytes.
-  uint64_t stored_bytes() const;
+  uint64_t stored_bytes() const WHYQ_EXCLUDES(mu_);
 
  private:
   struct FileInfo {
@@ -271,21 +271,26 @@ class PlanStore {
     uint64_t use_seq = 0;  // higher = more recently used
   };
 
-  void WriterMain();
-  void Enqueue(std::function<void()> task);
+  void WriterMain() WHYQ_EXCLUDES(queue_mu_);
+  void Enqueue(std::function<void()> task) WHYQ_EXCLUDES(queue_mu_);
   // Writer-thread helpers (index mutations under mu_).
-  void IndexInsert(const std::string& name, uint64_t bytes);
-  void IndexErase(const std::string& name);
-  void EvictOverBudget();
-  void DeleteFile(const std::string& name, bool count_invalid);
+  void IndexInsert(const std::string& name, uint64_t bytes)
+      WHYQ_EXCLUDES(mu_);
+  void IndexErase(const std::string& name) WHYQ_EXCLUDES(mu_);
+  void EvictOverBudget() WHYQ_EXCLUDES(mu_);
+  void DeleteFile(const std::string& name, bool count_invalid)
+      WHYQ_EXCLUDES(mu_);
+  /// The least-recently-used indexed file, or "" when the store is within
+  /// budget (or empty) and eviction should stop. Caller holds mu_.
+  std::string PickEvictionVictimLocked() const WHYQ_REQUIRES(mu_);
 
   const std::string dir_;
   const uint64_t byte_budget_;
 
-  mutable std::mutex mu_;  // guards index_, total_bytes_, use_counter_
-  std::unordered_map<std::string, FileInfo> index_;
-  uint64_t total_bytes_ = 0;
-  uint64_t use_counter_ = 0;
+  mutable Mutex mu_;  // guards the file index and its aggregates
+  std::unordered_map<std::string, FileInfo> index_ WHYQ_GUARDED_BY(mu_);
+  uint64_t total_bytes_ WHYQ_GUARDED_BY(mu_) = 0;
+  uint64_t use_counter_ WHYQ_GUARDED_BY(mu_) = 0;
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
@@ -293,12 +298,12 @@ class PlanStore {
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> invalid_{0};
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool writer_busy_ = false;
-  bool stop_ = false;
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ WHYQ_GUARDED_BY(queue_mu_);
+  bool writer_busy_ WHYQ_GUARDED_BY(queue_mu_) = false;
+  bool stop_ WHYQ_GUARDED_BY(queue_mu_) = false;
   std::thread writer_;
 };
 

@@ -105,17 +105,24 @@ std::shared_ptr<const PreparedQuery> PrepareQuery(const Graph& g, Query q,
 
 std::shared_ptr<const PreparedQuery> PreparedQueryCache::Get(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   return it->second->value;
 }
 
+void PreparedQueryCache::EvictOverCapacityLocked() {
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
 void PreparedQueryCache::Put(const std::string& key,
                              std::shared_ptr<const PreparedQuery> value) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->value = std::move(value);
@@ -124,14 +131,11 @@ void PreparedQueryCache::Put(const std::string& key,
   }
   lru_.push_front(Entry{key, std::move(value)});
   index_[key] = lru_.begin();
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-  }
+  EvictOverCapacityLocked();
 }
 
 size_t PreparedQueryCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 
@@ -139,7 +143,7 @@ PreparedQueryCache::DeltaOutcome PreparedQueryCache::ApplyDelta(
     const std::string& old_prefix, const std::string& new_prefix,
     const UpdateDelta& delta) {
   DeltaOutcome outcome;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->key.compare(0, old_prefix.size(), old_prefix) != 0) {
       ++it;  // a different graph (or epoch) — not ours to touch

@@ -3,12 +3,12 @@
 
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "graph/update.h"
 #include "matcher/match_engine.h"
 #include "matcher/path_index.h"
@@ -108,14 +108,15 @@ class PreparedQueryCache {
   explicit PreparedQueryCache(size_t capacity) : capacity_(capacity) {}
 
   /// Returns the entry (refreshing its recency) or nullptr.
-  std::shared_ptr<const PreparedQuery> Get(const std::string& key);
+  std::shared_ptr<const PreparedQuery> Get(const std::string& key)
+      WHYQ_EXCLUDES(mu_);
 
   /// Inserts/refreshes `value`, evicting the least-recently-used entry
   /// beyond capacity. A capacity of 0 disables caching.
-  void Put(const std::string& key,
-           std::shared_ptr<const PreparedQuery> value);
+  void Put(const std::string& key, std::shared_ptr<const PreparedQuery> value)
+      WHYQ_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const WHYQ_EXCLUDES(mu_);
 
   /// Outcome of one ApplyDelta pass over the old epoch's entries. The
   /// `*_bodies` vectors carry each verdict's epoch-free key body
@@ -138,7 +139,7 @@ class PreparedQueryCache {
   /// of other graphs are untouched.
   DeltaOutcome ApplyDelta(const std::string& old_prefix,
                           const std::string& new_prefix,
-                          const UpdateDelta& delta);
+                          const UpdateDelta& delta) WHYQ_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -146,10 +147,15 @@ class PreparedQueryCache {
     std::shared_ptr<const PreparedQuery> value;
   };
 
+  /// Evicts least-recently-used entries until size() <= capacity_ — the
+  /// tail of every insertion path. Caller holds mu_.
+  void EvictOverCapacityLocked() WHYQ_REQUIRES(mu_);
+
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  mutable Mutex mu_;
+  std::list<Entry> lru_ WHYQ_GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      WHYQ_GUARDED_BY(mu_);
 };
 
 }  // namespace whyq

@@ -89,11 +89,11 @@ void WhyqService::Stop() {
   // never join the same std::thread; late callers take an empty vector.
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
     workers.swap(workers_);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers) {
     if (t.joinable()) t.join();
   }
@@ -104,7 +104,7 @@ SubmitResult WhyqService::Enqueue(std::unique_ptr<Job> job) {
                                                  : cfg_.default_deadline_ms;
   job->token.SetDeadlineAfterMillis(deadline);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       stats_.RecordShutdown();
       // Future path: resolve so the caller's future does not dangle. The
@@ -127,7 +127,7 @@ SubmitResult WhyqService::Enqueue(std::unique_ptr<Job> job) {
     ++in_flight_;
     queue_.push_back(std::move(job));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return SubmitResult::kAccepted;
 }
 
@@ -151,15 +151,20 @@ SubmitResult WhyqService::TrySubmit(ServiceRequest req,
 }
 
 size_t WhyqService::InFlight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return in_flight_;
 }
 
 bool WhyqService::WaitDrained(double timeout_ms) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return drain_cv_.wait_for(
-      lock, std::chrono::duration<double, std::milli>(timeout_ms),
-      [this] { return in_flight_ == 0; });
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(timeout_ms));
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) {
+    if (!drain_cv_.WaitUntil(mu_, deadline)) return in_flight_ == 0;
+  }
+  return true;
 }
 
 ServiceResponse WhyqService::Execute(const ServiceRequest& req) {
@@ -204,8 +209,8 @@ void WhyqService::WorkerLoop() {
   for (;;) {
     std::unique_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping_ && drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -221,20 +226,20 @@ void WhyqService::WorkerLoop() {
     // Delivered (callback or future) before the decrement: WaitDrained()
     // returning true means every admitted request has its response.
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) drain_cv_.notify_all();
+      MutexLock lock(mu_);
+      if (--in_flight_ == 0) drain_cv_.NotifyAll();
     }
   }
 }
 
 std::shared_ptr<const Graph> WhyqService::graph() const {
-  std::lock_guard<std::mutex> lock(graph_mu_);
+  MutexLock lock(graph_mu_);
   return graph_;
 }
 
 std::pair<std::shared_ptr<const Graph>, uint64_t> WhyqService::PinEpoch()
     const {
-  std::lock_guard<std::mutex> lock(graph_mu_);
+  MutexLock lock(graph_mu_);
   return {graph_, plan_fp_};
 }
 
@@ -254,7 +259,7 @@ StatsSnapshot WhyqService::Stats() const {
 bool WhyqService::ApplyUpdate(const UpdateBatch& batch, UpdateResult* result) {
   // Writers serialize across the whole sequence; readers keep pinning the
   // published epoch without ever taking update_mu_.
-  std::lock_guard<std::mutex> serialize(update_mu_);
+  MutexLock serialize(update_mu_);
   std::shared_ptr<const Graph> base = graph();
   auto next = std::make_shared<Graph>();
   if (!base->ApplyUpdate(batch, next.get(), result)) return false;
@@ -272,12 +277,12 @@ bool WhyqService::ApplyUpdate(const UpdateBatch& batch, UpdateResult* result) {
     // The new epoch's content hash (an update never targets a frozen
     // graph, so this is always a real fingerprint pass).
     new_fp = GraphFingerprint(*next);
-    std::lock_guard<std::mutex> lock(graph_mu_);
+    MutexLock lock(graph_mu_);
     old_fp = plan_fp_;
   }
   PlanStamp new_stamp{new_fp, next->identity(), generation};
   {
-    std::lock_guard<std::mutex> lock(graph_mu_);
+    MutexLock lock(graph_mu_);
     graph_ = std::move(next);
     plan_fp_ = new_fp;
   }

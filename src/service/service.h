@@ -1,17 +1,17 @@
 #ifndef WHYQ_SERVICE_SERVICE_H_
 #define WHYQ_SERVICE_SERVICE_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/mutex.h"
 #include "common/timer.h"
 #include "graph/graph.h"
 #include "service/prepared.h"
@@ -111,7 +111,8 @@ class WhyqService {
   /// full (backpressure — the caller decides whether to retry) or a future
   /// that resolves to the response otherwise. After Stop(), the returned
   /// future resolves immediately with ResponseStatus::kShutdown.
-  std::optional<std::future<ServiceResponse>> Submit(ServiceRequest req);
+  std::optional<std::future<ServiceResponse>> Submit(ServiceRequest req)
+      WHYQ_EXCLUDES(mu_);
 
   /// Non-blocking, callback-based admission: on kAccepted the worker that
   /// executes the request invokes `done` exactly once (on the worker
@@ -121,16 +122,17 @@ class WhyqService {
   /// and `done` is never invoked — the caller answers the client itself
   /// (retry_after_ms / drain refusal). Never blocks the calling thread.
   SubmitResult TrySubmit(ServiceRequest req,
-                         std::function<void(ServiceResponse)> done);
+                         std::function<void(ServiceResponse)> done)
+      WHYQ_EXCLUDES(mu_);
 
   /// Requests admitted (Submit or TrySubmit) whose response has not been
   /// delivered yet — queued plus executing. The drain gauge.
-  size_t InFlight() const;
+  size_t InFlight() const WHYQ_EXCLUDES(mu_);
 
   /// Blocks until InFlight() reaches 0 or `timeout_ms` elapses; true when
   /// drained. Pair with Stop() (or just stop submitting) for graceful
   /// shutdown: in-flight work finishes, nothing new is admitted.
-  bool WaitDrained(double timeout_ms);
+  bool WaitDrained(double timeout_ms) WHYQ_EXCLUDES(mu_);
 
   /// Synchronous execution on the caller's thread, sharing the same
   /// prepared-question cache and stats. With no deadline the result is
@@ -140,7 +142,7 @@ class WhyqService {
 
   /// Stops accepting new requests, lets the workers drain what is queued,
   /// and joins them. Idempotent.
-  void Stop();
+  void Stop() WHYQ_EXCLUDES(mu_);
 
   /// Applies `batch` to the current epoch and atomically publishes the next
   /// one. In-flight requests keep the epoch they pinned (they never observe
@@ -153,7 +155,8 @@ class WhyqService {
   /// against each other; reads never block. Returns false with
   /// result->status/error set on validation failure or a frozen
   /// (snapshot-backed) graph, leaving the published epoch unchanged.
-  bool ApplyUpdate(const UpdateBatch& batch, UpdateResult* result);
+  bool ApplyUpdate(const UpdateBatch& batch, UpdateResult* result)
+      WHYQ_EXCLUDES(update_mu_, graph_mu_);
 
   /// Counter/latency snapshot; plan-store counters (when configured) are
   /// merged into the plan_store_* fields.
@@ -164,7 +167,7 @@ class WhyqService {
   /// epoch's columns alive across any number of concurrent ApplyUpdate
   /// publishes. Callers needing a stable view across several calls must
   /// hold one pin rather than re-fetching.
-  std::shared_ptr<const Graph> graph() const;
+  std::shared_ptr<const Graph> graph() const WHYQ_EXCLUDES(graph_mu_);
 
   const ServiceConfig& config() const { return cfg_; }
 
@@ -180,14 +183,15 @@ class WhyqService {
   /// Shared tail of Submit/TrySubmit: stamps the deadline and enqueues
   /// under the lock. Returns the admission outcome; on kAccepted the job
   /// was consumed and a worker notified.
-  SubmitResult Enqueue(std::unique_ptr<Job> job);
+  SubmitResult Enqueue(std::unique_ptr<Job> job) WHYQ_EXCLUDES(mu_);
 
   ServiceResponse Run(const ServiceRequest& req, const CancelToken* token,
                       const Timer& timer, double queue_ms);
   /// Pins the published graph together with the plan fingerprint computed
   /// for that same epoch — one lock acquisition, so a request can never
   /// pair a new graph with an older epoch's fingerprint.
-  std::pair<std::shared_ptr<const Graph>, uint64_t> PinEpoch() const;
+  std::pair<std::shared_ptr<const Graph>, uint64_t> PinEpoch() const
+      WHYQ_EXCLUDES(graph_mu_);
   /// Run() with per-request failures contained as kBadRequest responses —
   /// the one execution path shared by WorkerLoop() and Execute(), so an
   /// exception escaping an algorithm is reported (and counted) the same
@@ -201,24 +205,24 @@ class WhyqService {
   // and publish are O(1) under it); the Graph objects themselves are
   // immutable. update_mu_ serializes writers across the whole
   // apply-invalidate-publish sequence so deltas land in order.
-  mutable std::mutex graph_mu_;
-  std::shared_ptr<const Graph> graph_;
+  mutable Mutex graph_mu_;
+  std::shared_ptr<const Graph> graph_ WHYQ_GUARDED_BY(graph_mu_);
   // The published epoch's GraphFingerprint (frozen graphs reuse identity(),
   // which already is the content hash). Only meaningful when a plan store
-  // is configured; guarded by graph_mu_ and republished with the graph.
-  uint64_t plan_fp_ = 0;
-  std::mutex update_mu_;
+  // is configured; republished with the graph.
+  uint64_t plan_fp_ WHYQ_GUARDED_BY(graph_mu_) = 0;
+  Mutex update_mu_;
   ServiceConfig cfg_;
   PreparedQueryCache cache_;
   ServiceStats stats_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable drain_cv_;  // signaled when in_flight_ hits 0
-  std::deque<std::unique_ptr<Job>> queue_;
-  size_t in_flight_ = 0;  // admitted, response not yet delivered
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  CondVar drain_cv_;  // signaled when in_flight_ hits 0
+  std::deque<std::unique_ptr<Job>> queue_ WHYQ_GUARDED_BY(mu_);
+  size_t in_flight_ WHYQ_GUARDED_BY(mu_) = 0;  // admitted, not delivered
+  bool stopping_ WHYQ_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_ WHYQ_GUARDED_BY(mu_);
 };
 
 }  // namespace whyq

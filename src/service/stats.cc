@@ -89,18 +89,22 @@ StageTotals TraceStages(const RequestTrace& t, double latency_ms) {
 
 }  // namespace
 
+void ServiceStats::TrimSlowLocked() {
+  while (slow_.size() > slow_capacity_) slow_.pop_front();
+}
+
 void ServiceStats::ConfigureSlowLog(double threshold_ms, size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   slow_threshold_ms_ = threshold_ms > 0 ? threshold_ms : 0.0;
   slow_capacity_ = slow_threshold_ms_ > 0 ? std::max<size_t>(capacity, 1) : 0;
-  while (slow_.size() > slow_capacity_) slow_.pop_front();
+  TrimSlowLocked();
 }
 
 void ServiceStats::RecordCompleted(const std::string& klass,
                                    double latency_ms, bool truncated,
                                    bool cache_hit,
                                    const RequestTrace& trace) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++completed_;
   if (truncated) ++truncated_;
   if (cache_hit) {
@@ -134,13 +138,13 @@ void ServiceStats::RecordCompleted(const std::string& klass,
     e.cache_hit = cache_hit;
     e.trace = trace;
     slow_.push_back(std::move(e));
-    while (slow_.size() > slow_capacity_) slow_.pop_front();
+    TrimSlowLocked();
   }
 }
 
 void ServiceStats::RecordUpdate(uint64_t generation, size_t invalidated,
                                 size_t rekeyed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++updates_applied_;
   graph_generation_ = generation;
   cache_invalidated_ += invalidated;
@@ -150,7 +154,7 @@ void ServiceStats::RecordUpdate(uint64_t generation, size_t invalidated,
 StatsSnapshot ServiceStats::Snapshot() const {
   StatsSnapshot out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out.completed = completed_;
     out.truncated = truncated_;
     out.cache_hits = cache_hits_;

@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
 
 namespace whyq {
 
@@ -137,7 +137,8 @@ class ServiceStats {
   /// Slow-query log: completed requests with latency >= threshold_ms are
   /// retained (newest `capacity`, ring-buffer style). threshold_ms <= 0
   /// disables the log; capacity 0 clamps to 1 when enabled.
-  void ConfigureSlowLog(double threshold_ms, size_t capacity);
+  void ConfigureSlowLog(double threshold_ms, size_t capacity)
+      WHYQ_EXCLUDES(mu_);
 
   void RecordReceived() { received_.Add(); }
   void RecordRejected() { rejected_.Add(); }
@@ -145,7 +146,7 @@ class ServiceStats {
   void RecordBadRequest() { bad_requests_.Add(); }
   void RecordCompleted(const std::string& klass, double latency_ms,
                        bool truncated, bool cache_hit,
-                       const RequestTrace& trace);
+                       const RequestTrace& trace) WHYQ_EXCLUDES(mu_);
   /// Convenience for callers without a trace (tests, ad-hoc use).
   void RecordCompleted(const std::string& klass, double latency_ms,
                        bool truncated, bool cache_hit) {
@@ -153,11 +154,17 @@ class ServiceStats {
   }
   /// One successful ApplyUpdate publish: the new epoch's generation and
   /// the cache ApplyDelta outcome (entries dropped / carried over).
-  void RecordUpdate(uint64_t generation, size_t invalidated, size_t rekeyed);
+  void RecordUpdate(uint64_t generation, size_t invalidated, size_t rekeyed)
+      WHYQ_EXCLUDES(mu_);
 
-  StatsSnapshot Snapshot() const;
+  StatsSnapshot Snapshot() const WHYQ_EXCLUDES(mu_);
 
  private:
+  /// Drops the oldest slow-log entries beyond slow_capacity_ — the shared
+  /// tail of ConfigureSlowLog (capacity shrank) and RecordCompleted (one
+  /// entry appended). Caller holds mu_.
+  void TrimSlowLocked() WHYQ_REQUIRES(mu_);
+
   // Monotonic submission-side counters: lock-free Counters, each exact on
   // its own. Snapshot() reads them *after* copying the mutex-guarded
   // terminal counts, so received >= completed + bad_requests holds in
@@ -167,21 +174,21 @@ class ServiceStats {
   Counter shutdown_;
   Counter bad_requests_;
 
-  mutable std::mutex mu_;  // guards everything below
-  uint64_t completed_ = 0;
-  uint64_t truncated_ = 0;
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
-  uint64_t updates_applied_ = 0;
-  uint64_t graph_generation_ = 0;
-  uint64_t cache_invalidated_ = 0;
-  uint64_t cache_rekeyed_ = 0;
-  StageTotals stages_;
-  WorkTotals work_;
-  std::map<std::string, StreamingHistogram> latency_;
-  double slow_threshold_ms_ = 0.0;
-  size_t slow_capacity_ = 0;
-  std::deque<SlowQueryEntry> slow_;
+  mutable Mutex mu_;  // guards everything below
+  uint64_t completed_ WHYQ_GUARDED_BY(mu_) = 0;
+  uint64_t truncated_ WHYQ_GUARDED_BY(mu_) = 0;
+  uint64_t cache_hits_ WHYQ_GUARDED_BY(mu_) = 0;
+  uint64_t cache_misses_ WHYQ_GUARDED_BY(mu_) = 0;
+  uint64_t updates_applied_ WHYQ_GUARDED_BY(mu_) = 0;
+  uint64_t graph_generation_ WHYQ_GUARDED_BY(mu_) = 0;
+  uint64_t cache_invalidated_ WHYQ_GUARDED_BY(mu_) = 0;
+  uint64_t cache_rekeyed_ WHYQ_GUARDED_BY(mu_) = 0;
+  StageTotals stages_ WHYQ_GUARDED_BY(mu_);
+  WorkTotals work_ WHYQ_GUARDED_BY(mu_);
+  std::map<std::string, StreamingHistogram> latency_ WHYQ_GUARDED_BY(mu_);
+  double slow_threshold_ms_ WHYQ_GUARDED_BY(mu_) = 0.0;
+  size_t slow_capacity_ WHYQ_GUARDED_BY(mu_) = 0;
+  std::deque<SlowQueryEntry> slow_ WHYQ_GUARDED_BY(mu_);
 };
 
 }  // namespace whyq

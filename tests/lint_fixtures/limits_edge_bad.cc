@@ -1,0 +1,15 @@
+// Fixture (never compiled): suffixes and digit separators do not disguise
+// a decimal limit — each of these is a capacity knob >= 64 and must be
+// flagged under all three limits-rule paths.
+#include <cstdint>
+
+namespace whyq {
+
+inline uint64_t Knobs(uint64_t x) {
+  uint64_t a = x + 64u;      // BAD: suffixed decimal at the threshold
+  uint64_t b = x + 1'024;    // BAD: separated decimal
+  uint64_t c = x + 4096ull;  // BAD: long-suffixed decimal
+  return a + b + c;
+}
+
+}  // namespace whyq

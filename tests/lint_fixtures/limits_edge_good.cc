@@ -1,0 +1,21 @@
+// Fixture (never compiled): literal forms every limits rule must exempt —
+// hex and binary literals are bit masks and encoding thresholds, not
+// capacity knobs, and suffixes or separators on values below the
+// threshold stay exempt. The tests lint this under all three limits-rule
+// paths (src/server/, src/graph/snapshot.*, src/service/plan.*).
+#include <cstdint>
+
+namespace whyq {
+
+inline uint32_t Masks(uint32_t x) {
+  uint32_t a = x & 0x100;      // ok: hex exempt even though 256 >= 64
+  uint32_t b = x & 0b1000000;  // ok: binary exempt even though 64 >= 64
+  uint32_t c = x & 0xFFu;      // ok: suffixed hex
+  uint32_t d = x % 63u;        // ok: suffixed decimal below threshold
+  uint32_t e = x | 0X7F;       // ok: capital-X hex
+  uint32_t f = x & 0B11;       // ok: capital-B binary
+  uint32_t g = x & 0xFF'FF;    // ok: separated hex
+  return a + b + c + d + e + f + g;
+}
+
+}  // namespace whyq

@@ -1,0 +1,27 @@
+// Fixture (never compiled): borrowed graph views escaping their function —
+// rule "epoch-pin" must flag the member store (no shared_ptr<const Graph>
+// pin anywhere in this TU) and the static local. The alias is deliberate:
+// rule "nodespan-member" cannot see through it, the flow rule must.
+#include "graph/graph.h"
+
+namespace whyq {
+
+using Neighbors = NodeSpan;  // alias hides the borrow from the member rule
+
+class FrontierCache {
+ public:
+  void Refresh(const Graph& g) {
+    view_ = g.NodesWithLabel(3);  // BAD: member store without a pin
+  }
+
+  size_t CountOnce(const Graph& g) {
+    static Neighbors cached = g.NodesWithLabel(7);  // BAD: static local
+    return cached.size();
+  }
+
+ private:
+  Neighbors view_{};
+  SymbolId label_ = 3;
+};
+
+}  // namespace whyq

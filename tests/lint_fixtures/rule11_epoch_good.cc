@@ -1,0 +1,32 @@
+// Fixture (never compiled): rule "epoch-pin" negative cases. The member
+// store is legal when the TU pins the graph epoch next to the borrowed
+// view — the shared_ptr keeps the storage alive until the holder drops
+// both. Locals and plain assignments through non-member targets never
+// flag, with or without a pin.
+#include <memory>
+
+#include "graph/graph.h"
+
+namespace whyq {
+
+using Neighbors = NodeSpan;
+
+class PinnedFrontier {
+ public:
+  void Refresh(std::shared_ptr<const Graph> g) {
+    pin_ = g;
+    view_ = pin_->NodesWithLabel(3);  // ok: pin stored alongside
+  }
+
+  size_t CountLocal(const Graph& g) const {
+    NodeSpan local = g.NodesWithLabel(5);  // ok: local borrow dies here
+    Neighbors other = g.LabeledOutNeighbors(0, 2);
+    return local.size() + other.size();
+  }
+
+ private:
+  std::shared_ptr<const Graph> pin_;
+  Neighbors view_{};
+};
+
+}  // namespace whyq

@@ -1,0 +1,17 @@
+// Fixture (never compiled): status verdicts dropped on the floor — rule
+// "unchecked-status" must flag each discarded status-returning call and
+// the status local that is never read after its declaration.
+#include "service/service.h"
+
+namespace whyq {
+
+void DropVerdicts(WhyqService& svc, Graph& g, const UpdateBatch& batch) {
+  svc.TrySubmit(MakeRequest(), nullptr);  // BAD: verdict dropped
+  UpdateResult result;
+  g.ApplyUpdate(batch, &g, &result);  // BAD: success bool dropped
+  LoadPlanFile("p.whyqplan", nullptr, nullptr, nullptr);  // BAD: dropped
+  GraphSnapshot::Load("g.whyqsnap", nullptr);  // BAD: nullptr unobserved
+  SubmitResult sr = svc.TrySubmit(MakeRequest(), nullptr);  // BAD: unread
+}
+
+}  // namespace whyq

@@ -1,0 +1,27 @@
+// Fixture (never compiled): rule "unchecked-status" negative cases —
+// every verdict is consumed: branched on, assigned and later read,
+// returned, or deliberately dropped behind a (void) cast.
+#include "service/service.h"
+
+namespace whyq {
+
+bool ConsumeVerdicts(WhyqService& svc, Graph& g, const UpdateBatch& batch) {
+  if (svc.TrySubmit(MakeRequest(), nullptr) != SubmitResult::kAccepted) {
+    return false;
+  }
+  UpdateResult result;
+  bool ok = g.ApplyUpdate(batch, &g, &result);
+  if (!ok) return false;
+  switch (result.status) {
+    case UpdateStatus::kOk:
+      break;
+    default:
+      return false;
+  }
+  auto snap = GraphSnapshot::Load("g.whyqsnap", nullptr);
+  if (snap == nullptr) return false;
+  (void)svc.TrySubmit(MakeRequest(), nullptr);  // ok: documented drop
+  return svc.TrySubmit(MakeRequest(), nullptr) == SubmitResult::kAccepted;
+}
+
+}  // namespace whyq

@@ -1,0 +1,24 @@
+// Fixture (never compiled): allocations inside the loops of hot-path
+// functions — rule "hot-loop-alloc" must flag each allocation or
+// container-growth token inside a loop of Extend / SearchFrom / Recurse /
+// Maximal.
+#include <vector>
+
+namespace whyq {
+
+bool Extend(std::vector<int>& scratch, int n) {
+  for (int v = 0; v < n; ++v) {
+    scratch.push_back(v);  // BAD: growth per embedding step
+  }
+  return false;
+}
+
+bool SearchFrom(std::vector<int*>& slots, int n) {
+  while (n > 0) {
+    slots[0] = new int(n);  // BAD: allocation per candidate root
+    --n;
+  }
+  return true;
+}
+
+}  // namespace whyq

@@ -1,0 +1,24 @@
+// Fixture (never compiled): rule "hot-loop-alloc" negative cases — the
+// hot path pre-sizes its scratch before entering the loop, and growth in
+// cold functions (or outside any loop) is fine.
+#include <vector>
+
+namespace whyq {
+
+bool Extend(std::vector<int>& scratch, int n) {
+  scratch.reserve(static_cast<size_t>(n));  // ok: outside the loop
+  for (int v = 0; v < n; ++v) {
+    scratch[static_cast<size_t>(v)] = v;  // ok: pre-sized slot write
+  }
+  return false;
+}
+
+std::vector<int> CollectMatches(int n) {
+  std::vector<int> out;
+  for (int v = 0; v < n; ++v) {
+    out.push_back(v);  // ok: cold function, growth is the point
+  }
+  return out;
+}
+
+}  // namespace whyq

@@ -69,6 +69,113 @@ TEST(LintStripTest, RawStringsAreBlanked) {
   EXPECT_NE(out.find("int k;"), std::string::npos);
 }
 
+TEST(LintStripTest, PrefixedRawStringsAreBlanked) {
+  // u8R/uR/UR/LR openers were once unrecognized: the prefix letter made
+  // the `R` look like the tail of an identifier, so the body leaked into
+  // the token stream as code.
+  std::string src =
+      "auto a = u8R\"(cout inside utf8 raw)\"; int p;\n"
+      "auto b = LR\"(cout inside wide raw)\"; int q;\n"
+      "auto c = uR\"x(cout with \" quote)x\"; int r;\n"
+      "auto d = UR\"(cout once more)\"; int s;\n";
+  std::string out = StripCommentsAndStrings(src);
+  EXPECT_EQ(out.size(), src.size());
+  EXPECT_EQ(out.find("cout"), std::string::npos);
+  EXPECT_NE(out.find("int p;"), std::string::npos);
+  EXPECT_NE(out.find("int q;"), std::string::npos);
+  EXPECT_NE(out.find("int r;"), std::string::npos);
+  EXPECT_NE(out.find("int s;"), std::string::npos);
+}
+
+TEST(LintStripTest, RawStringClosingDelimiterIsBlanked) {
+  // The `)123"` terminator must not leak its digits into the token
+  // stream — a limits rule would read them as a decimal literal.
+  std::string src = "auto s = R\"123(body text)123\"; int k = 7;\n";
+  std::string out = StripCommentsAndStrings(src);
+  EXPECT_EQ(out.find("123"), std::string::npos);
+  EXPECT_EQ(out.find("body"), std::string::npos);
+  EXPECT_NE(out.find("int k = 7;"), std::string::npos);
+}
+
+TEST(LintStripTest, EncodingPrefixedOrdinaryStringsStillBlank) {
+  std::string src = "auto s = u8\"cout here\"; int k;\n";
+  std::string out = StripCommentsAndStrings(src);
+  EXPECT_EQ(out.find("cout"), std::string::npos);
+  EXPECT_NE(out.find("int k;"), std::string::npos);
+}
+
+TEST(LintStripTest, DigitSeparatorsDoNotOpenCharLiterals) {
+  // A ' after a (hex) digit is a C++14 separator; treating it as a char
+  // literal would swallow the rest of the line.
+  std::string src = "size_t n = 1'048'576; uint32_t m = 0xFF'FF; int t;\n";
+  std::string out = StripCommentsAndStrings(src);
+  EXPECT_NE(out.find("1'048'576"), std::string::npos);
+  EXPECT_NE(out.find("0xFF'FF"), std::string::npos);
+  EXPECT_NE(out.find("int t;"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// v2 per-TU model
+// ---------------------------------------------------------------------------
+
+TEST(LintModelTest, ExtractsFunctionExtentsAndLoops) {
+  std::string src =
+      "namespace n {\n"
+      "class C {\n"
+      " public:\n"
+      "  int Twice(int x) { return x + x; }\n"
+      "};\n"
+      "int Sum(int n) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    while (s < i) ++s;\n"
+      "  }\n"
+      "  do { --s; } while (s > 0);\n"
+      "  return s;\n"
+      "}\n"
+      "}  // namespace n\n";
+  TuModel m = BuildTuModel(src);
+  ASSERT_EQ(m.functions.size(), 2u);
+  EXPECT_EQ(m.functions[0].name, "Twice");
+  EXPECT_TRUE(m.functions[0].loops.empty());
+  EXPECT_EQ(m.functions[1].name, "Sum");
+  ASSERT_EQ(m.functions[1].loops.size(), 3u);
+  // Ordered by body offset: the for body, the braceless while nested in
+  // it, then the do-while (whose trailing while-terminator is not a
+  // fourth loop).
+  EXPECT_EQ(m.functions[1].loops[0].depth, 1);
+  EXPECT_EQ(m.functions[1].loops[1].depth, 2);
+  EXPECT_EQ(m.functions[1].loops[2].depth, 1);
+}
+
+TEST(LintModelTest, RecordHeadsWithMacroParensAreNotFunctions) {
+  // `class WHYQ_CAPABILITY("mutex") Mutex {` carries a paren-looking
+  // macro; only the two real member functions may become extents.
+  std::string src =
+      "class WHYQ_CAPABILITY(\"mutex\") Mutex {\n"
+      " public:\n"
+      "  void Lock() WHYQ_ACQUIRE() { mu_.lock(); }\n"
+      "  void Unlock() WHYQ_RELEASE() { mu_.unlock(); }\n"
+      "};\n";
+  TuModel m = BuildTuModel(src);
+  ASSERT_EQ(m.functions.size(), 2u);
+  EXPECT_EQ(m.functions[0].name, "Lock");
+  EXPECT_EQ(m.functions[1].name, "Unlock");
+}
+
+TEST(LintModelTest, TemplateIntroDoesNotReadAsRecord) {
+  std::string src =
+      "template <class Clock, class Duration>\n"
+      "bool WaitUntil(int deadline) {\n"
+      "  while (deadline > 0) --deadline;\n"
+      "  return true;\n"
+      "}\n";
+  TuModel m = BuildTuModel(src);
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "WaitUntil");
+  EXPECT_EQ(m.functions[0].loops.size(), 1u);
+}
+
 TEST(LintStripTest, BannedTokenInCommentIsInvisible) {
   // The fixture relies on this: its comments name the poll functions.
   std::vector<Violation> v = LintFile(
@@ -417,6 +524,111 @@ TEST(LintPlanLimitsTest, HeaderAndOtherServiceFilesAreExempt) {
   EXPECT_TRUE(LintFile("src/service/service.cc",
                        ReadFixture("rule10_plan_bad.cc"))
                   .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Limits-rule literal edge cases (shared across rules 7, 8 and 10): hex
+// and binary stay exempt under every path, suffixes and separators never
+// disguise a decimal knob.
+// ---------------------------------------------------------------------------
+
+TEST(LintLimitsEdgeTest, HexAndBinaryLiteralsAreExemptEverywhere) {
+  std::string good = ReadFixture("limits_edge_good.cc");
+  for (const char* path : {"src/server/fixture.cc", "src/graph/snapshot.cc",
+                           "src/service/plan.cc"}) {
+    std::vector<Violation> v = LintFile(path, good);
+    EXPECT_TRUE(v.empty()) << path << ": " << v.front().message;
+  }
+}
+
+TEST(LintLimitsEdgeTest, SuffixedAndSeparatedDecimalsAreCaughtEverywhere) {
+  std::string bad = ReadFixture("limits_edge_bad.cc");
+  struct Case {
+    const char* path;
+    const char* rule;
+  };
+  for (const Case& c : {Case{"src/server/fixture.cc", "server-limits"},
+                        Case{"src/graph/snapshot.cc", "snapshot-limits"},
+                        Case{"src/service/plan.cc", "plan-limits"}}) {
+    std::vector<Violation> v = LintFile(c.path, bad);
+    ExpectAllRule(v, c.rule);
+    EXPECT_EQ(Lines(v), (std::vector<int>{9, 10, 11})) << c.path;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 11: epoch-pin
+// ---------------------------------------------------------------------------
+
+TEST(LintEpochPinTest, FlagsMemberStoreAndStaticLocalWithoutPin) {
+  std::vector<Violation> v =
+      LintFile("src/service/fixture.cc", ReadFixture("rule11_epoch_bad.cc"));
+  ExpectAllRule(v, "epoch-pin");
+  EXPECT_EQ(Lines(v), (std::vector<int>{14, 18}));
+}
+
+TEST(LintEpochPinTest, AcceptsPinnedMembersAndLocals) {
+  std::vector<Violation> v =
+      LintFile("src/service/fixture.cc", ReadFixture("rule11_epoch_good.cc"));
+  EXPECT_TRUE(v.empty()) << v.front().message;
+}
+
+TEST(LintEpochPinTest, GraphLayerIsExempt) {
+  // The graph core owns the storage the spans borrow; its internals may
+  // hand views around freely.
+  EXPECT_TRUE(
+      LintFile("src/graph/fixture.cc", ReadFixture("rule11_epoch_bad.cc"))
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule 12: unchecked-status
+// ---------------------------------------------------------------------------
+
+TEST(LintUncheckedStatusTest, FlagsDiscardedCallsAndUnreadLocals) {
+  std::vector<Violation> v =
+      LintFile("src/service/fixture.cc", ReadFixture("rule12_status_bad.cc"));
+  ExpectAllRule(v, "unchecked-status");
+  std::vector<int> lines = Lines(v);
+  std::sort(lines.begin(), lines.end());
+  EXPECT_EQ(lines, (std::vector<int>{9, 11, 12, 13, 14}));
+}
+
+TEST(LintUncheckedStatusTest, AcceptsConsumedVerdicts) {
+  std::vector<Violation> v =
+      LintFile("src/service/fixture.cc", ReadFixture("rule12_status_good.cc"));
+  EXPECT_TRUE(v.empty()) << v.front().message;
+}
+
+TEST(LintUncheckedStatusTest, VoidCastDocumentsADeliberateDrop) {
+  std::vector<Violation> v = LintFile(
+      "src/service/x.cc",
+      "void F(WhyqService& s) { (void)s.TrySubmit(Req(), nullptr); }\n");
+  EXPECT_TRUE(v.empty()) << v.front().message;
+}
+
+// ---------------------------------------------------------------------------
+// Rule 13: hot-loop-alloc
+// ---------------------------------------------------------------------------
+
+TEST(LintHotLoopAllocTest, FlagsAllocationAndGrowthInHotLoops) {
+  std::vector<Violation> v = LintFile("src/matcher/fixture.cc",
+                                      ReadFixture("rule13_hotloop_bad.cc"));
+  ExpectAllRule(v, "hot-loop-alloc");
+  EXPECT_EQ(Lines(v), (std::vector<int>{11, 18}));
+}
+
+TEST(LintHotLoopAllocTest, AcceptsPreSizedScratchAndColdFunctions) {
+  std::vector<Violation> v = LintFile("src/matcher/fixture.cc",
+                                      ReadFixture("rule13_hotloop_good.cc"));
+  EXPECT_TRUE(v.empty()) << v.front().message;
+}
+
+TEST(LintHotLoopAllocTest, RuleOnlyAppliesToMatcherAndWhy) {
+  // Offline generators may allocate in loops named like the hot path.
+  EXPECT_TRUE(
+      LintFile("src/gen/fixture.cc", ReadFixture("rule13_hotloop_bad.cc"))
+          .empty());
 }
 
 // ---------------------------------------------------------------------------

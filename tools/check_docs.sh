@@ -17,7 +17,10 @@
 #      mnemonic README documents must be parsed;
 #   6. docs/PLAN_FORMAT.md stays honest: every `Struct.field` row of its
 #      field-index appendix and every kPlan* constant it cites must
-#      literally exist in src/service/plan.h (same contract as 4).
+#      literally exist in src/service/plan.h (same contract as 4);
+#   7. every whyq-lint rule name emitted by tools/lint/lint.cc is
+#      documented in docs/ARCHITECTURE.md — a new rule must land with its
+#      rationale, or the docs job fails.
 # Pure grep/sed — no dependencies beyond POSIX sh.
 set -u
 
@@ -146,7 +149,27 @@ else
   err "missing $pspec or $phdr"
 fi
 
+# --- 7. whyq-lint rules <-> ARCHITECTURE.md -------------------------------
+lint_h=tools/lint/lint.h
+lint_cc=tools/lint/lint.cc
+arch=docs/ARCHITECTURE.md
+# Rule names are the first word of each catalog entry in lint.h (three
+# spaces of comment indent; continuation lines are indented deeper).
+rules=$(sed -n 's|^//   \([a-z][a-z-]*\) .*|\1|p' "$lint_h" | sort -u)
+[ -n "$rules" ] || err "no rule names extracted from the $lint_h catalog"
+for r in $rules; do
+  grep -q "\*\*$r\*\*" "$arch" ||
+    err "$arch: whyq-lint rule '$r' undocumented (add a **$r** entry)"
+done
+# Every rule id lint.cc emits (the quoted hyphenated tokens) must be in
+# the lint.h catalog, and therefore documented above — a rule cannot land
+# without its rationale.
+for r in $(grep -o '"[a-z][a-z]*-[a-z-]*"' "$lint_cc" | tr -d '"' | sort -u); do
+  echo "$rules" | grep -qx "$r" ||
+    err "$lint_h: rule '$r' emitted by $lint_cc missing from the catalog"
+done
+
 if [ "$fail" -eq 0 ]; then
-  echo "check_docs: OK (links, subcommands, flags, snapshot spec, update ops, plan spec in sync)"
+  echo "check_docs: OK (links, subcommands, flags, snapshot spec, update ops, plan spec, lint rules in sync)"
 fi
 exit "$fail"

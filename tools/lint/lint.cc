@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -75,6 +76,22 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+/// Length of a raw-string opener starting at `i` — `R"`, or `R"` behind an
+/// encoding prefix (`u8R"`, `uR"`, `UR"`, `LR"`) — through the opening
+/// quote. 0 when `i` does not start one (including when the would-be
+/// prefix is the tail of a longer identifier, e.g. `FooR"`).
+size_t RawOpenerLen(const std::string& src, size_t i) {
+  if (i > 0 && IsIdentChar(src[i - 1])) return 0;
+  size_t r = i;
+  if (src.compare(i, 2, "u8") == 0) {
+    r = i + 2;
+  } else if (src[i] == 'u' || src[i] == 'U' || src[i] == 'L') {
+    r = i + 1;
+  }
+  if (r + 1 >= src.size() || src[r] != 'R' || src[r + 1] != '"') return 0;
+  return r + 2 - i;
+}
+
 }  // namespace
 
 std::string StripCommentsAndStrings(const std::string& src) {
@@ -93,14 +110,15 @@ std::string StripCommentsAndStrings(const std::string& src) {
         } else if (c == '/' && next == '*') {
           state = State::kBlock;
           out[i] = ' ';
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !IsIdentChar(src[i - 1]))) {
-          // R"delim( ... )delim"
-          size_t open = src.find('(', i + 2);
+        } else if (size_t raw = RawOpenerLen(src, i); raw > 0) {
+          // [u8|u|U|L]R"delim( ... )delim"
+          size_t open = src.find('(', i + raw);
           if (open == std::string::npos) break;
-          raw_delim = ")" + src.substr(i + 2, open - i - 2) + "\"";
+          raw_delim = ")" + src.substr(i + raw, open - i - raw) + "\"";
           state = State::kRaw;
-          // Keep the R" prefix readable; blank from the delimiter on.
+          // Keep the first prefix char readable; blank from there on —
+          // kRaw also blanks the closing )delim", whose delimiter may
+          // contain digits/identifier chars that must not leak as code.
         } else if (c == '"') {
           state = State::kString;
         } else if (c == '\'' &&
@@ -149,6 +167,9 @@ std::string StripCommentsAndStrings(const std::string& src) {
         break;
       case State::kRaw:
         if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t k = 0; k < raw_delim.size(); ++k) {
+            if (out[i + k] != '\n') out[i + k] = ' ';
+          }
           i += raw_delim.size() - 1;
           state = State::kCode;
         } else if (c != '\n') {
@@ -556,6 +577,426 @@ void CheckHeaderGuard(const std::string& path, const std::string& stripped,
 }
 
 // ---------------------------------------------------------------------------
+// v2 per-TU model: function extents, loop regions, statement structure
+// ---------------------------------------------------------------------------
+
+// Drops preprocessor lines from a statement head: a head accumulated since
+// the last `;`/`{`/`}` boundary may span #include/#define runs (file tops,
+// guarded sections) that would otherwise confuse classification.
+std::string DropPreprocessorLines(const std::string& head) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < head.size()) {
+    size_t eol = head.find('\n', pos);
+    size_t len = eol == std::string::npos ? head.size() - pos : eol - pos + 1;
+    std::string line = head.substr(pos, len);
+    size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] != '#') out += line;
+    pos += len;
+  }
+  return out;
+}
+
+/// Classifies a brace-opening statement head. Returns the unqualified
+/// function name when the head is a function definition (the identifier
+/// immediately before its first `(`), empty otherwise — records,
+/// namespaces, enums, brace initializers, and control statements all get
+/// empty, which tells the extent walk to descend instead of skipping.
+std::string FunctionNameOfHead(const std::string& raw_head) {
+  std::string head = DropPreprocessorLines(raw_head);
+  // A leading template intro (`template <...>`) may itself contain the
+  // `class` keyword; peel it before classifying.
+  size_t t = FindToken(head, "template");
+  if (t != std::string::npos) {
+    size_t lt = head.find('<', t);
+    if (lt != std::string::npos) {
+      size_t gt = MatchDelim(head, lt, '<', '>');
+      if (gt != std::string::npos) head = head.substr(gt + 1);
+    }
+  }
+  // First token decides record/namespace heads — `class WHYQ_CAPABILITY(..)
+  // Mutex {` carries a parameter-looking macro, so the paren test alone
+  // would misread it as a function.
+  size_t fb = head.find_first_not_of(" \t\n");
+  if (fb != std::string::npos && IsIdentChar(head[fb]) &&
+      !(head[fb] >= '0' && head[fb] <= '9')) {
+    size_t fe = fb;
+    while (fe < head.size() && IsIdentChar(head[fe])) ++fe;
+    std::string first = head.substr(fb, fe - fb);
+    for (const char* kw : {"class", "struct", "union", "enum", "namespace"}) {
+      if (first == kw) return "";
+    }
+  }
+  size_t paren = head.find('(');
+  if (paren == std::string::npos || paren == 0) return "";
+  size_t end = head.find_last_not_of(" \t\n", paren - 1);
+  if (end == std::string::npos || !IsIdentChar(head[end])) return "";
+  size_t begin = end;
+  while (begin > 0 && IsIdentChar(head[begin - 1])) --begin;
+  std::string name = head.substr(begin, end - begin + 1);
+  if (name[0] >= '0' && name[0] <= '9') return "";
+  for (const char* kw : {"if", "for", "while", "switch", "catch", "return",
+                         "do", "else", "new", "delete", "sizeof", "alignof",
+                         "decltype", "defined"}) {
+    if (name == kw) return "";
+  }
+  return name;
+}
+
+/// Loop regions (for/while/do bodies) inside [begin, end) of `s`, with
+/// nesting depth (1 = outermost loop of the function).
+void FindLoops(const std::string& s, size_t begin, size_t end,
+               std::vector<LoopRegion>* out) {
+  for (const char* kw : {"for", "while"}) {
+    for (size_t k = FindToken(s, kw, begin);
+         k != std::string::npos && k < end; k = FindToken(s, kw, k + 1)) {
+      size_t paren = s.find_first_not_of(" \t\n", k + std::strlen(kw));
+      if (paren == std::string::npos || paren >= end || s[paren] != '(') {
+        continue;
+      }
+      size_t close = MatchDelim(s, paren, '(', ')');
+      if (close == std::string::npos || close >= end) continue;
+      size_t body = s.find_first_not_of(" \t\n", close + 1);
+      if (body == std::string::npos || body >= end) continue;
+      if (s[body] == '{') {
+        size_t bclose = MatchDelim(s, body, '{', '}');
+        if (bclose == std::string::npos || bclose > end) continue;
+        out->push_back({body + 1, bclose, 0});
+      } else if (s[body] == ';') {
+        continue;  // the `while (...)` terminator of a do-while
+      } else {
+        size_t semi = s.find(';', body);
+        if (semi == std::string::npos || semi > end) continue;
+        out->push_back({body, semi, 0});
+      }
+    }
+  }
+  for (size_t k = FindToken(s, "do", begin);
+       k != std::string::npos && k < end; k = FindToken(s, "do", k + 1)) {
+    size_t body = s.find_first_not_of(" \t\n", k + 2);
+    if (body == std::string::npos || body >= end || s[body] != '{') continue;
+    size_t bclose = MatchDelim(s, body, '{', '}');
+    if (bclose == std::string::npos || bclose > end) continue;
+    out->push_back({body + 1, bclose, 0});
+  }
+  for (LoopRegion& l : *out) {
+    l.depth = 1;
+    for (const LoopRegion& other : *out) {
+      if (other.body_begin < l.body_begin && l.body_end < other.body_end) {
+        ++l.depth;
+      }
+    }
+  }
+  std::sort(out->begin(), out->end(),
+            [](const LoopRegion& a, const LoopRegion& b) {
+              return a.body_begin < b.body_begin;
+            });
+}
+
+std::vector<FunctionExtent> ExtractFunctions(const std::string& stripped) {
+  std::vector<FunctionExtent> fns;
+  size_t stmt_begin = 0;
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    char c = stripped[i];
+    if (c == ';' || c == '}') {
+      stmt_begin = i + 1;
+      continue;
+    }
+    if (c != '{') continue;
+    std::string head = stripped.substr(stmt_begin, i - stmt_begin);
+    std::string name = FunctionNameOfHead(head);
+    if (name.empty()) {
+      // Record/namespace/initializer: descend and keep classifying.
+      stmt_begin = i + 1;
+      continue;
+    }
+    size_t close = MatchDelim(stripped, i, '{', '}');
+    if (close == std::string::npos) break;
+    FunctionExtent fn;
+    fn.name = std::move(name);
+    fn.body_begin = i;
+    fn.body_end = close;
+    FindLoops(stripped, i + 1, close, &fn.loops);
+    fns.push_back(std::move(fn));
+    i = close;  // a nested lambda/local struct is part of this extent
+    stmt_begin = close + 1;
+  }
+  return fns;
+}
+
+/// Invokes `fn(stmt_begin, stmt_end)` for every statement inside the
+/// function body [body_begin+1, body_end), split at `;`, `{`, and `}` —
+/// the same boundaries the extent walk uses, so block heads (if/for/...)
+/// are themselves statements.
+template <typename Fn>
+void ForEachStatement(const std::string& s, const FunctionExtent& f, Fn fn) {
+  size_t stmt_begin = f.body_begin + 1;
+  for (size_t i = f.body_begin + 1; i < f.body_end; ++i) {
+    char c = s[i];
+    if (c == ';' || c == '{' || c == '}') {
+      // Trim leading whitespace so reported offsets (and their lines)
+      // land on the statement's first token, not the prior boundary.
+      size_t first = s.find_first_not_of(" \t\n", stmt_begin);
+      if (first != std::string::npos && first < i) fn(first, i);
+      stmt_begin = i + 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: epoch-pin
+// ---------------------------------------------------------------------------
+
+// Graph accessors whose results borrow epoch-owned storage.
+const char* const kBorrowCalls[] = {
+    "LabeledOutNeighbors",
+    "LabeledInNeighbors",
+    "NodesWithLabel",
+    "LabeledSlice",
+};
+
+// Borrowed view types; a static local of one of these outlives every epoch.
+const char* const kBorrowTypes[] = {"NodeSpan", "Column"};
+
+/// Offset of the first top-level assignment `=` in [begin, end) of `s` —
+/// skipping `==`, `!=`, `<=`, `>=` and compound assignments — or npos.
+size_t FindAssignEq(const std::string& s, size_t begin, size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    if (s[i] != '=') continue;
+    char prev = i > 0 ? s[i - 1] : '\0';
+    char next = i + 1 < end ? s[i + 1] : '\0';
+    if (next == '=') {
+      ++i;  // ==
+      continue;
+    }
+    if (prev == '=' || prev == '!' || prev == '<' || prev == '>' ||
+        prev == '+' || prev == '-' || prev == '*' || prev == '/' ||
+        prev == '%' || prev == '&' || prev == '|' || prev == '^') {
+      continue;
+    }
+    return i;
+  }
+  return std::string::npos;
+}
+
+void CheckEpochPin(const std::string& path, const TuModel& model,
+                   std::vector<Violation>* out) {
+  const std::string& s = model.stripped;
+  // A TU whose class keeps the graph alive via a shared_ptr pin may also
+  // cache borrowed views next to it — the pin holds the epoch. The repo
+  // spells the pin exactly one way (clang-format), so a substring test is
+  // exact here.
+  bool has_pin = s.find("shared_ptr<const Graph>") != std::string::npos;
+  for (const FunctionExtent& fn : model.functions) {
+    ForEachStatement(s, fn, [&](size_t begin, size_t end) {
+      std::string stmt = s.substr(begin, end - begin);
+      bool borrows = false;
+      std::string borrow_tok;
+      for (const char* t : kBorrowCalls) {
+        if (ContainsToken(stmt, t)) {
+          borrows = true;
+          borrow_tok = t;
+          break;
+        }
+      }
+      bool borrow_typed = false;
+      for (const char* t : kBorrowTypes) {
+        if (ContainsToken(stmt, t)) borrow_typed = true;
+      }
+      if (ContainsToken(stmt, "static") && (borrows || borrow_typed)) {
+        out->push_back(
+            {path, LineOfOffset(s, begin), "epoch-pin",
+             "static local keeps a borrowed graph view across calls: spans "
+             "and columns borrow one epoch's storage, and an update retires "
+             "it — re-fetch from the pinned graph instead"});
+        return;
+      }
+      if (!borrows) return;
+      size_t eq = FindAssignEq(stmt, 0, stmt.size());
+      if (eq == std::string::npos) return;
+      if (stmt.find(borrow_tok) < eq) return;  // borrow on the LHS? not ours
+      size_t tend = stmt.find_last_not_of(" \t\n", eq - 1);
+      if (tend == std::string::npos || !IsIdentChar(stmt[tend])) return;
+      size_t tbegin = tend;
+      while (tbegin > 0 && IsIdentChar(stmt[tbegin - 1])) --tbegin;
+      std::string target = stmt.substr(tbegin, tend - tbegin + 1);
+      bool member_store =
+          target.back() == '_' ||
+          (tbegin >= 6 && stmt.compare(tbegin - 6, 6, "this->") == 0);
+      if (member_store && !has_pin) {
+        out->push_back(
+            {path, LineOfOffset(s, begin), "epoch-pin",
+             "storing the result of " + borrow_tok + " into member '" +
+                 target +
+                 "' without a shared_ptr<const Graph> pin in this TU: the "
+                 "borrow dies with its epoch — hold the graph alongside the "
+                 "view or re-fetch it per call"});
+      }
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unchecked-status
+// ---------------------------------------------------------------------------
+
+// Functions whose return value is a verdict the caller must consume.
+const char* const kStatusCalls[] = {
+    "TrySubmit",         // SubmitResult: dropping it loses the rejection
+    "ApplyUpdate",       // bool: a failed batch left the graph unchanged
+    "ApplyUpdateByRebuild",
+    "LoadPlanFile",      // bool: the out-plan is garbage on failure
+    "WritePlanFile",
+    "TryLoad",           // nullptr miss must route to the build path
+};
+
+// Status-carrying local types: declared-then-never-read means the verdict
+// was materialized and then ignored.
+const char* const kStatusTypes[] = {"UpdateResult", "UpdateStatus",
+                                    "SubmitResult"};
+
+const char* const kChainKeywords[] = {"return", "if", "while", "for",
+                                      "switch", "case", "delete", "throw",
+                                      "goto", "else", "do", "new", "co_return"};
+
+/// Parses a leading call chain `ident((::|.|->)ident)*` followed by `(` at
+/// the start of [begin, end). Fills `components`; returns true when the
+/// statement's first construct is a call.
+bool LeadingCallChain(const std::string& s, size_t begin, size_t end,
+                      std::vector<std::string>* components) {
+  size_t p = s.find_first_not_of(" \t\n", begin);
+  if (p == std::string::npos || p >= end) return false;
+  if (!IsIdentChar(s[p]) || (s[p] >= '0' && s[p] <= '9')) return false;
+  while (true) {
+    size_t ib = p;
+    while (p < end && IsIdentChar(s[p])) ++p;
+    components->push_back(s.substr(ib, p - ib));
+    size_t q = s.find_first_not_of(" \t\n", p);
+    if (q == std::string::npos || q >= end) return false;
+    if (s.compare(q, 2, "::") == 0 || s.compare(q, 2, "->") == 0) {
+      p = q + 2;
+    } else if (s[q] == '.') {
+      p = q + 1;
+    } else {
+      return s[q] == '(';
+    }
+    p = s.find_first_not_of(" \t\n", p);
+    if (p == std::string::npos || p >= end || !IsIdentChar(s[p])) {
+      return false;
+    }
+  }
+}
+
+void CheckUncheckedStatus(const std::string& path, const TuModel& model,
+                          std::vector<Violation>* out) {
+  const std::string& s = model.stripped;
+  for (const FunctionExtent& fn : model.functions) {
+    // Part 1: a status-returning call as the head of a discard statement.
+    // `(void)Call(...)` starts with '(', assignments start with the target,
+    // `if (Call(...))` starts with a keyword — none of those parse as a
+    // leading call chain, so they all pass.
+    ForEachStatement(s, fn, [&](size_t begin, size_t end) {
+      std::vector<std::string> chain;
+      if (!LeadingCallChain(s, begin, end, &chain)) return;
+      for (const char* kw : kChainKeywords) {
+        if (chain.front() == kw) return;
+      }
+      const std::string& callee = chain.back();
+      bool flagged = false;
+      for (const char* t : kStatusCalls) {
+        if (callee == t) flagged = true;
+      }
+      // GraphSnapshot's Load/Write names are too generic to ban bare;
+      // qualified through the class they are status calls.
+      if (!flagged && (callee == "Load" || callee == "Write")) {
+        for (const std::string& c : chain) {
+          if (c == "GraphSnapshot") flagged = true;
+        }
+      }
+      if (flagged) {
+        out->push_back(
+            {path, LineOfOffset(s, begin), "unchecked-status",
+             "result of " + callee +
+                 "() is discarded: consume the verdict (assign or branch "
+                 "on it) or document the intent with a (void) cast"});
+      }
+    });
+    // Part 2: a status local declared and never read afterwards.
+    ForEachStatement(s, fn, [&](size_t begin, size_t end) {
+      std::string stmt = s.substr(begin, end - begin);
+      for (const char* type_tok : kStatusTypes) {
+        size_t t = FindToken(stmt, type_tok);
+        if (t == std::string::npos) continue;
+        size_t after = t + std::strlen(type_tok);
+        if (after < stmt.size() && stmt[after] == ':') continue;  // Foo::kX
+        size_t nb = stmt.find_first_not_of(" \t\n&*", after);
+        if (nb == std::string::npos || !IsIdentChar(stmt[nb]) ||
+            (stmt[nb] >= '0' && stmt[nb] <= '9')) {
+          continue;
+        }
+        size_t ne = nb;
+        while (ne < stmt.size() && IsIdentChar(stmt[ne])) ++ne;
+        std::string name = stmt.substr(nb, ne - nb);
+        std::string rest = s.substr(end, fn.body_end - end);
+        if (FindToken(rest, name) == std::string::npos) {
+          out->push_back(
+              {path, LineOfOffset(s, begin), "unchecked-status",
+               std::string(type_tok) + " '" + name +
+                   "' is never read after this declaration: check the "
+                   "status it carries or drop the variable"});
+        }
+      }
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: hot-loop-alloc
+// ---------------------------------------------------------------------------
+
+// The per-embedding hot path: Matcher::Extend / Matcher::SearchFrom and the
+// MBS enumerator's Recurse/Maximal. Scratch there is pre-sized by the
+// caller (assignment slots, conflict counters, the current set's reserve);
+// an allocation per iteration would undo that discipline.
+const char* const kHotFunctions[] = {"Extend", "SearchFrom", "Recurse",
+                                     "Maximal"};
+
+const char* const kAllocTokens[] = {
+    "new",          "make_shared", "make_unique", "malloc",
+    "calloc",       "realloc",     "push_back",   "emplace_back",
+    "emplace",      "insert",      "resize",      "reserve",
+    "assign",
+};
+
+void CheckHotLoopAlloc(const std::string& path, const TuModel& model,
+                       std::vector<Violation>* out) {
+  const std::string& s = model.stripped;
+  for (const FunctionExtent& fn : model.functions) {
+    bool hot = false;
+    for (const char* h : kHotFunctions) {
+      if (fn.name == h) hot = true;
+    }
+    if (!hot) continue;
+    for (const LoopRegion& loop : fn.loops) {
+      if (loop.depth != 1) continue;  // inner loops live inside the outer
+      std::string body =
+          s.substr(loop.body_begin, loop.body_end - loop.body_begin);
+      for (const char* tok : kAllocTokens) {
+        size_t k = FindToken(body, tok);
+        if (k == std::string::npos) continue;
+        out->push_back(
+            {path, LineOfOffset(s, loop.body_begin + k), "hot-loop-alloc",
+             std::string("'") + tok + "' inside a loop of hot function " +
+                 fn.name +
+                 "(): the match/verification hot path must not allocate or "
+                 "grow containers per iteration — pre-size scratch outside "
+                 "the loop"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: stats-roundtrip helpers
 // ---------------------------------------------------------------------------
 
@@ -689,6 +1130,13 @@ std::vector<Violation> LintStatsRoundTrip(const std::vector<StatsDecl>& decls,
   return out;
 }
 
+TuModel BuildTuModel(const std::string& contents) {
+  TuModel model;
+  model.stripped = StripCommentsAndStrings(contents);
+  model.functions = ExtractFunctions(model.stripped);
+  return model;
+}
+
 std::vector<Violation> LintFile(const std::string& path,
                                 const std::string& contents) {
   std::vector<Violation> out;
@@ -732,6 +1180,18 @@ std::vector<Violation> LintFile(const std::string& path,
   }
   if (is_header && (in_src || StartsWith(path, "tools/"))) {
     CheckHeaderGuard(path, stripped, &out);
+  }
+
+  // v2 flow-sensitive rules share one per-TU model.
+  TuModel model;
+  model.stripped = stripped;
+  model.functions = ExtractFunctions(stripped);
+  CheckUncheckedStatus(path, model, &out);
+  if (in_src && !StartsWith(path, "src/graph/")) {
+    CheckEpochPin(path, model, &out);
+  }
+  if (StartsWith(path, "src/why/") || StartsWith(path, "src/matcher/")) {
+    CheckHotLoopAlloc(path, model, &out);
   }
   return out;
 }

@@ -49,10 +49,37 @@
 //                    layer outside src/service/plan.h — alignment, section
 //                    counts, size caps, and the store byte budget live in
 //                    the one header docs/PLAN_FORMAT.md is checked against.
+//   epoch-pin        (flow-sensitive) a borrowed graph view — the result
+//                    of LabeledOutNeighbors / LabeledInNeighbors /
+//                    NodesWithLabel / LabeledSlice — must not be stored
+//                    into state that outlives the function (a `_`-suffixed
+//                    member, a static local) unless the TU keeps a
+//                    shared_ptr<const Graph> pin holding the epoch alive.
+//                    Complements nodespan-member: that rule bans the
+//                    member *declaration*, this one catches the *store*
+//                    even through auto/aliased types.
+//   unchecked-status (flow-sensitive) status results must be consumed:
+//                    TrySubmit verdicts, ApplyUpdate(ByRebuild) success,
+//                    LoadPlanFile/WritePlanFile/TryLoad outcomes and
+//                    GraphSnapshot::Load/Write results may not head a
+//                    discard statement (use a (void) cast to document a
+//                    deliberate drop), and a local UpdateResult /
+//                    UpdateStatus / SubmitResult must be read after its
+//                    declaration.
+//   hot-loop-alloc   (flow-sensitive) no allocation or container growth
+//                    (new / make_shared / make_unique / malloc /
+//                    push_back / resize / ...) inside the loops of the
+//                    match/verification hot path — Matcher::Extend,
+//                    Matcher::SearchFrom, the MBS enumerator's
+//                    Recurse/Maximal — whose scratch is pre-sized by the
+//                    caller.
 //
 // The linter deliberately avoids libclang: it lexes comments/strings away
 // and works on the token stream plus brace structure, which is exact for
-// the rules above and keeps the checker dependency-free and fast.
+// the rules above and keeps the checker dependency-free and fast. The
+// three flow-sensitive rules ride on a lightweight per-TU model (function
+// extents, loop regions with nesting, statement structure) built from the
+// same stripped stream — see BuildTuModel below.
 
 namespace whyq::lint {
 
@@ -68,6 +95,37 @@ struct Violation {
 /// numbers match the original file. Raw strings are handled; escaped
 /// quotes inside literals do not terminate them.
 std::string StripCommentsAndStrings(const std::string& src);
+
+/// One loop body inside a function: [body_begin, body_end) brackets the
+/// statements between the loop's braces (or the single statement of a
+/// braceless loop). depth is 1 for an outermost loop of its function.
+struct LoopRegion {
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  int depth = 1;
+};
+
+/// One function definition: name is unqualified (`Extend` for
+/// Matcher::Extend), [body_begin, body_end] brackets the braces, and
+/// `loops` lists every loop region inside the body (including loops of
+/// nested lambdas — they run as part of this function).
+struct FunctionExtent {
+  std::string name;
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  std::vector<LoopRegion> loops;
+};
+
+/// The per-TU statement/CFG model the flow-sensitive rules share: the
+/// stripped source plus every function extent. Deliberately not a C++
+/// parser — exact for this repo's clang-formatted style, conservative
+/// (no extent, no findings) elsewhere.
+struct TuModel {
+  std::string stripped;
+  std::vector<FunctionExtent> functions;
+};
+
+TuModel BuildTuModel(const std::string& contents);
 
 /// Runs every per-file rule applicable to `path` (a repo-relative path —
 /// rule applicability is derived from it) over `contents`. Used both by

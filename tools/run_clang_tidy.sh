@@ -3,7 +3,11 @@
 # using the compile database exported by CMake, then diffs the findings
 # against the committed baseline so only NEW findings fail the build.
 #
-#   tools/run_clang_tidy.sh [build-dir]      # default: build
+#   tools/run_clang_tidy.sh [--changed] [build-dir]   # default: build
+#
+# --changed restricts the run to first-party files that differ from the
+# merge-base with the default branch (plus uncommitted changes) — the
+# fast pre-push loop; the full run stays the CI gate.
 #
 # Baseline workflow:
 #   - tools/clang_tidy_baseline.txt holds known findings, one per line in
@@ -22,6 +26,11 @@
 set -u
 
 cd "$(dirname "$0")/.." || exit 1
+changed_only=0
+if [ "${1:-}" = "--changed" ]; then
+  changed_only=1
+  shift
+fi
 build_dir="${1:-build}"
 baseline="tools/clang_tidy_baseline.txt"
 
@@ -46,6 +55,40 @@ files=$(sed -n 's/^ *"file": "\(.*\)",*$/\1/p' "$build_dir/compile_commands.json
 if [ -z "$files" ]; then
   echo "run_clang_tidy: no first-party files in the compile database" >&2
   exit 1
+fi
+
+if [ "$changed_only" -eq 1 ]; then
+  # Changed = diff against the merge-base with the default branch, plus
+  # anything uncommitted. Headers count through their including TUs: a
+  # changed .h selects every first-party TU, since the compile database
+  # has no include graph (cheap and safe; the full run is the CI gate).
+  base_ref=$(git rev-parse --verify -q origin/HEAD 2>/dev/null \
+    || git rev-parse --verify -q main 2>/dev/null \
+    || git rev-parse --verify -q master)
+  merge_base=$(git merge-base HEAD "$base_ref" 2>/dev/null || echo "$base_ref")
+  changed=$( (git diff --name-only "$merge_base" 2>/dev/null;
+              git diff --name-only 2>/dev/null;
+              git diff --name-only --cached 2>/dev/null) | sort -u)
+  if [ -z "$changed" ]; then
+    echo "run_clang_tidy: no changes vs $merge_base; nothing to lint"
+    exit 0
+  fi
+  if echo "$changed" | grep -qE '^(src|tools|bench)/.*\.h$'; then
+    echo "run_clang_tidy: changed header(s) detected; keeping all TUs"
+  else
+    kept=""
+    for f in $files; do
+      rel=${f#"$(pwd)"/}
+      if echo "$changed" | grep -qFx "$rel"; then
+        kept="$kept $f"
+      fi
+    done
+    files=$kept
+    if [ -z "$(echo "$files" | tr -d ' ')" ]; then
+      echo "run_clang_tidy: no changed first-party TUs vs $merge_base"
+      exit 0
+    fi
+  fi
 fi
 
 raw=$(mktemp)
